@@ -1,0 +1,45 @@
+"""Shared benchmark plumbing.
+
+The paper's measurements compare *execution* of the rewritten query against
+functional evaluation; compilation (partial evaluation + rewrite) happens
+once at query-compile time.  These helpers therefore prepare everything
+up front and expose two comparable execution closures per case.
+"""
+
+from __future__ import annotations
+
+from repro.core.pipeline import XsltRewriter
+from repro.xslt.vm import XsltVM
+from repro.xsltmark.cases import get_case
+from repro.xsltmark.runner import prepare_case
+
+
+class PreparedBenchmark:
+    """One case at one size, ready for repeated timed execution."""
+
+    def __init__(self, case_name, size):
+        self.case = get_case(case_name)
+        self.size = size
+        prepared = prepare_case(self.case, size)
+        self.db = prepared.db
+        self.storage = prepared.storage
+        self.stylesheet = prepared.stylesheet
+        outcome = XsltRewriter().rewrite_view(
+            self.stylesheet, self.storage.make_view_query()
+        )
+        self.sql_query = self.db.optimize(outcome.sql_query)
+        self.outcome = outcome
+
+    def execute_rewrite(self):
+        """XSLT rewrite path: run the merged relational query."""
+        rows, stats = self.sql_query.execute(self.db)
+        return rows, stats
+
+    def execute_functional(self):
+        """No-rewrite path: materialise each document, run the XSLT VM."""
+        vm = XsltVM(self.stylesheet)
+        results = []
+        for doc_id in self.storage.document_ids():
+            document = self.storage.materialize(doc_id)
+            results.append(vm.transform_document(document))
+        return results

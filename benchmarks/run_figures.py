@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Regenerate the paper's evaluation artefacts and print them as tables.
+
+Usage::
+
+    python benchmarks/run_figures.py [--sizes 500,1000,2000,4000] [--repeat 3]
+
+Prints:
+
+* Figure 2 — 'dbonerow' rewrite vs no-rewrite across document sizes;
+* Figure 3 — 'avts', 'chart', 'metric', 'total' rewrite vs no-rewrite;
+* the §5 inline statistic over all forty cases.
+
+The numbers land in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+from benchmarks.helpers import PreparedBenchmark
+from repro.xsltmark.runner import inline_statistics
+
+
+def timed(callable_, repeat):
+    start = time.perf_counter()
+    for _ in range(repeat):
+        callable_()
+    return (time.perf_counter() - start) / repeat
+
+
+def figure2(sizes, repeat):
+    print("Figure 2 - dbonerow: rewrite vs no-rewrite (seconds per run)")
+    print("%-10s %-12s %-12s %-8s" % ("rows", "rewrite", "no-rewrite", "ratio"))
+    rows = []
+    for size in sizes:
+        bench = PreparedBenchmark("dbonerow", size)
+        rewrite_time = timed(bench.execute_rewrite, repeat)
+        functional_time = timed(bench.execute_functional, repeat)
+        ratio = functional_time / rewrite_time
+        rows.append((size, rewrite_time, functional_time, ratio))
+        print("%-10d %-12.5f %-12.5f %-8.1fx"
+              % (size, rewrite_time, functional_time, ratio))
+    return rows
+
+
+def figure3(size, repeat):
+    print()
+    print("Figure 3 - no-value-predicate cases at %d rows (seconds per run)"
+          % size)
+    print("%-10s %-12s %-12s %-8s" % ("case", "rewrite", "no-rewrite", "ratio"))
+    rows = []
+    for name in ("avts", "chart", "metric", "total"):
+        bench = PreparedBenchmark(name, size)
+        rewrite_time = timed(bench.execute_rewrite, repeat)
+        functional_time = timed(bench.execute_functional, repeat)
+        ratio = functional_time / rewrite_time
+        rows.append((name, rewrite_time, functional_time, ratio))
+        print("%-10s %-12.5f %-12.5f %-8.1fx"
+              % (name, rewrite_time, functional_time, ratio))
+    return rows
+
+
+def inline_stat():
+    print()
+    print("Inline statistic (paper: 23 of 40 fully inline)")
+    classifications, inline_count = inline_statistics()
+    by_class = {}
+    for name, (classification, sql_merged) in sorted(classifications.items()):
+        by_class.setdefault(classification, []).append(
+            name + ("" if sql_merged else "*")
+        )
+    for classification in ("inline", "non-inline", "fallback"):
+        names = by_class.get(classification, [])
+        print("%-11s %2d  %s" % (classification, len(names), ", ".join(names)))
+    print("(* = XQuery generated but SQL merge unsupported)")
+    print("inline: %d / 40" % inline_count)
+    return inline_count
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sizes", default="500,1000,2000,4000")
+    parser.add_argument("--fig3-size", type=int, default=1500)
+    parser.add_argument("--repeat", type=int, default=3)
+    args = parser.parse_args()
+    sizes = [int(part) for part in args.sizes.split(",")]
+    figure2(sizes, args.repeat)
+    figure3(args.fig3_size, args.repeat)
+    inline_stat()
+
+
+if __name__ == "__main__":
+    main()

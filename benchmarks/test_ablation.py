@@ -1,0 +1,116 @@
+"""Ablation benchmarks for the §3.3–3.7 rewrite techniques.
+
+Each technique from DESIGN.md is disabled individually and the generated
+XQuery is evaluated over a materialised document (the SQL merge is not
+always possible for the degraded query shapes — e.g. the Table-12 "all"
+fallback needs dynamic instance-of dispatch — which is itself part of the
+point: the optimisations are what make the query mergeable)."""
+
+import pytest
+
+from repro.core.partial_eval import partially_evaluate
+from repro.core.xquery_gen import RewriteOptions, generate_xquery
+from repro.schema import schema_from_dtd
+from repro.xquery.evaluator import evaluate_module
+from repro.xslt import compile_stylesheet
+from repro.xsltmark.cases import get_case
+from repro.xsltmark.generator import make_db_document
+
+SIZE = 800
+
+VARIANTS = {
+    "full": RewriteOptions(),
+    "no-model-groups": RewriteOptions(use_model_groups=False),
+    "no-backward-removal": RewriteOptions(remove_backward_tests=False),
+    "no-pruning": RewriteOptions(prune_templates=False),
+    "no-builtin-compaction": RewriteOptions(builtin_compaction=False),
+}
+
+
+def build(case_name, options):
+    case = get_case(case_name)
+    stylesheet = compile_stylesheet(case.stylesheet)
+    schema = schema_from_dtd(case.dtd)
+    partial = partially_evaluate(stylesheet, schema)
+    return generate_xquery(partial, options)
+
+
+@pytest.mark.parametrize("variant", list(VARIANTS), ids=list(VARIANTS))
+def test_ablation_patterns_case(benchmark, variant):
+    """'patterns' exercises model groups, backward removal and pruning."""
+    module = build("patterns", VARIANTS[variant])
+    document = make_db_document(SIZE)
+    result = benchmark(lambda: evaluate_module(module, document))
+    assert result
+
+
+@pytest.mark.parametrize(
+    "variant", ["full", "no-builtin-compaction"],
+    ids=["full", "no-builtin-compaction"],
+)
+def test_ablation_builtin_only(benchmark, variant):
+    """'breadth' (empty stylesheet): Table 21 compaction vs per-node
+    dispatch."""
+    module = build("breadth", VARIANTS[variant])
+    document = make_db_document(SIZE)
+    result = benchmark(lambda: evaluate_module(module, document))
+    assert result
+
+
+def test_ablation_query_sizes(benchmark):
+    """Disabled optimisations inflate the generated query (the paper's
+    point about the straightforward [9] translation)."""
+    from repro.xquery import xquery_to_text
+
+    def measure():
+        sizes = {}
+        for name, options in VARIANTS.items():
+            module = build("patterns", options)
+            sizes[name] = len(xquery_to_text(module))
+        return sizes
+
+    sizes = benchmark.pedantic(measure, rounds=1, iterations=1)
+    assert sizes["no-model-groups"] > sizes["full"]
+    assert sizes["no-backward-removal"] >= sizes["full"]
+
+
+PARTIAL_INLINE_SHEET = (
+    '<?xml version="1.0"?><xsl:stylesheet version="1.0"'
+    ' xmlns:xsl="http://www.w3.org/1999/XSL/Transform">'
+    '<xsl:template match="table"><t>'
+    '<xsl:apply-templates select="row[id &lt; 40]"/></t></xsl:template>'
+    '<xsl:template match="row"><r><xsl:value-of select="lastname"/>'
+    '<xsl:call-template name="pad"><xsl:with-param name="n" select="4"/>'
+    "</xsl:call-template></r></xsl:template>"
+    '<xsl:template name="pad"><xsl:param name="n"/>'
+    '<xsl:if test="$n &gt; 0">.<xsl:call-template name="pad">'
+    '<xsl:with-param name="n" select="$n - 1"/></xsl:call-template>'
+    "</xsl:if></xsl:template>"
+    "</xsl:stylesheet>"
+)
+
+
+@pytest.mark.parametrize(
+    "variant, options",
+    [
+        ("partial-inline", RewriteOptions()),
+        ("all-functions", RewriteOptions(partial_inline=False)),
+    ],
+    ids=["partial-inline", "all-functions"],
+)
+def test_ablation_partial_inline(benchmark, variant, options):
+    """§7.2 partial inline vs the paper's all-or-nothing function mode on a
+    stylesheet mixing matched templates with a recursive helper."""
+    from repro.xslt import compile_stylesheet
+
+    stylesheet = compile_stylesheet(PARTIAL_INLINE_SHEET)
+    schema = schema_from_dtd(get_case("dbonerow").dtd)
+    partial = partially_evaluate(stylesheet, schema)
+    module = generate_xquery(partial, options)
+    if variant == "partial-inline":
+        assert len(module.functions) == 1   # only the recursive helper
+    else:
+        assert len(module.functions) >= 3
+    document = make_db_document(SIZE)
+    result = benchmark(lambda: evaluate_module(module, document))
+    assert result

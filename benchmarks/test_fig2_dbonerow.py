@@ -1,0 +1,68 @@
+"""Figure 2: 'dbonerow' — XSLT rewrite vs no-rewrite over growing documents.
+
+The paper sweeps 8M/16M/32M/64M documents; we sweep a ×2 geometric series
+of row counts (the claim is about growth *rate*: the rewrite probes a
+B-tree and stays near-flat, the no-rewrite path materialises the whole
+document and grows linearly).  ``benchmarks/run_figures.py`` prints the
+full series; these benchmarks time each point for pytest-benchmark.
+"""
+
+import pytest
+
+from benchmarks.helpers import PreparedBenchmark
+
+SIZES = [500, 1000, 2000, 4000]
+
+_prepared = {}
+
+
+def prepared(size):
+    if size not in _prepared:
+        _prepared[size] = PreparedBenchmark("dbonerow", size)
+    return _prepared[size]
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_fig2_rewrite(benchmark, size):
+    bench = prepared(size)
+    rows, stats = benchmark(bench.execute_rewrite)
+    assert stats.index_probes >= 1
+    assert rows[0][0]  # the one selected row produced output
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_fig2_no_rewrite(benchmark, size):
+    bench = prepared(size)
+    results = benchmark(bench.execute_functional)
+    assert len(results) == 1
+
+
+def test_fig2_shape(benchmark):
+    """The headline claim: rewrite wins, and its advantage grows with
+    document size (no-rewrite grows linearly, rewrite stays near-flat)."""
+    import time
+
+    def measure():
+        points = []
+        for size in (500, 4000):
+            bench = prepared(size)
+            start = time.perf_counter()
+            for _ in range(3):
+                bench.execute_rewrite()
+            rewrite_time = (time.perf_counter() - start) / 3
+            start = time.perf_counter()
+            for _ in range(3):
+                bench.execute_functional()
+            functional_time = (time.perf_counter() - start) / 3
+            points.append((size, rewrite_time, functional_time))
+        return points
+
+    points = benchmark.pedantic(measure, rounds=1, iterations=1)
+    small, large = points
+    assert small[2] > small[1], "no-rewrite should lose even at small sizes"
+    assert large[2] > large[1]
+    # no-rewrite grows roughly with size; rewrite must grow much slower
+    functional_growth = large[2] / small[2]
+    rewrite_growth = large[1] / max(small[1], 1e-9)
+    assert functional_growth > 2.0
+    assert rewrite_growth < functional_growth

@@ -1,0 +1,66 @@
+"""Figure 3: 'avts', 'chart', 'metric', 'total' — rewrite vs no-rewrite
+where no value index applies.
+
+These stylesheets have no value predicate, so no index filters rows; the
+rewrite still wins by constructing the result directly from columns
+instead of materialising a DOM and interpreting templates over it.
+"""
+
+import pytest
+
+from benchmarks.helpers import PreparedBenchmark
+
+CASES = ["avts", "chart", "metric", "total"]
+SIZE = 1500
+
+_prepared = {}
+
+
+def prepared(name):
+    if name not in _prepared:
+        _prepared[name] = PreparedBenchmark(name, SIZE)
+    return _prepared[name]
+
+
+@pytest.mark.parametrize("name", CASES)
+def test_fig3_rewrite(benchmark, name):
+    bench = prepared(name)
+    rows, stats = benchmark(bench.execute_rewrite)
+    assert rows
+    # No *value* index exists in these workloads (that is the point of
+    # Figure 3); the only probes are the parent-key correlation of the
+    # shredded child table, at most one per document row.
+    assert stats.index_probes <= len(rows) * 3
+
+
+@pytest.mark.parametrize("name", CASES)
+def test_fig3_no_rewrite(benchmark, name):
+    bench = prepared(name)
+    results = benchmark(bench.execute_functional)
+    assert results
+
+
+def test_fig3_shape(benchmark):
+    """Rewrite outperforms no-rewrite on every Figure-3 case."""
+    import time
+
+    def measure():
+        ratios = {}
+        for name in CASES:
+            bench = prepared(name)
+            start = time.perf_counter()
+            for _ in range(3):
+                bench.execute_rewrite()
+            rewrite_time = (time.perf_counter() - start) / 3
+            start = time.perf_counter()
+            for _ in range(3):
+                bench.execute_functional()
+            functional_time = (time.perf_counter() - start) / 3
+            ratios[name] = functional_time / rewrite_time
+        return ratios
+
+    ratios = benchmark.pedantic(measure, rounds=1, iterations=1)
+    for name, ratio in ratios.items():
+        assert ratio > 1.0, "%s: rewrite should win (ratio %.2f)" % (
+            name, ratio,
+        )

@@ -1,0 +1,133 @@
+"""Storage-model comparison (paper §7.4's proposed study).
+
+"We will need to study the XSLT performance for different physical XML
+storage and index models (object relational storage, CLOB or BLOB storage
+with path/value index, ...) so that we know what type of storage is ideal
+for what type of XSLT query."
+
+Measured here on the `dbonerow` workload:
+
+* object-relational + XSLT rewrite (value index probe) — the §5 setup;
+* object-relational, functional (materialise from shredded tables);
+* CLOB, functional (parse the serialised text, then transform).
+"""
+
+import pytest
+
+from repro.core.transform import xml_transform
+from repro.rdb.database import Database
+from repro.rdb.storage import ClobStorage, ObjectRelationalStorage
+from repro.schema import schema_from_dtd
+from repro.xslt import compile_stylesheet
+from repro.xsltmark.cases import get_case
+
+SIZE = 1200
+
+
+class _Setup:
+    def __init__(self):
+        case = get_case("dbonerow")
+        document = case.make_document(SIZE)
+        self.stylesheet = compile_stylesheet(case.stylesheet)
+
+        self.or_db = Database()
+        self.or_storage = ObjectRelationalStorage(
+            self.or_db, schema_from_dtd(case.dtd), "sm",
+            column_types=case.column_types,
+        )
+        self.or_storage.load(document)
+        for element in case.indexed_elements:
+            self.or_storage.create_value_index(element)
+
+        self.clob_db = Database()
+        self.clob_storage = ClobStorage(self.clob_db, "sm")
+        self.clob_storage.load(document)
+
+        from repro.rdb.treestorage import TreeStorage
+
+        self.tree_db = Database()
+        self.tree_storage = TreeStorage(self.tree_db, "sm")
+        self.tree_storage.load(document)
+
+
+_setup = []
+
+
+def setup():
+    if not _setup:
+        _setup.append(_Setup())
+    return _setup[0]
+
+
+def test_object_relational_rewrite(benchmark):
+    prepared = setup()
+    result = benchmark(
+        lambda: xml_transform(
+            prepared.or_db, prepared.or_storage, prepared.stylesheet,
+            rewrite=True,
+        )
+    )
+    assert result.strategy == "sql-rewrite"
+
+
+def test_object_relational_functional(benchmark):
+    prepared = setup()
+    result = benchmark(
+        lambda: xml_transform(
+            prepared.or_db, prepared.or_storage, prepared.stylesheet,
+            rewrite=False,
+        )
+    )
+    assert result.strategy == "functional"
+
+
+def test_clob_functional(benchmark):
+    prepared = setup()
+    result = benchmark(
+        lambda: xml_transform(
+            prepared.clob_db, prepared.clob_storage, prepared.stylesheet,
+        )
+    )
+    # CLOB carries no structure: the rewrite cannot apply.
+    assert result.strategy == "functional"
+    assert result.fallback_reason
+
+
+def test_tree_storage_functional(benchmark):
+    prepared = setup()
+    result = benchmark(
+        lambda: xml_transform(
+            prepared.tree_db, prepared.tree_storage, prepared.stylesheet,
+        )
+    )
+    # tree storage is schema-less: no structure for the rewrite to exploit
+    assert result.strategy == "functional"
+
+
+def test_storage_model_ordering(benchmark):
+    """OR+rewrite beats both functional paths; all agree on output."""
+    import time
+
+    prepared = setup()
+
+    def measure():
+        timings = {}
+        outputs = {}
+        for label, db, storage, rewrite in (
+            ("or-rewrite", prepared.or_db, prepared.or_storage, True),
+            ("or-functional", prepared.or_db, prepared.or_storage, False),
+            ("clob-functional", prepared.clob_db, prepared.clob_storage,
+             False),
+        ):
+            start = time.perf_counter()
+            result = xml_transform(db, storage, prepared.stylesheet,
+                                   rewrite=rewrite)
+            timings[label] = time.perf_counter() - start
+            outputs[label] = result.serialized_rows()
+        return timings, outputs
+
+    timings, outputs = benchmark.pedantic(measure, rounds=1, iterations=1)
+    assert outputs["or-rewrite"] == outputs["or-functional"]
+    assert outputs["or-rewrite"] == outputs["clob-functional"]
+    assert timings["or-rewrite"] < timings["or-functional"]
+    assert timings["or-rewrite"] < timings["clob-functional"]

@@ -1,0 +1,9 @@
+"""Ensure the in-tree sources are importable when running pytest from the
+repository root, independent of whether `pip install -e .` succeeded."""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

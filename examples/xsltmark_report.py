@@ -1,0 +1,39 @@
+#!/usr/bin/env python
+"""Run the full XSLTMark-style suite and print a report.
+
+For each of the forty cases: the rewrite classification (inline /
+non-inline / fallback), whether the SQL merge succeeded, both strategies'
+times, and whether their outputs agree.
+
+Run:  python examples/xsltmark_report.py [rows]
+"""
+
+import sys
+
+from repro.xsltmark import ALL_CASES
+from repro.xsltmark.runner import run_case
+
+
+def main():
+    size = int(sys.argv[1]) if len(sys.argv) > 1 else 200
+    print("%-14s %-9s %-11s %-4s %-10s %-10s %-7s %s"
+          % ("case", "area", "class", "sql", "rewrite", "no-rw", "ratio",
+             "equal"))
+    print("-" * 82)
+    inline = 0
+    for case in ALL_CASES:
+        run = run_case(case, size)
+        if run.classification == "inline":
+            inline += 1
+        print("%-14s %-9s %-11s %-4s %-10.5f %-10.5f %-7.1f %s"
+              % (case.name, case.area, run.classification,
+                 "yes" if run.sql_merged else "no",
+                 run.rewrite_seconds, run.functional_seconds,
+                 run.speedup, "yes" if run.outputs_equal else "NO!"))
+    print("-" * 82)
+    print("fully inline: %d / %d   (paper: 23 / 40)"
+          % (inline, len(ALL_CASES)))
+
+
+if __name__ == "__main__":
+    main()

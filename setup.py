@@ -1,0 +1,12 @@
+"""Legacy setup shim so `pip install -e .` works without network access
+(the environment's setuptools predates PEP 660 editable wheels)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+)

@@ -1,0 +1,44 @@
+"""repro — reproduction of "Efficient XSLT Processing in Relational
+Database System" (Liu & Novoselsky, VLDB 2006).
+
+The paper's front door lives in :mod:`repro.core`:
+
+* :func:`repro.core.transform.xml_transform` — the ``XMLTransform()``
+  equivalent, with ``rewrite=True`` (XSLT→XQuery→SQL/XML) or
+  ``rewrite=False`` (functional DOM evaluation);
+* :class:`repro.core.pipeline.XsltRewriter` — the XSLT→XQuery partial
+  evaluator;
+
+with the substrates in :mod:`repro.xmlmodel`, :mod:`repro.xpath`,
+:mod:`repro.xslt`, :mod:`repro.xquery`, :mod:`repro.schema` and
+:mod:`repro.rdb`.
+"""
+
+__version__ = "1.0.0"
+
+# Convenience re-exports of the paper's front door.
+from repro.core import (  # noqa: E402
+    RewriteOptions,
+    TransformResult,
+    XsltRewriter,
+    rewrite_combined,
+    rewrite_extract,
+    rewrite_xml_exists,
+    rewrite_xquery_over_view,
+    rewrite_xslt_over_xquery,
+    xml_transform,
+)
+from repro.rdb import Database  # noqa: E402
+
+__all__ = [
+    "Database",
+    "RewriteOptions",
+    "TransformResult",
+    "XsltRewriter",
+    "rewrite_combined",
+    "rewrite_extract",
+    "rewrite_xml_exists",
+    "rewrite_xquery_over_view",
+    "rewrite_xslt_over_xquery",
+    "xml_transform",
+]

@@ -1,0 +1,151 @@
+"""Partial evaluation of a stylesheet over structural information (§4).
+
+Phases, exactly as the paper lays them out:
+
+1. compile the stylesheet (done by the caller — the compiled form carries
+   the site-stamped instruction tree, the paper's "byte-code along with the
+   special trace-instructions");
+2. generate the annotated sample document from the structural schema
+   (§4.2, :mod:`repro.schema.sample`);
+3. run the XSLT VM over the sample with tracing, *predicates assumed true*
+   (selects and patterns are evaluated with value predicates stripped) and
+   every conditional branch / candidate template explored;
+4. build the template execution graph and classify: inline mode (acyclic)
+   vs non-inline mode (recursion), plus the §3.7 instantiated-template set.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError, RewriteError
+from repro.schema.sample import generate_sample
+from repro.xpath import ast as xp
+from repro.xpath.patterns import PathPattern, Pattern, StepPattern
+from repro.xslt.trace import TraceRecorder
+from repro.xslt.vm import XsltVM
+from repro.core.graph import build_execution_graph
+
+
+class PartialEvaluation:
+    """Everything downstream stages need."""
+
+    def __init__(self, stylesheet, schema, sample, trace, graph, vm):
+        self.stylesheet = stylesheet
+        self.schema = schema
+        self.sample = sample
+        self.trace = trace
+        self.graph = graph
+        self.vm = vm  # the traced VM (kept for candidate-rule queries)
+        self.instantiated_templates = trace.instantiated_templates()
+        self.recursive = graph.is_recursive()
+
+    @property
+    def inline_mode(self):
+        """§4.4: inline unless the execution graph contains a recursion."""
+        return not self.recursive
+
+    def pruned_templates(self):
+        """Templates never instantiated on any conforming document (§3.7)."""
+        return [
+            template
+            for template in self.stylesheet.templates
+            if template not in self.instantiated_templates
+        ]
+
+
+def partially_evaluate(stylesheet, schema):
+    """Run phases 2–4; raises :class:`RewriteError` when the stylesheet
+    cannot be partially evaluated (the caller falls back to functional
+    evaluation, as the paper's implementation does)."""
+    sample = generate_sample(schema)  # SchemaError for recursive schemas
+    trace = TraceRecorder()
+    vm = XsltVM(
+        stylesheet,
+        trace=trace,
+        select_rewriter=strip_predicates,
+        pattern_rewriter=strip_pattern_predicates,
+        explore=True,
+    )
+    try:
+        vm.transform_document(sample.document)
+    except ReproError as exc:
+        raise RewriteError(
+            "partial evaluation failed on the sample document: %s" % exc
+        ) from exc
+    graph = build_execution_graph(trace, sample)
+    return PartialEvaluation(stylesheet, schema, sample, trace, graph, vm)
+
+
+# -- predicate stripping (the "assume predicates true" stance, §4.3) ----------
+
+_STRIP_CACHE = {}
+_STRIP_CACHE_LIMIT = 4096
+
+
+def strip_predicates(expr):
+    """A copy of an XPath expression with all step/filter predicates
+    removed.  Dropping predicates only ever *adds* selected nodes, so the
+    traced dispatch is a superset of any real document's dispatch.
+
+    The memo keeps a strong reference to the original expression: the cache
+    is keyed by object identity, which is only stable while the object is
+    alive.
+    """
+    cached = _STRIP_CACHE.get(id(expr))
+    if cached is not None and cached[0] is expr:
+        return cached[1]
+    stripped = _strip(expr)
+    if len(_STRIP_CACHE) >= _STRIP_CACHE_LIMIT:
+        _STRIP_CACHE.clear()
+    _STRIP_CACHE[id(expr)] = (expr, stripped)
+    return stripped
+
+
+def _strip(expr):
+    if isinstance(expr, xp.PathExpr):
+        return xp.PathExpr(
+            [xp.Step(step.axis, step.test, []) for step in expr.steps],
+            start=_strip(expr.start) if expr.start is not None else None,
+            absolute=expr.absolute,
+        )
+    if isinstance(expr, xp.FilterExpr):
+        return _strip(expr.primary)
+    if isinstance(expr, xp.UnionExpr):
+        return xp.UnionExpr([_strip(part) for part in expr.parts])
+    if isinstance(expr, xp.BinaryOp):
+        return xp.BinaryOp(expr.op, _strip(expr.left), _strip(expr.right))
+    if isinstance(expr, xp.FunctionCall):
+        return xp.FunctionCall(expr.name, [_strip(arg) for arg in expr.args])
+    if isinstance(expr, xp.UnaryMinus):
+        return xp.UnaryMinus(_strip(expr.operand))
+    return expr  # literals, variables, context item
+
+
+_PATTERN_STRIP_CACHE = {}
+_PATTERN_STRIP_CACHE_LIMIT = 4096
+
+
+def strip_pattern_predicates(pattern):
+    """A pattern (or single alternative) with every step's predicates
+    dropped — matching succeeds whenever the structure allows it."""
+    cached = _PATTERN_STRIP_CACHE.get(id(pattern))
+    if cached is not None and cached[0] is pattern:
+        return cached[1]
+    if isinstance(pattern, Pattern):
+        stripped = Pattern(
+            [strip_pattern_predicates(alt) for alt in pattern.alternatives],
+            pattern.source,
+        )
+    else:
+        stripped = PathPattern(
+            [
+                StepPattern(step.axis, step.test, [])
+                for step in pattern.steps
+            ],
+            list(pattern.connectors),
+            pattern.anchored,
+            pattern.source,
+        )
+    if len(_PATTERN_STRIP_CACHE) >= _PATTERN_STRIP_CACHE_LIMIT:
+        _PATTERN_STRIP_CACHE.clear()
+    _PATTERN_STRIP_CACHE[id(pattern)] = (pattern, stripped)
+    return stripped

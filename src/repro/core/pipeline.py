@@ -1,0 +1,80 @@
+"""The XSLT rewrite pipeline facade.
+
+:class:`XsltRewriter` runs the three stages — partial evaluation, XQuery
+generation, SQL/XML merge — and reports what it produced.  This is the
+compile-time half of the paper; :mod:`repro.core.transform` is the run-time
+front door that chooses between the rewritten plan and functional
+evaluation.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError, RewriteError
+from repro.rdb.infer import infer_view_structure
+from repro.xslt.stylesheet import Stylesheet, compile_stylesheet
+from repro.core.partial_eval import partially_evaluate
+from repro.core.sql_rewrite import SqlRewriter
+from repro.core.xquery_gen import RewriteOptions, XQueryGenerator
+
+
+class RewriteOutcome:
+    """Everything the rewrite produced for one (stylesheet, view) pair."""
+
+    def __init__(self, stylesheet, partial_evaluation, xquery_module,
+                 sql_query=None, structure=None):
+        self.stylesheet = stylesheet
+        self.partial_evaluation = partial_evaluation
+        self.xquery_module = xquery_module
+        self.sql_query = sql_query
+        self.structure = structure
+
+    @property
+    def inline_mode(self):
+        return not self.xquery_module.functions
+
+    def xquery_text(self):
+        from repro.xquery import xquery_to_text
+
+        return xquery_to_text(self.xquery_module)
+
+    def sql_text(self):
+        if self.sql_query is None:
+            return None
+        return self.sql_query.to_sql()
+
+
+class XsltRewriter:
+    """Compile-time XSLT rewrite driver."""
+
+    def __init__(self, options=None):
+        self.options = options or RewriteOptions()
+
+    def compile(self, stylesheet):
+        if isinstance(stylesheet, Stylesheet):
+            return stylesheet
+        return compile_stylesheet(stylesheet)
+
+    def rewrite_to_xquery(self, stylesheet, schema):
+        """Stylesheet + structural schema → XQuery module.
+
+        Raises :class:`RewriteError` for unsupported constructs.
+        """
+        compiled = self.compile(stylesheet)
+        try:
+            partial = partially_evaluate(compiled, schema)
+            generator = XQueryGenerator(partial, self.options)
+            module = generator.generate()
+        except RewriteError:
+            raise
+        except ReproError as exc:
+            raise RewriteError("rewrite failed: %s" % exc) from exc
+        return RewriteOutcome(compiled, partial, module)
+
+    def rewrite_view(self, stylesheet, view_query):
+        """Stylesheet + XMLType view → XQuery and merged SQL/XML query."""
+        structure = infer_view_structure(view_query)
+        outcome = self.rewrite_to_xquery(stylesheet, structure.schema)
+        rewriter = SqlRewriter(view_query, structure)
+        outcome.sql_query = rewriter.rewrite_module(outcome.xquery_module)
+        outcome.structure = structure
+        return outcome

@@ -1,0 +1,165 @@
+"""The run-time front door: the paper's ``XMLTransform()``.
+
+``xml_transform(db, source, stylesheet, rewrite=...)`` applies a stylesheet
+to every XMLType instance a source produces and reports *how* it did it:
+
+* ``rewrite=True`` — try the full pipeline (partial evaluation → XQuery →
+  SQL/XML merge).  When any stage raises :class:`RewriteError` the call
+  silently falls back to functional evaluation, exactly like the shipping
+  implementation the paper describes (unsupported constructs keep working,
+  they just don't get the speedup).  The chosen strategy is recorded on the
+  result.
+* ``rewrite=False`` — functional evaluation: materialise each document as a
+  DOM (from the view or the storage) and run the XSLT VM over it.
+
+Sources may be an XMLType view :class:`~repro.rdb.plan.Query` /
+:class:`~repro.rdb.database.View`, an
+:class:`~repro.rdb.storage.ObjectRelationalStorage`, or a
+:class:`~repro.rdb.storage.ClobStorage` (never rewritable — no structure).
+"""
+
+from __future__ import annotations
+
+from repro.errors import RewriteError
+from repro.rdb.database import View
+from repro.rdb.plan import ExecutionStats, Query
+from repro.rdb.storage import ClobStorage, ObjectRelationalStorage
+from repro.xmlmodel.builder import TreeBuilder
+from repro.xmlmodel.nodes import Node
+from repro.xmlmodel.serializer import serialize
+from repro.xslt.stylesheet import Stylesheet, compile_stylesheet
+from repro.xslt.vm import XsltVM
+from repro.core.pipeline import XsltRewriter
+
+STRATEGY_SQL = "sql-rewrite"
+STRATEGY_FUNCTIONAL = "functional"
+
+
+class TransformResult:
+    """Per-row transformation results plus execution metadata."""
+
+    def __init__(self, rows, strategy, stats, outcome=None,
+                 fallback_reason=None):
+        #: list of rows; each row is a list of result nodes/atomics
+        self.rows = rows
+        #: STRATEGY_SQL or STRATEGY_FUNCTIONAL
+        self.strategy = strategy
+        #: ExecutionStats of the run (view/plan execution + materialisation)
+        self.stats = stats
+        #: RewriteOutcome when the rewrite succeeded (even if not used)
+        self.outcome = outcome
+        #: why the rewrite fell back, when it did
+        self.fallback_reason = fallback_reason
+
+    def serialized_rows(self, method="xml"):
+        """Each row rendered as markup text."""
+        out = []
+        for row in self.rows:
+            out.append(
+                "".join(
+                    serialize(item, method=method)
+                    if isinstance(item, Node) else _text(item)
+                    for item in row
+                )
+            )
+        return out
+
+
+def _text(value):
+    if isinstance(value, float) and value == int(value):
+        return str(int(value))
+    if value is None:
+        return ""
+    return str(value)
+
+
+def xml_transform(db, source, stylesheet, rewrite=True, options=None,
+                  params=None):
+    """Apply ``stylesheet`` to every XMLType instance of ``source``."""
+    if not isinstance(stylesheet, Stylesheet):
+        stylesheet = compile_stylesheet(stylesheet)
+
+    if rewrite and not params:
+        try:
+            return _rewritten(db, source, stylesheet, options)
+        except RewriteError as exc:
+            reason = str(exc)
+            result = _functional(db, source, stylesheet, params)
+            result.fallback_reason = reason
+            return result
+    return _functional(db, source, stylesheet, params)
+
+
+def _view_query(source):
+    if isinstance(source, Query):
+        return source
+    if isinstance(source, View):
+        return source.query
+    if isinstance(source, ObjectRelationalStorage):
+        return source.make_view_query()
+    if _is_document_store(source):
+        raise RewriteError(
+            "%s carries no structural information for the rewrite"
+            % type(source).__name__
+        )
+    raise RewriteError("unsupported source %r" % type(source).__name__)
+
+
+def _is_document_store(source):
+    """Any storage exposing document_ids()/materialize() — CLOB, indexed
+    CLOB, tree storage — can feed the functional path."""
+    return hasattr(source, "document_ids") and hasattr(source, "materialize")
+
+
+def _rewritten(db, source, stylesheet, options):
+    view_query = _view_query(source)
+    rewriter = XsltRewriter(options)
+    outcome = rewriter.rewrite_view(stylesheet, view_query)
+    rows, stats = db.execute(outcome.sql_query)
+    result_rows = [_as_items(row[0]) for row in rows]
+    return TransformResult(result_rows, STRATEGY_SQL, stats, outcome=outcome)
+
+
+def _as_items(value):
+    if value is None:
+        return []
+    if isinstance(value, list):
+        return value
+    return [value]
+
+
+def _functional(db, source, stylesheet, params):
+    stats = ExecutionStats()
+    vm = XsltVM(stylesheet)
+    rows = []
+    for document in _materialize_documents(db, source, stats):
+        result = vm.transform_document(document, params=params)
+        rows.append(list(result.children))
+        stats.output_rows += 1
+    return TransformResult(rows, STRATEGY_FUNCTIONAL, stats)
+
+
+def _materialize_documents(db, source, stats):
+    """Yield each XMLType instance as a full DOM (the no-rewrite cost)."""
+    if isinstance(source, ObjectRelationalStorage) or _is_document_store(
+        source
+    ):
+        for doc_id in source.document_ids():
+            yield source.materialize(doc_id, stats=stats)
+        return
+    view_query = source.query if isinstance(source, View) else source
+    rows, _ = view_query.execute(db, stats=stats)
+    for row in rows:
+        yield _wrap_document(row[0])
+
+
+def _wrap_document(value):
+    """Wrap a constructed XML value in a document node (copying — this is
+    the materialisation step functional evaluation pays for)."""
+    builder = TreeBuilder()
+    if isinstance(value, list):
+        for item in value:
+            builder.copy_node(item)
+    elif isinstance(value, Node):
+        builder.copy_node(value)
+    return builder.finish()

@@ -1,0 +1,94 @@
+"""B-tree index emulation.
+
+Implemented as a sorted array with binary search (``bisect``): the same
+O(log n) point/range probe behaviour as a B-tree, which is the property the
+paper's Figure 2 depends on ("uses B-tree index to compute the predicate").
+Probe and entry counts are reported so tests and benchmarks can assert plan
+shape, not just wall-clock time.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+from repro.errors import DatabaseError
+
+
+class BTreeIndex:
+    """A secondary index mapping column values to row ids."""
+
+    def __init__(self, name, table_name, column_name):
+        self.name = name
+        self.table_name = table_name
+        self.column_name = column_name
+        self._keys = []     # sorted key values
+        self._row_ids = []  # parallel to _keys
+
+    def __len__(self):
+        return len(self._keys)
+
+    def insert(self, key, row_id):
+        if key is None:
+            return  # NULLs are not indexed
+        position = bisect.bisect_right(self._keys, key)
+        self._keys.insert(position, key)
+        self._row_ids.insert(position, row_id)
+
+    def build(self, pairs):
+        """Bulk-load (key, row_id) pairs."""
+        entries = sorted(
+            (key, row_id) for key, row_id in pairs if key is not None
+        )
+        self._keys = [key for key, _ in entries]
+        self._row_ids = [row_id for _, row_id in entries]
+
+    # -- probes -------------------------------------------------------------
+
+    def lookup_eq(self, key, stats=None):
+        """Row ids with exactly this key, in insertion order of the range."""
+        if stats is not None:
+            stats.index_probes += 1
+        low = bisect.bisect_left(self._keys, key)
+        high = bisect.bisect_right(self._keys, key)
+        if stats is not None:
+            stats.index_entries += high - low
+        return self._row_ids[low:high]
+
+    def lookup_range(self, low=None, high=None, low_inclusive=True,
+                     high_inclusive=True, stats=None):
+        """Row ids with keys in [low, high] (open ends with None)."""
+        if stats is not None:
+            stats.index_probes += 1
+        if low is None:
+            start = 0
+        elif low_inclusive:
+            start = bisect.bisect_left(self._keys, low)
+        else:
+            start = bisect.bisect_right(self._keys, low)
+        if high is None:
+            stop = len(self._keys)
+        elif high_inclusive:
+            stop = bisect.bisect_right(self._keys, high)
+        else:
+            stop = bisect.bisect_left(self._keys, high)
+        if stop < start:
+            stop = start
+        if stats is not None:
+            stats.index_entries += stop - start
+        return self._row_ids[start:stop]
+
+    def lookup_op(self, op, value, stats=None):
+        """Probe by comparison operator ('=', '<', '<=', '>', '>=')."""
+        if op == "=":
+            return self.lookup_eq(value, stats=stats)
+        if op == "<":
+            return self.lookup_range(high=value, high_inclusive=False,
+                                     stats=stats)
+        if op == "<=":
+            return self.lookup_range(high=value, stats=stats)
+        if op == ">":
+            return self.lookup_range(low=value, low_inclusive=False,
+                                     stats=stats)
+        if op == ">=":
+            return self.lookup_range(low=value, stats=stats)
+        raise DatabaseError("index cannot serve operator %r" % op)

@@ -1,0 +1,156 @@
+"""The database facade: catalog, DDL/DML, views, query execution."""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.errors import CatalogError
+from repro.rdb.btree import BTreeIndex
+from repro.rdb.plan import ExecutionStats, Query
+from repro.rdb.planner import optimize_query
+from repro.rdb.table import HeapTable
+from repro.rdb.types import Column, TableSchema
+
+
+class View:
+    """A named query.  XMLType views (paper Table 3) are plain views whose
+    single output column is an XML construction expression; ``metadata``
+    carries whatever the rewrite needs (e.g. the inferred structural
+    schema)."""
+
+    def __init__(self, name, query, metadata=None):
+        self.name = name
+        self.query = query
+        self.metadata = metadata or {}
+
+    @property
+    def xml_output(self):
+        """(name, expr) of the single output column, for XMLType views."""
+        if len(self.query.outputs) != 1:
+            raise CatalogError(
+                "view %r has %d output columns, expected 1"
+                % (self.name, len(self.query.outputs))
+            )
+        return self.query.outputs[0]
+
+
+class Database:
+    """An in-process database instance."""
+
+    def __init__(self):
+        self._tables = {}
+        self._indexes = {}
+        self._views = {}
+        self._index_names = itertools.count(1)
+
+    # -- DDL ----------------------------------------------------------------
+
+    def create_table(self, name, columns):
+        """``columns`` is a list of Column or (name, type) pairs."""
+        if name in self._tables:
+            raise CatalogError("table %r already exists" % name)
+        columns = [
+            column if isinstance(column, Column) else Column(*column)
+            for column in columns
+        ]
+        table = HeapTable(TableSchema(name, columns))
+        self._tables[name] = table
+        return table
+
+    def drop_table(self, name):
+        self.table(name)  # raises if missing
+        del self._tables[name]
+        for index_name in [
+            index_name
+            for index_name, index in self._indexes.items()
+            if index.table_name == name
+        ]:
+            del self._indexes[index_name]
+
+    def create_index(self, table_name, column_name, index_name=None):
+        """Build a B-tree index over existing rows; maintained on insert."""
+        table = self.table(table_name)
+        position = table.schema.position_of(column_name)
+        if index_name is None:
+            index_name = "idx_%s_%s" % (table_name, column_name)
+        if index_name in self._indexes:
+            raise CatalogError("index %r already exists" % index_name)
+        index = BTreeIndex(index_name, table_name, column_name)
+        index.build(
+            (row[position], row_id) for row_id, row in table.scan()
+        )
+        self._indexes[index_name] = index
+        return index
+
+    def create_view(self, name, query, metadata=None):
+        if name in self._views:
+            raise CatalogError("view %r already exists" % name)
+        view = View(name, query, metadata)
+        self._views[name] = view
+        return view
+
+    # -- DML -----------------------------------------------------------------
+
+    def insert(self, table_name, *rows):
+        table = self.table(table_name)
+        row_ids = []
+        for values in rows:
+            row_id = table.insert(values)
+            row_ids.append(row_id)
+            stored = table.fetch(row_id)
+            for index in self._indexes.values():
+                if index.table_name == table_name:
+                    position = table.schema.position_of(index.column_name)
+                    index.insert(stored[position], row_id)
+        return row_ids
+
+    # -- catalog lookups ------------------------------------------------------
+
+    def table(self, name):
+        if name not in self._tables:
+            raise CatalogError("no table %r" % name)
+        return self._tables[name]
+
+    def has_table(self, name):
+        return name in self._tables
+
+    def index(self, name):
+        if name not in self._indexes:
+            raise CatalogError("no index %r" % name)
+        return self._indexes[name]
+
+    def find_index(self, table_name, column_name):
+        """Any index on (table, column), or None."""
+        for index in self._indexes.values():
+            if (
+                index.table_name == table_name
+                and index.column_name == column_name
+            ):
+                return index
+        return None
+
+    def view(self, name):
+        if name not in self._views:
+            raise CatalogError("no view %r" % name)
+        return self._views[name]
+
+    def has_view(self, name):
+        return name in self._views
+
+    # -- execution -------------------------------------------------------------
+
+    def execute(self, query, env=None, optimize=True):
+        """Execute a :class:`Query`; returns (rows, stats)."""
+        if optimize:
+            query = optimize_query(query, self)
+        return query.execute(self, env=env, stats=ExecutionStats())
+
+    def optimize(self, query):
+        return optimize_query(query, self)
+
+    def sql(self, statement, env=None):
+        """Parse and execute one SQL statement (see
+        :mod:`repro.rdb.sql_parser` for the supported subset)."""
+        from repro.rdb.sql_parser import execute_sql
+
+        return execute_sql(self, statement, env=env)

@@ -1,0 +1,394 @@
+"""Iterator-based query execution (the classical pull model, paper [10]).
+
+Plan nodes yield *environments*: ``{alias: {column: value}}`` dicts.  A
+:class:`Query` couples a plan with output expressions.  Execution statistics
+(heap rows read, index probes, index entries touched, XML elements built)
+are collected per run — benchmarks and tests assert on them to prove plan
+shape, e.g. that the rewritten Figure-2 query probes the B-tree instead of
+scanning.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DatabaseError, PlanError
+from repro.rdb.sqlxml import AGG_STATE, find_aggregates
+
+
+class ExecutionStats:
+    """Counters collected during one query execution."""
+
+    __slots__ = (
+        "rows_scanned", "index_probes", "index_entries", "output_rows",
+        "xml_elements", "subquery_executions",
+    )
+
+    def __init__(self):
+        self.rows_scanned = 0
+        self.index_probes = 0
+        self.index_entries = 0
+        self.output_rows = 0
+        self.xml_elements = 0
+        self.subquery_executions = 0
+
+    def as_dict(self):
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self):
+        return "ExecutionStats(%s)" % ", ".join(
+            "%s=%d" % (name, getattr(self, name)) for name in self.__slots__
+        )
+
+
+class PlanNode:
+    """Base class: ``rows(db, env, stats)`` yields environment dicts."""
+
+    def rows(self, db, env, stats):
+        raise NotImplementedError
+
+    def children(self):
+        return ()
+
+    def iter_plan(self):
+        yield self
+        for child in self.children():
+            for node in child.iter_plan():
+                yield node
+
+
+class Scan(PlanNode):
+    """Full table scan."""
+
+    def __init__(self, table_name, alias=None):
+        self.table_name = table_name
+        self.alias = alias or table_name
+
+    def rows(self, db, env, stats):
+        table = db.table(self.table_name)
+        names = table.schema.column_names()
+        for _, row in table.scan():
+            stats.rows_scanned += 1
+            merged = dict(env)
+            merged[self.alias] = dict(zip(names, row))
+            yield merged
+
+
+class IndexScan(PlanNode):
+    """B-tree probe: ``column op key`` where ``key`` may be correlated."""
+
+    def __init__(self, table_name, index_name, op, key_expr, alias=None,
+                 column_name=None):
+        self.table_name = table_name
+        self.index_name = index_name
+        self.op = op
+        self.key_expr = key_expr
+        self.alias = alias or table_name
+        self.column_name = column_name  # for SQL rendering only
+
+    def rows(self, db, env, stats):
+        table = db.table(self.table_name)
+        index = db.index(self.index_name)
+        key = self.key_expr.evaluate(env, db, stats)
+        key = table.schema.column(index.column_name).coerce(key)
+        names = table.schema.column_names()
+        for row_id in index.lookup_op(self.op, key, stats=stats):
+            stats.rows_scanned += 1
+            row = table.fetch(row_id)
+            merged = dict(env)
+            merged[self.alias] = dict(zip(names, row))
+            yield merged
+
+
+class Filter(PlanNode):
+    """Row filter over a child plan."""
+
+    def __init__(self, child, predicate):
+        self.child = child
+        self.predicate = predicate
+
+    def children(self):
+        return (self.child,)
+
+    def rows(self, db, env, stats):
+        for row_env in self.child.rows(db, env, stats):
+            if bool(self.predicate.evaluate(row_env, db, stats)):
+                yield row_env
+
+
+class NestedLoopJoin(PlanNode):
+    """Inner join: right side re-evaluated per left row (correlated OK)."""
+
+    def __init__(self, left, right, condition=None):
+        self.left = left
+        self.right = right
+        self.condition = condition
+
+    def children(self):
+        return (self.left, self.right)
+
+    def rows(self, db, env, stats):
+        for left_env in self.left.rows(db, env, stats):
+            for joined in self.right.rows(db, left_env, stats):
+                if self.condition is None or bool(
+                    self.condition.evaluate(joined, db, stats)
+                ):
+                    yield joined
+
+
+class Sort(PlanNode):
+    """Materialising sort."""
+
+    def __init__(self, child, keys):
+        self.child = child
+        self.keys = keys  # list of (expr, descending)
+
+    def children(self):
+        return (self.child,)
+
+    def rows(self, db, env, stats):
+        materialised = list(self.child.rows(db, env, stats))
+        decorated = []
+        for row_env in materialised:
+            key_row = [expr.evaluate(row_env, db, stats) for expr, _ in self.keys]
+            decorated.append((key_row, row_env))
+        for position in range(len(self.keys) - 1, -1, -1):
+            descending = self.keys[position][1]
+            decorated.sort(
+                key=lambda pair: _null_safe(pair[0][position]),
+                reverse=descending,
+            )
+        for _, row_env in decorated:
+            yield row_env
+
+
+def _null_safe(value):
+    # Sort NULLs first; mixed types compare as text.
+    if value is None:
+        return (0, "", 0.0)
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return (1, "", float(value))
+    return (2, str(value), 0.0)
+
+
+class Aggregate(PlanNode):
+    """Hash aggregation with optional GROUP BY.
+
+    Yields one environment per group under ``alias``, containing the group
+    keys and the aggregate outputs.
+    """
+
+    def __init__(self, child, group_by, outputs, alias="agg"):
+        self.child = child
+        self.group_by = group_by  # list of (name, expr)
+        self.outputs = outputs    # list of (name, expr w/ aggregates)
+        self.alias = alias
+
+    def children(self):
+        return (self.child,)
+
+    def rows(self, db, env, stats):
+        aggregates = []
+        for _, expr in self.outputs:
+            aggregates.extend(find_aggregates(expr))
+        groups = {}
+        order = []
+        for row_env in self.child.rows(db, env, stats):
+            key = tuple(
+                expr.evaluate(row_env, db, stats) for _, expr in self.group_by
+            )
+            if key not in groups:
+                groups[key] = {
+                    id(agg): agg.new_state() for agg in aggregates
+                }
+                order.append(key)
+            states = groups[key]
+            for agg in aggregates:
+                agg.accumulate(states[id(agg)], row_env, db, stats)
+        if not self.group_by and not order:
+            groups[()] = {id(agg): agg.new_state() for agg in aggregates}
+            order.append(())
+        for key in order:
+            final_env = dict(env)
+            final_env[AGG_STATE] = groups[key]
+            out_row = {}
+            for (name, _), value in zip(self.group_by, key):
+                out_row[name] = value
+            for name, expr in self.outputs:
+                out_row[name] = expr.evaluate(final_env, db, stats)
+            result_env = dict(env)
+            result_env[self.alias] = out_row
+            yield result_env
+
+
+class Limit(PlanNode):
+    def __init__(self, child, count):
+        self.child = child
+        self.count = count
+
+    def children(self):
+        return (self.child,)
+
+    def rows(self, db, env, stats):
+        remaining = self.count
+        for row_env in self.child.rows(db, env, stats):
+            if remaining <= 0:
+                return
+            remaining -= 1
+            yield row_env
+
+
+class Query:
+    """A plan plus output expressions; the unit the database executes."""
+
+    def __init__(self, plan, outputs):
+        self.plan = plan
+        self.outputs = outputs  # list of (name, expr)
+
+    def is_aggregate(self):
+        return any(find_aggregates(expr) for _, expr in self.outputs)
+
+    def execute(self, db, env=None, stats=None):
+        """Run the query; returns (rows, stats).  Each row is a tuple of
+        output values in declaration order."""
+        env = env or {}
+        stats = stats or ExecutionStats()
+        rows = list(self._iterate(db, env, stats))
+        stats.output_rows += len(rows)
+        return rows, stats
+
+    def _iterate(self, db, env, stats):
+        if self.is_aggregate():
+            aggregates = []
+            for _, expr in self.outputs:
+                aggregates.extend(find_aggregates(expr))
+            states = {id(agg): agg.new_state() for agg in aggregates}
+            for row_env in self.plan.rows(db, env, stats):
+                for agg in aggregates:
+                    agg.accumulate(states[id(agg)], row_env, db, stats)
+            final_env = dict(env)
+            final_env[AGG_STATE] = states
+            yield tuple(
+                expr.evaluate(final_env, db, stats) for _, expr in self.outputs
+            )
+            return
+        for row_env in self.plan.rows(db, env, stats):
+            yield tuple(
+                expr.evaluate(row_env, db, stats) for _, expr in self.outputs
+            )
+
+    def execute_scalar(self, db, env, stats):
+        """Scalar-subquery evaluation: exactly one output column."""
+        if len(self.outputs) != 1:
+            raise PlanError("scalar subquery must have one output column")
+        stats.subquery_executions += 1
+        rows = list(self._iterate(db, env, stats))
+        if not rows:
+            return None
+        if len(rows) > 1:
+            raise DatabaseError(
+                "scalar subquery returned %d rows" % len(rows)
+            )
+        return rows[0][0]
+
+    # -- SQL rendering --------------------------------------------------------
+
+    def to_sql(self):
+        select = ", ".join(
+            expr.to_sql() + (" AS %s" % name if name else "")
+            for name, expr in self.outputs
+        )
+        from_clause, where_clause, order_clause = _render_plan(self.plan)
+        text = "SELECT %s" % select
+        if from_clause:
+            text += " FROM %s" % from_clause
+        if where_clause:
+            text += " WHERE %s" % where_clause
+        if order_clause:
+            text += " ORDER BY %s" % order_clause
+        return text
+
+
+def _render_plan(plan):
+    """Render the supported plan shapes to FROM/WHERE/ORDER BY fragments."""
+    order_clause = ""
+    if isinstance(plan, Sort):
+        order_clause = ", ".join(
+            expr.to_sql() + (" DESC" if descending else "")
+            for expr, descending in plan.keys
+        )
+        plan = plan.child
+
+    predicates = []
+    sources = []
+    _collect(plan, sources, predicates)
+    from_clause = ", ".join(sources)
+    where_clause = " AND ".join(predicates)
+    return from_clause, where_clause, order_clause
+
+
+def _collect(plan, sources, predicates):
+    if isinstance(plan, Filter):
+        _collect(plan.child, sources, predicates)
+        predicates.append(plan.predicate.to_sql())
+    elif isinstance(plan, Scan):
+        sources.append(_source(plan.table_name, plan.alias))
+    elif isinstance(plan, IndexScan):
+        sources.append(_source(plan.table_name, plan.alias))
+        column = plan.column_name or plan.index_name
+        predicates.append(
+            '"%s"."%s" %s %s /*+ INDEX(%s) */'
+            % (
+                plan.alias.upper(),
+                column.upper(),
+                plan.op,
+                plan.key_expr.to_sql(),
+                plan.index_name,
+            )
+        )
+    elif isinstance(plan, NestedLoopJoin):
+        _collect(plan.left, sources, predicates)
+        _collect(plan.right, sources, predicates)
+        if plan.condition is not None:
+            predicates.append(plan.condition.to_sql())
+    elif isinstance(plan, Limit):
+        _collect(plan.child, sources, predicates)
+        predicates.append("ROWNUM <= %d" % plan.count)
+    elif isinstance(plan, Aggregate):
+        sources.append("(/* aggregate */) %s" % plan.alias)
+    else:  # pragma: no cover - defensive
+        sources.append("(/* %s */)" % type(plan).__name__)
+
+
+def _source(table_name, alias):
+    if alias and alias != table_name:
+        return "%s %s" % (table_name.upper(), alias)
+    return table_name.upper()
+
+
+def explain(plan_or_query, indent=0):
+    """A readable operator-tree rendering (EXPLAIN)."""
+    if isinstance(plan_or_query, Query):
+        lines = ["QUERY outputs=[%s]" % ", ".join(
+            name or expr.to_sql() for name, expr in plan_or_query.outputs
+        )]
+        lines.extend(explain(plan_or_query.plan, indent + 1).splitlines())
+        return "\n".join(lines)
+    plan = plan_or_query
+    pad = "  " * indent
+    label = type(plan).__name__
+    detail = ""
+    if isinstance(plan, Scan):
+        detail = " table=%s alias=%s" % (plan.table_name, plan.alias)
+    elif isinstance(plan, IndexScan):
+        detail = " table=%s index=%s op=%s key=%s" % (
+            plan.table_name, plan.index_name, plan.op, plan.key_expr.to_sql(),
+        )
+    elif isinstance(plan, Filter):
+        detail = " predicate=%s" % plan.predicate.to_sql()
+    elif isinstance(plan, Sort):
+        detail = " keys=%s" % ", ".join(expr.to_sql() for expr, _ in plan.keys)
+    elif isinstance(plan, Aggregate):
+        detail = " group_by=[%s]" % ", ".join(name for name, _ in plan.group_by)
+    lines = [pad + label + detail]
+    for child in plan.children():
+        lines.append(explain(child, indent + 1))
+    return "\n".join(lines)

@@ -1,0 +1,662 @@
+"""A SQL text front end for the relational engine.
+
+Lets the paper's listings run verbatim: ``CREATE TABLE``, ``CREATE INDEX``,
+``CREATE VIEW ... AS SELECT`` (including the Table-3 SQL/XML view with its
+correlated ``XMLAgg`` subquery), ``INSERT INTO ... VALUES`` and ``SELECT``
+queries with the SQL/XML publishing functions.
+
+The grammar is the subset those listings use:
+
+* ``SELECT item [AS name], ... FROM table [alias], ... [WHERE expr]
+  [ORDER BY expr [DESC], ...]``
+* expressions: comparisons (=, <>, !=, <, <=, >, >=), AND/OR/NOT,
+  ``IS [NOT] NULL``, arithmetic, ``||``, ``CASE WHEN``, scalar subqueries,
+  function calls (scalar functions, COUNT/SUM/AVG/MIN/MAX, XMLElement with
+  XMLAttributes, XMLForest with AS, XMLConcat, XMLComment,
+  XMLAgg [ORDER BY ...]);
+* ``CREATE TABLE name (col TYPE, ...)`` with INT/INTEGER/NUMBER, FLOAT,
+  TEXT/VARCHAR/VARCHAR2/CLOB, XML/XMLTYPE;
+* ``CREATE [UNIQUE] INDEX [name] ON table (column)``;
+* ``CREATE VIEW name AS SELECT ...``;
+* ``INSERT INTO name VALUES (v, ...), (v, ...)``.
+
+Identifiers are case-insensitive and lower-cased (quoted ``"Name"``
+identifiers preserve case, lowered for catalog lookup like everything
+else); keywords are recognised case-insensitively.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DatabaseError, PlanError
+from repro.rdb import expressions as e
+from repro.rdb import sqlxml
+from repro.rdb.plan import Filter, NestedLoopJoin, Query, Scan, Sort
+from repro.rdb.types import FLOAT, INT, TEXT, XML
+
+_TYPE_NAMES = {
+    "int": INT, "integer": INT, "number": INT, "smallint": INT,
+    "float": FLOAT, "real": FLOAT, "double": FLOAT,
+    "text": TEXT, "varchar": TEXT, "varchar2": TEXT, "char": TEXT,
+    "clob": TEXT, "string": TEXT,
+    "xml": XML, "xmltype": XML,
+}
+
+_AGG_NAMES = {"count", "sum", "avg", "min", "max"}
+
+
+class SqlSyntaxError(PlanError):
+    """Raised when SQL text cannot be parsed."""
+
+
+# -- lexer -------------------------------------------------------------------
+
+_SYMBOLS = ["||", "<>", "!=", "<=", ">=", "(", ")", ",", ".", "*", "=",
+            "<", ">", "+", "-", "/", ";"]
+
+
+class _Token:
+    __slots__ = ("kind", "value")
+
+    def __init__(self, kind, value):
+        self.kind = kind  # 'ident', 'quoted', 'number', 'string', 'symbol', 'eof'
+        self.value = value
+
+    def __repr__(self):
+        return "%s(%r)" % (self.kind, self.value)
+
+
+def _lex(source):
+    tokens = []
+    pos = 0
+    length = len(source)
+    while pos < length:
+        char = source[pos]
+        if char in " \t\r\n":
+            pos += 1
+            continue
+        if source.startswith("--", pos):
+            end = source.find("\n", pos)
+            pos = length if end < 0 else end + 1
+            continue
+        if source.startswith("/*", pos):
+            end = source.find("*/", pos + 2)
+            if end < 0:
+                raise SqlSyntaxError("unterminated /* comment")
+            pos = end + 2
+            continue
+        if char == "'":
+            out = []
+            pos += 1
+            while True:
+                if pos >= length:
+                    raise SqlSyntaxError("unterminated string literal")
+                if source[pos] == "'":
+                    if source.startswith("''", pos):
+                        out.append("'")
+                        pos += 2
+                        continue
+                    pos += 1
+                    break
+                out.append(source[pos])
+                pos += 1
+            tokens.append(_Token("string", "".join(out)))
+            continue
+        if char == '"':
+            end = source.find('"', pos + 1)
+            if end < 0:
+                raise SqlSyntaxError("unterminated quoted identifier")
+            tokens.append(_Token("quoted", source[pos + 1:end].lower()))
+            pos = end + 1
+            continue
+        if char.isdigit() or (
+            char == "." and pos + 1 < length and source[pos + 1].isdigit()
+        ):
+            end = pos + 1
+            while end < length and (source[end].isdigit() or source[end] == "."):
+                end += 1
+            text = source[pos:end]
+            value = float(text) if "." in text else int(text)
+            tokens.append(_Token("number", value))
+            pos = end
+            continue
+        if char.isalpha() or char == "_":
+            end = pos + 1
+            while end < length and (source[end].isalnum() or source[end] in "_$"):
+                end += 1
+            tokens.append(_Token("ident", source[pos:end].lower()))
+            pos = end
+            continue
+        for symbol in _SYMBOLS:
+            if source.startswith(symbol, pos):
+                tokens.append(_Token("symbol", symbol))
+                pos += len(symbol)
+                break
+        else:
+            raise SqlSyntaxError("unexpected character %r" % char)
+    tokens.append(_Token("eof", None))
+    return tokens
+
+
+# -- parser ---------------------------------------------------------------------
+
+
+class _Parser:
+    def __init__(self, source):
+        self.tokens = _lex(source)
+        self.pos = 0
+
+    def peek(self, offset=0):
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self):
+        token = self.peek()
+        if token.kind != "eof":
+            self.pos += 1
+        return token
+
+    def at_keyword(self, *words):
+        token = self.peek()
+        return token.kind == "ident" and token.value in words
+
+    def expect_keyword(self, word):
+        token = self.advance()
+        if token.kind != "ident" or token.value != word:
+            raise SqlSyntaxError("expected %s, got %r" % (word.upper(),
+                                                          token.value))
+
+    def expect_symbol(self, symbol):
+        token = self.advance()
+        if token.kind != "symbol" or token.value != symbol:
+            raise SqlSyntaxError("expected %r, got %r" % (symbol, token.value))
+
+    def at_symbol(self, symbol):
+        token = self.peek()
+        return token.kind == "symbol" and token.value == symbol
+
+    def expect_name(self):
+        token = self.advance()
+        if token.kind not in ("ident", "quoted"):
+            raise SqlSyntaxError("expected an identifier, got %r" % token.value)
+        return token.value
+
+    # -- statements --------------------------------------------------------------
+
+    def parse_statement(self):
+        if self.at_keyword("select"):
+            statement = ("select", self.parse_select())
+        elif self.at_keyword("create"):
+            statement = self._parse_create()
+        elif self.at_keyword("insert"):
+            statement = self._parse_insert()
+        elif self.at_keyword("drop"):
+            self.advance()
+            self.expect_keyword("table")
+            statement = ("drop_table", self.expect_name())
+        else:
+            raise SqlSyntaxError(
+                "unsupported statement starting with %r" % self.peek().value
+            )
+        if self.at_symbol(";"):
+            self.advance()
+        if self.peek().kind != "eof":
+            raise SqlSyntaxError(
+                "trailing input after statement: %r" % self.peek().value
+            )
+        return statement
+
+    def _parse_create(self):
+        self.expect_keyword("create")
+        if self.at_keyword("table"):
+            self.advance()
+            name = self.expect_name()
+            self.expect_symbol("(")
+            columns = []
+            while True:
+                column_name = self.expect_name()
+                type_token = self.advance()
+                if type_token.kind != "ident" or type_token.value not in _TYPE_NAMES:
+                    raise SqlSyntaxError(
+                        "unknown column type %r" % type_token.value
+                    )
+                # swallow (n) length specs
+                if self.at_symbol("("):
+                    self.advance()
+                    self.advance()
+                    self.expect_symbol(")")
+                columns.append((column_name, _TYPE_NAMES[type_token.value]))
+                if self.at_symbol(","):
+                    self.advance()
+                    continue
+                break
+            self.expect_symbol(")")
+            return ("create_table", name, columns)
+        if self.at_keyword("unique"):
+            self.advance()
+        if self.at_keyword("index"):
+            self.advance()
+            index_name = None
+            if not self.at_keyword("on"):
+                index_name = self.expect_name()
+            self.expect_keyword("on")
+            table = self.expect_name()
+            self.expect_symbol("(")
+            column = self.expect_name()
+            self.expect_symbol(")")
+            return ("create_index", table, column, index_name)
+        if self.at_keyword("view"):
+            self.advance()
+            name = self.expect_name()
+            self.expect_keyword("as")
+            return ("create_view", name, self.parse_select())
+        raise SqlSyntaxError("unsupported CREATE %r" % self.peek().value)
+
+    def _parse_insert(self):
+        self.expect_keyword("insert")
+        self.expect_keyword("into")
+        table = self.expect_name()
+        self.expect_keyword("values")
+        rows = []
+        while True:
+            self.expect_symbol("(")
+            values = [self._parse_literal()]
+            while self.at_symbol(","):
+                self.advance()
+                values.append(self._parse_literal())
+            self.expect_symbol(")")
+            rows.append(tuple(values))
+            if self.at_symbol(","):
+                self.advance()
+                continue
+            break
+        return ("insert", table, rows)
+
+    def _parse_literal(self):
+        token = self.advance()
+        if token.kind in ("string", "number"):
+            return token.value
+        if token.kind == "ident" and token.value == "null":
+            return None
+        if token.kind == "symbol" and token.value == "-":
+            number = self.advance()
+            if number.kind != "number":
+                raise SqlSyntaxError("expected a number after '-'")
+            return -number.value
+        raise SqlSyntaxError("expected a literal, got %r" % token.value)
+
+    # -- SELECT ---------------------------------------------------------------------
+
+    def parse_select(self):
+        self.expect_keyword("select")
+        outputs = [self._parse_select_item()]
+        while self.at_symbol(","):
+            self.advance()
+            outputs.append(self._parse_select_item())
+        plan = self._parse_from()
+        if self.at_keyword("where"):
+            self.advance()
+            plan = Filter(plan, self.parse_expr())
+        if self.at_keyword("order"):
+            self.advance()
+            self.expect_keyword("by")
+            keys = [self._parse_order_key()]
+            while self.at_symbol(","):
+                self.advance()
+                keys.append(self._parse_order_key())
+            plan = Sort(plan, keys)
+        return Query(plan, outputs)
+
+    def _parse_select_item(self):
+        expr = self.parse_expr()
+        name = None
+        if self.at_keyword("as"):
+            self.advance()
+            name = self.expect_name()
+        elif self.peek().kind in ("ident", "quoted") and not self.at_keyword(
+            "from", "where", "order"
+        ):
+            name = self.expect_name()
+        return (name, expr)
+
+    def _parse_from(self):
+        self.expect_keyword("from")
+        plan = self._parse_table_ref()
+        while self.at_symbol(","):
+            self.advance()
+            plan = NestedLoopJoin(plan, self._parse_table_ref())
+        return plan
+
+    def _parse_table_ref(self):
+        table = self.expect_name()
+        alias = None
+        if self.peek().kind in ("ident", "quoted") and not self.at_keyword(
+            "where", "order", "on", "group"
+        ):
+            alias = self.expect_name()
+        return Scan(table, alias)
+
+    def _parse_order_key(self):
+        expr = self.parse_expr()
+        descending = False
+        if self.at_keyword("desc"):
+            self.advance()
+            descending = True
+        elif self.at_keyword("asc"):
+            self.advance()
+        return (expr, descending)
+
+    # -- expressions ------------------------------------------------------------------
+
+    def parse_expr(self):
+        return self._parse_or()
+
+    def _parse_or(self):
+        left = self._parse_and()
+        while self.at_keyword("or"):
+            self.advance()
+            left = e.BinOp("OR", left, self._parse_and())
+        return left
+
+    def _parse_and(self):
+        left = self._parse_not()
+        while self.at_keyword("and"):
+            self.advance()
+            left = e.BinOp("AND", left, self._parse_not())
+        return left
+
+    def _parse_not(self):
+        if self.at_keyword("not"):
+            self.advance()
+            return e.Not(self._parse_not())
+        return self._parse_comparison()
+
+    def _parse_comparison(self):
+        left = self._parse_additive()
+        token = self.peek()
+        if token.kind == "symbol" and token.value in (
+            "=", "<>", "!=", "<", "<=", ">", ">=",
+        ):
+            op = self.advance().value
+            if op == "!=":
+                op = "<>"
+            return e.BinOp(op, left, self._parse_additive())
+        if self.at_keyword("is"):
+            self.advance()
+            negated = False
+            if self.at_keyword("not"):
+                self.advance()
+                negated = True
+            self.expect_keyword("null")
+            return e.IsNull(left, negated=negated)
+        return left
+
+    def _parse_additive(self):
+        left = self._parse_multiplicative()
+        while True:
+            token = self.peek()
+            if token.kind == "symbol" and token.value in ("+", "-", "||"):
+                op = self.advance().value
+                left = e.BinOp(op, left, self._parse_multiplicative())
+            else:
+                return left
+
+    def _parse_multiplicative(self):
+        left = self._parse_unary()
+        while True:
+            token = self.peek()
+            if token.kind == "symbol" and token.value in ("*", "/"):
+                op = self.advance().value
+                left = e.BinOp(op, left, self._parse_unary())
+            else:
+                return left
+
+    def _parse_unary(self):
+        if self.at_symbol("-"):
+            self.advance()
+            return e.BinOp("-", e.Const(0), self._parse_unary())
+        return self._parse_primary()
+
+    def _parse_primary(self):
+        token = self.peek()
+        if token.kind == "string":
+            self.advance()
+            return e.Const(token.value)
+        if token.kind == "number":
+            self.advance()
+            return e.Const(token.value)
+        if token.kind == "symbol" and token.value == "(":
+            self.advance()
+            if self.at_keyword("select"):
+                subquery = self.parse_select()
+                self.expect_symbol(")")
+                return e.ScalarSubquery(subquery)
+            inner = self.parse_expr()
+            self.expect_symbol(")")
+            return inner
+        if token.kind in ("ident", "quoted"):
+            if token.kind == "ident" and token.value == "case":
+                return self._parse_case()
+            if token.kind == "ident" and token.value == "null":
+                self.advance()
+                return e.Const(None)
+            if token.kind == "ident" and token.value in ("true", "false"):
+                self.advance()
+                return e.Const(token.value == "true")
+            if (
+                token.kind == "ident"
+                and self.peek(1).kind == "symbol"
+                and self.peek(1).value == "("
+            ):
+                return self._parse_function()
+            name = self.expect_name()
+            if self.at_symbol("."):
+                self.advance()
+                column = self.expect_name()
+                return e.ColumnRef(column, name)
+            return e.ColumnRef(name)
+        raise SqlSyntaxError("unexpected token %r" % token.value)
+
+    def _parse_case(self):
+        self.expect_keyword("case")
+        whens = []
+        otherwise = None
+        while self.at_keyword("when"):
+            self.advance()
+            condition = self.parse_expr()
+            self.expect_keyword("then")
+            whens.append((condition, self.parse_expr()))
+        if self.at_keyword("else"):
+            self.advance()
+            otherwise = self.parse_expr()
+        self.expect_keyword("end")
+        return e.CaseWhen(whens, otherwise)
+
+    def _parse_function(self):
+        name = self.advance().value
+        self.expect_symbol("(")
+        if name == "xmlelement":
+            return self._parse_xmlelement()
+        if name == "xmlforest":
+            return self._parse_xmlforest()
+        if name == "xmlconcat":
+            args = self._parse_argument_list()
+            return sqlxml.XMLConcat(args)
+        if name == "xmlcomment":
+            args = self._parse_argument_list()
+            return sqlxml.XMLComment(args[0])
+        if name == "xmlagg":
+            return self._parse_xmlagg()
+        if name == "listagg":
+            return self._parse_listagg()
+        if name in _AGG_NAMES:
+            if name == "count" and self.at_symbol("*"):
+                self.advance()
+                self.expect_symbol(")")
+                return sqlxml.AggCall("COUNT")
+            args = self._parse_argument_list()
+            return sqlxml.AggCall(name.upper(),
+                                  args[0] if args else None)
+        args = self._parse_argument_list()
+        return e.FuncCall(name.upper(), args)
+
+    def _parse_argument_list(self):
+        args = []
+        if not self.at_symbol(")"):
+            args.append(self.parse_expr())
+            while self.at_symbol(","):
+                self.advance()
+                args.append(self.parse_expr())
+        self.expect_symbol(")")
+        return args
+
+    def _parse_xmlelement(self):
+        # XMLElement("name" [, XMLAttributes(expr AS "name", ...)] [, content...])
+        name_token = self.advance()
+        if name_token.kind not in ("quoted", "ident", "string"):
+            raise SqlSyntaxError("XMLElement needs an element name")
+        element_name = name_token.value
+        if name_token.kind == "quoted":
+            # quoted identifiers keep their case in generated XML
+            element_name = name_token.value
+        attributes = []
+        content = []
+        while self.at_symbol(","):
+            self.advance()
+            if self.at_keyword("xmlattributes"):
+                self.advance()
+                self.expect_symbol("(")
+                while True:
+                    value = self.parse_expr()
+                    self.expect_keyword("as")
+                    attr_name = self.expect_name()
+                    attributes.append((attr_name, value))
+                    if self.at_symbol(","):
+                        self.advance()
+                        continue
+                    break
+                self.expect_symbol(")")
+            else:
+                content.append(self.parse_expr())
+        self.expect_symbol(")")
+        return sqlxml.XMLElement(element_name, *content,
+                                 attributes=attributes)
+
+    def _parse_xmlforest(self):
+        items = []
+        while True:
+            value = self.parse_expr()
+            if self.at_keyword("as"):
+                self.advance()
+                item_name = self.expect_name()
+            elif isinstance(value, e.ColumnRef):
+                item_name = value.column
+            else:
+                raise SqlSyntaxError("XMLForest items need AS names")
+            items.append((item_name, value))
+            if self.at_symbol(","):
+                self.advance()
+                continue
+            break
+        self.expect_symbol(")")
+        return sqlxml.XMLForest(items)
+
+    def _parse_xmlagg(self):
+        inner = self.parse_expr()
+        order_by = []
+        if self.at_keyword("order"):
+            self.advance()
+            self.expect_keyword("by")
+            while True:
+                key = self.parse_expr()
+                descending = False
+                if self.at_keyword("desc"):
+                    self.advance()
+                    descending = True
+                elif self.at_keyword("asc"):
+                    self.advance()
+                order_by.append((key, descending))
+                if self.at_symbol(","):
+                    self.advance()
+                    continue
+                break
+        self.expect_symbol(")")
+        return sqlxml.XMLAgg(inner, order_by=order_by)
+
+    def _parse_listagg(self):
+        inner = self.parse_expr()
+        separator = ""
+        if self.at_symbol(","):
+            self.advance()
+            token = self.advance()
+            if token.kind != "string":
+                raise SqlSyntaxError("LISTAGG separator must be a string")
+            separator = token.value
+        self.expect_symbol(")")
+        order_by = []
+        if self.at_keyword("within"):
+            self.advance()
+            self.expect_keyword("group")
+            self.expect_symbol("(")
+            self.expect_keyword("order")
+            self.expect_keyword("by")
+            while True:
+                key = self.parse_expr()
+                descending = False
+                if self.at_keyword("desc"):
+                    self.advance()
+                    descending = True
+                order_by.append((key, descending))
+                if self.at_symbol(","):
+                    self.advance()
+                    continue
+                break
+            self.expect_symbol(")")
+        return sqlxml.ListAgg(inner, separator, order_by=order_by)
+
+
+# -- public API ------------------------------------------------------------------
+
+
+def parse_sql(source):
+    """Parse one SQL statement; returns a (kind, ...) tuple."""
+    return _Parser(source).parse_statement()
+
+
+def parse_select(source):
+    """Parse a SELECT statement into a :class:`Query`."""
+    statement = parse_sql(source)
+    if statement[0] != "select":
+        raise SqlSyntaxError("expected a SELECT statement")
+    return statement[1]
+
+
+def execute_sql(db, source, env=None):
+    """Parse and run one statement against a Database.
+
+    Returns ``(rows, stats)`` for SELECT; for DDL/DML returns a short
+    status string.
+    """
+    statement = parse_sql(source)
+    kind = statement[0]
+    if kind == "select":
+        return db.execute(statement[1], env=env)
+    if kind == "create_table":
+        _, name, columns = statement
+        db.create_table(name, columns)
+        return "table %s created" % name
+    if kind == "create_index":
+        _, table, column, index_name = statement
+        db.create_index(table, column, index_name=index_name)
+        return "index on %s(%s) created" % (table, column)
+    if kind == "create_view":
+        _, name, query = statement
+        db.create_view(name, query)
+        return "view %s created" % name
+    if kind == "insert":
+        _, table, rows = statement
+        db.insert(table, *rows)
+        return "%d row(s) inserted" % len(rows)
+    if kind == "drop_table":
+        db.drop_table(statement[1])
+        return "table %s dropped" % statement[1]
+    raise DatabaseError("unhandled statement kind %r" % kind)

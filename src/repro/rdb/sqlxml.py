@@ -1,0 +1,328 @@
+"""SQL/XML publishing functions (SQL:2003 part 14, as in the paper).
+
+``XMLElement``, ``XMLAttributes``, ``XMLForest``, ``XMLConcat``,
+``XMLComment`` construct XML values from relational data; ``XMLAgg`` and
+the classic SQL aggregates (COUNT/SUM/AVG/MIN/MAX) are aggregate
+expressions evaluated by the executor's aggregate machinery.
+
+XML values flowing through the engine are DOM nodes (or lists of nodes);
+scalar values inserted into XML content become text nodes.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DatabaseError
+from repro.xmlmodel.builder import TreeBuilder
+from repro.xmlmodel.nodes import Node, NodeKind
+from repro.rdb.expressions import SqlExpr, _text
+
+# env key under which aggregate accumulator state is passed during the
+# final evaluation of an aggregate query.
+AGG_STATE = "\0agg-state"
+
+
+class XmlExpr(SqlExpr):
+    """Marker base class for XML-producing expressions."""
+
+
+def append_xml_value(builder, value):
+    """Append an evaluated SQL value to XML content under construction."""
+    if value is None:
+        return
+    if isinstance(value, Node):
+        if value.kind == NodeKind.DOCUMENT:
+            for child in value.children:
+                builder.copy_node(child)
+        else:
+            builder.copy_node(value)
+    elif isinstance(value, list):
+        for item in value:
+            append_xml_value(builder, item)
+    else:
+        builder.text(_text(value))
+
+
+class XMLElement(XmlExpr):
+    """``XMLElement("name", XMLAttributes(...), content...)``."""
+
+    def __init__(self, name, *content, attributes=None):
+        self.name = name
+        self.attributes = attributes or []  # list of (attr_name, expr)
+        self.content = list(content)
+
+    def child_exprs(self):
+        return tuple(expr for _, expr in self.attributes) + tuple(self.content)
+
+    def evaluate(self, env, db, stats):
+        builder = TreeBuilder()
+        builder.start_element(self.name)
+        for attr_name, expr in self.attributes:
+            value = expr.evaluate(env, db, stats)
+            if value is not None:
+                builder.attribute(attr_name, _text(value))
+        for expr in self.content:
+            append_xml_value(builder, expr.evaluate(env, db, stats))
+        builder.end_element()
+        if stats is not None:
+            stats.xml_elements += 1
+        return builder.finish().children[0]
+
+    def to_sql(self):
+        parts = ['"%s"' % self.name]
+        if self.attributes:
+            rendered = ", ".join(
+                "%s AS \"%s\"" % (expr.to_sql(), attr_name)
+                for attr_name, expr in self.attributes
+            )
+            parts.append("XMLAttributes(%s)" % rendered)
+        parts.extend(expr.to_sql() for expr in self.content)
+        return "XMLElement(%s)" % ", ".join(parts)
+
+
+class XMLForest(XmlExpr):
+    """``XMLForest(expr AS name, ...)`` — one element per non-null item."""
+
+    def __init__(self, items):
+        self.items = items  # list of (name, expr)
+
+    def child_exprs(self):
+        return tuple(expr for _, expr in self.items)
+
+    def evaluate(self, env, db, stats):
+        out = []
+        for name, expr in self.items:
+            value = expr.evaluate(env, db, stats)
+            if value is None:
+                continue
+            builder = TreeBuilder()
+            builder.start_element(name)
+            append_xml_value(builder, value)
+            builder.end_element()
+            if stats is not None:
+                stats.xml_elements += 1
+            out.append(builder.finish().children[0])
+        return out
+
+    def to_sql(self):
+        return "XMLForest(%s)" % ", ".join(
+            '%s AS "%s"' % (expr.to_sql(), name) for name, expr in self.items
+        )
+
+
+class XMLConcat(XmlExpr):
+    """``XMLConcat(a, b, ...)`` — concatenation of XML values."""
+
+    def __init__(self, items):
+        self.items = items
+
+    def child_exprs(self):
+        return tuple(self.items)
+
+    def evaluate(self, env, db, stats):
+        out = []
+        for expr in self.items:
+            value = expr.evaluate(env, db, stats)
+            if value is None:
+                continue
+            if isinstance(value, list):
+                out.extend(value)
+            else:
+                out.append(value)
+        return out
+
+    def to_sql(self):
+        return "XMLConcat(%s)" % ", ".join(expr.to_sql() for expr in self.items)
+
+
+class XMLComment(XmlExpr):
+    def __init__(self, expr):
+        self.expr = expr
+
+    def child_exprs(self):
+        return (self.expr,)
+
+    def evaluate(self, env, db, stats):
+        builder = TreeBuilder()
+        builder.comment(_text(self.expr.evaluate(env, db, stats)))
+        return builder.finish().children[0]
+
+    def to_sql(self):
+        return "XMLComment(%s)" % self.expr.to_sql()
+
+
+class XMLText(XmlExpr):
+    """A bare text node (convenience for generated plans)."""
+
+    def __init__(self, expr):
+        self.expr = expr
+
+    def child_exprs(self):
+        return (self.expr,)
+
+    def evaluate(self, env, db, stats):
+        value = self.expr.evaluate(env, db, stats)
+        return None if value is None else _text(value)
+
+    def to_sql(self):
+        return self.expr.to_sql()
+
+
+# -- aggregates ----------------------------------------------------------------
+
+
+class AggregateExpr(SqlExpr):
+    """Base for aggregate expressions; the executor drives accumulation."""
+
+    def new_state(self):
+        raise NotImplementedError
+
+    def accumulate(self, state, env, db, stats):
+        raise NotImplementedError
+
+    def final(self, state):
+        raise NotImplementedError
+
+    def evaluate(self, env, db, stats):
+        states = env.get(AGG_STATE)
+        if states is None or id(self) not in states:
+            raise DatabaseError(
+                "aggregate %s used outside an aggregate query" % self.to_sql()
+            )
+        return self.final(states[id(self)])
+
+
+class XMLAgg(AggregateExpr):
+    """``XMLAgg(xml_expr [ORDER BY ...])`` — aggregates XML values into a
+    sequence (document order of the group)."""
+
+    def __init__(self, expr, order_by=None):
+        self.expr = expr
+        self.order_by = order_by or []  # list of (expr, descending)
+
+    def child_exprs(self):
+        return (self.expr,) + tuple(expr for expr, _ in self.order_by)
+
+    def new_state(self):
+        return []
+
+    def accumulate(self, state, env, db, stats):
+        value = self.expr.evaluate(env, db, stats)
+        keys = tuple(
+            expr.evaluate(env, db, stats) for expr, _ in self.order_by
+        )
+        state.append((keys, value))
+
+    def final(self, state):
+        rows = state
+        if self.order_by:
+            for position in range(len(self.order_by) - 1, -1, -1):
+                descending = self.order_by[position][1]
+                rows = sorted(
+                    rows, key=lambda row: row[0][position], reverse=descending
+                )
+        out = []
+        for _, value in rows:
+            if value is None:
+                continue
+            if isinstance(value, list):
+                out.extend(value)
+            else:
+                out.append(value)
+        return out
+
+    def to_sql(self):
+        text = "XMLAgg(%s" % self.expr.to_sql()
+        if self.order_by:
+            text += " ORDER BY " + ", ".join(
+                expr.to_sql() + (" DESC" if descending else "")
+                for expr, descending in self.order_by
+            )
+        return text + ")"
+
+
+class AggCall(AggregateExpr):
+    """COUNT/SUM/AVG/MIN/MAX (COUNT(*) via expr=None)."""
+
+    def __init__(self, name, expr=None):
+        self.name = name.upper()
+        if self.name not in ("COUNT", "SUM", "AVG", "MIN", "MAX"):
+            raise DatabaseError("unknown aggregate %s" % name)
+        self.expr = expr
+
+    def child_exprs(self):
+        return (self.expr,) if self.expr is not None else ()
+
+    def new_state(self):
+        return []
+
+    def accumulate(self, state, env, db, stats):
+        if self.expr is None:
+            state.append(1)
+            return
+        value = self.expr.evaluate(env, db, stats)
+        if value is not None:
+            state.append(value)
+
+    def final(self, state):
+        if self.name == "COUNT":
+            return float(len(state))
+        if not state:
+            return None
+        if self.name == "SUM":
+            return float(sum(state))
+        if self.name == "AVG":
+            return float(sum(state)) / len(state)
+        if self.name == "MIN":
+            return min(state)
+        return max(state)
+
+    def to_sql(self):
+        inner = "*" if self.expr is None else self.expr.to_sql()
+        return "%s(%s)" % (self.name, inner)
+
+
+class ListAgg(AggregateExpr):
+    """``LISTAGG(expr, separator) WITHIN GROUP (ORDER BY ...)`` — string
+    aggregation (used when a whole repeating subtree is taken as text)."""
+
+    def __init__(self, expr, separator="", order_by=None):
+        self.expr = expr
+        self.separator = separator
+        self.order_by = order_by or []  # list of (expr, descending)
+
+    def child_exprs(self):
+        return (self.expr,) + tuple(expr for expr, _ in self.order_by)
+
+    def new_state(self):
+        return []
+
+    def accumulate(self, state, env, db, stats):
+        value = self.expr.evaluate(env, db, stats)
+        keys = tuple(expr.evaluate(env, db, stats) for expr, _ in self.order_by)
+        state.append((keys, _text(value)))
+
+    def final(self, state):
+        rows = state
+        if self.order_by:
+            for position in range(len(self.order_by) - 1, -1, -1):
+                descending = self.order_by[position][1]
+                rows = sorted(
+                    rows, key=lambda row: row[0][position], reverse=descending
+                )
+        return self.separator.join(text for _, text in rows)
+
+    def to_sql(self):
+        text = "LISTAGG(%s, '%s')" % (self.expr.to_sql(), self.separator)
+        if self.order_by:
+            text += " WITHIN GROUP (ORDER BY %s)" % ", ".join(
+                expr.to_sql() + (" DESC" if descending else "")
+                for expr, descending in self.order_by
+            )
+        return text
+
+
+def find_aggregates(expr):
+    """All aggregate nodes in an expression tree (not crossing subqueries)."""
+    return [
+        node for node in expr.iter_tree() if isinstance(node, AggregateExpr)
+    ]

@@ -1,0 +1,603 @@
+"""XMLType storage models (paper §7.4 and the §5 experimental setup).
+
+Two of the paper's storage models are implemented:
+
+* **Object-relational** (:class:`ObjectRelationalStorage`): documents
+  conforming to a structural schema are shredded into tables — one table
+  per repeating element, leaf children as typed columns, parent/sequence
+  columns preserving document order.  The storage can emit a canonical
+  SQL/XML *reconstruction view* (exactly the paper's Table-3 shape), which
+  is what the XSLT rewrite merges into; and it can *materialise* any stored
+  document back into a DOM, which is what the functional no-rewrite path
+  consumes.
+* **CLOB** (:class:`ClobStorage`): documents stored as serialised text,
+  parsed on access — no structure for the rewrite to exploit, included as
+  the baseline storage model.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DatabaseError, SchemaError
+from repro.rdb.expressions import (
+    CaseWhen,
+    Const,
+    IsNull,
+    ScalarSubquery,
+    col,
+    eq,
+)
+from repro.rdb.plan import Filter, Query, Scan
+from repro.rdb.sqlxml import XMLAgg, XMLElement
+from repro.rdb.types import FLOAT, INT, TEXT
+from repro.xmlmodel.builder import TreeBuilder
+from repro.xmlmodel.parser import parse_document
+from repro.xmlmodel.serializer import serialize
+
+# Reserved bookkeeping column names; element names never collide with
+# these (they are not valid XML names).
+ROW_ID = "$id"
+PARENT_ID = "$parent"
+SEQ = "$seq"
+VALUE = "value"
+
+
+class TableBinding:
+    """One shredded table: which element type it stores and how it links to
+    its parent table."""
+
+    __slots__ = ("table_name", "decl", "parent", "alias_counter")
+
+    def __init__(self, table_name, decl, parent=None):
+        self.table_name = table_name
+        self.decl = decl
+        self.parent = parent  # TableBinding or None (root: keyed by doc_id)
+
+
+class ColumnBinding:
+    """A leaf element (or attribute) stored as a column."""
+
+    __slots__ = ("table", "column_name", "decl", "is_attribute", "attr_name")
+
+    def __init__(self, table, column_name, decl, is_attribute=False,
+                 attr_name=None):
+        self.table = table
+        self.column_name = column_name
+        self.decl = decl
+        self.is_attribute = is_attribute
+        self.attr_name = attr_name  # the attribute's XML name, when one
+
+
+class InlineBinding:
+    """A single-occurrence wrapper element flattened into its parent table.
+
+    Optional wrappers carry a presence column (``name$present``): a wrapper
+    has no value column of its own, so absence must be recorded explicitly.
+    """
+
+    __slots__ = ("table", "decl", "presence_column")
+
+    def __init__(self, table, decl, presence_column=None):
+        self.table = table
+        self.decl = decl
+        self.presence_column = presence_column
+
+
+class PresenceBinding:
+    """The 0/1 presence column of an optional inline wrapper."""
+
+    __slots__ = ("table", "column_name", "decl", "is_attribute")
+
+    def __init__(self, table, column_name, decl):
+        self.table = table
+        self.column_name = column_name
+        self.decl = decl
+        self.is_attribute = False
+
+
+class ObjectRelationalStorage:
+    """Shredded storage for documents conforming to one structural schema."""
+
+    def __init__(self, db, schema, name, column_types=None):
+        """
+        :param column_types: optional ``{element_or_attr_name: INT|FLOAT|TEXT}``
+            for typed columns (value indexes need numeric typing to order
+            numerically, e.g. ``{"sal": INT}``).
+        """
+        if schema.is_recursive():
+            raise SchemaError(
+                "object-relational shredding requires a non-recursive schema"
+            )
+        self.db = db
+        self.schema = schema
+        self.name = name
+        self.column_types = column_types or {}
+        self.bindings = {}       # id(decl) -> binding
+        self.tables = []         # TableBinding, parents first
+        self._doc_counter = 0
+        self._child_cache = None  # per-materialize grouped child rows
+        self._layout()
+        self._create_tables()
+
+    # -- layout -----------------------------------------------------------------
+
+    def _layout(self):
+        root_binding = TableBinding("%s_%s" % (self.name, self.schema.root.name),
+                                    self.schema.root)
+        self.bindings[id(self.schema.root)] = root_binding
+        self.tables.append(root_binding)
+        self._columns = {id(root_binding): []}  # per table: ColumnBindings
+        self._layout_children(self.schema.root, root_binding)
+
+    def _layout_children(self, decl, table):
+        if decl.has_text and decl.particles:
+            raise SchemaError(
+                "mixed content (<%s>) cannot be shredded; use CLOB storage"
+                % decl.name
+            )
+        for attribute in decl.attributes:
+            self._add_column(table, decl, attribute, is_attribute=True)
+        for particle in decl.particles:
+            child = particle.decl
+            if particle.at_most_one:
+                if child.is_leaf:
+                    binding = self._add_column(table, child, child.name)
+                    for attribute in child.attributes:
+                        self._add_column(table, child, attribute,
+                                         is_attribute=True)
+                    self.bindings[id(child)] = binding
+                else:
+                    presence_column = None
+                    if particle.occurs == "?" or decl.group == "choice":
+                        presence_column = "%s$present" % child.name
+                        self._columns[id(table)].append(
+                            PresenceBinding(table, presence_column, child)
+                        )
+                    self.bindings[id(child)] = InlineBinding(
+                        table, child, presence_column
+                    )
+                    self._layout_children(child, table)
+            else:
+                child_table = TableBinding(
+                    "%s_%s" % (self.name, child.name), child, parent=table
+                )
+                if id(child) in self.bindings:
+                    raise SchemaError(
+                        "element <%s> is shredded twice; shared declarations"
+                        " must occur once" % child.name
+                    )
+                self.bindings[id(child)] = child_table
+                self.tables.append(child_table)
+                self._columns[id(child_table)] = []
+                if child.is_leaf:
+                    self._add_column(child_table, child, VALUE)
+                    for attribute in child.attributes:
+                        self._add_column(child_table, child, attribute,
+                                         is_attribute=True)
+                else:
+                    self._layout_children(child, child_table)
+
+    def _add_column(self, table, decl, base_name, is_attribute=False):
+        columns = self._columns[id(table)]
+        existing = {binding.column_name for binding in columns}
+        column_name = ("attr_" + base_name) if is_attribute else base_name
+        if column_name in existing:
+            column_name = "%s_%s" % (decl.name, column_name)
+        if column_name in existing:
+            raise SchemaError("cannot derive unique column for %r" % base_name)
+        binding = ColumnBinding(
+            table, column_name, decl, is_attribute,
+            attr_name=base_name if is_attribute else None,
+        )
+        columns.append(binding)
+        return binding
+
+    def _create_tables(self):
+        for table in self.tables:
+            columns = [(ROW_ID, INT)]
+            if table.parent is None:
+                pass  # root rows: id is the document id
+            else:
+                columns.append((PARENT_ID, INT))
+                columns.append((SEQ, INT))
+            for binding in self._columns[id(table)]:
+                if isinstance(binding, PresenceBinding):
+                    columns.append((binding.column_name, INT))
+                    continue
+                type_ = self.column_types.get(
+                    binding.decl.name if not binding.is_attribute
+                    else binding.column_name.replace("attr_", "", 1),
+                    TEXT,
+                )
+                columns.append((binding.column_name, type_))
+            self.db.create_table(table.table_name, columns)
+            if table.parent is not None:
+                # Foreign-key index: the reconstruction view correlates
+                # child rows on the parent id, so child lookups are probes.
+                self.db.create_index(table.table_name, PARENT_ID)
+
+    # -- metadata for the rewrite ---------------------------------------------------
+
+    def binding_of(self, decl):
+        return self.bindings.get(id(decl))
+
+    def column_of(self, decl):
+        """(table_name, column_name) for a leaf element declaration."""
+        binding = self.bindings.get(id(decl))
+        if not isinstance(binding, ColumnBinding):
+            raise DatabaseError(
+                "<%s> is not stored as a column" % decl.name
+            )
+        return binding.table.table_name, binding.column_name
+
+    def create_value_index(self, element_name):
+        """B-tree index over the column storing this leaf element."""
+        decl = self.schema.find_decl(element_name)
+        if decl is None:
+            raise DatabaseError("no element <%s> in schema" % element_name)
+        table_name, column_name = self.column_of(decl)
+        return self.db.create_index(table_name, column_name)
+
+    # -- loading ------------------------------------------------------------------
+
+    def load(self, document):
+        """Shred one document; returns its doc id."""
+        violations = self.schema.validate(document)
+        if violations:
+            raise DatabaseError(
+                "document does not conform to schema: %s" % violations[0]
+            )
+        self._doc_counter += 1
+        doc_id = self._doc_counter
+        root = document.document_element
+        self._insert_element(root, self.schema.root, doc_id, None, 0)
+        return doc_id
+
+    def load_many(self, documents):
+        return [self.load(document) for document in documents]
+
+    def _insert_element(self, element, decl, row_id, parent_row_id, seq):
+        binding = self.bindings[id(decl)]
+        if isinstance(binding, InlineBinding):
+            raise AssertionError("inline elements are inserted via parents")
+        table = binding
+        values = [row_id]
+        if table.parent is not None:
+            values.append(parent_row_id)
+            values.append(seq)
+        values.extend(self._column_values(element, decl, table))
+        self.db.insert(table.table_name, tuple(values))
+        self._insert_repeating(element, decl, row_id)
+        return row_id
+
+    def _column_values(self, element, decl, table):
+        """Values for this table's data columns, reading the element tree."""
+        out = []
+        for binding in self._columns[id(table)]:
+            out.append(self._find_value(element, decl, binding))
+        return out
+
+    def _find_value(self, element, decl, binding):
+        if binding.is_attribute:
+            owner = self._find_owner(element, decl, binding.decl)
+            if owner is None:
+                return None
+            return owner.get_attribute(binding.attr_name)
+        if isinstance(binding, PresenceBinding):
+            holder = self._find_holder(element, decl, binding.decl)
+            return 1 if holder is not None else 0
+        if isinstance(self.bindings[id(binding.decl)], ColumnBinding):
+            holder = self._find_holder(element, decl, binding.decl)
+            if holder is None:
+                return None
+            return holder.string_value()
+        return None
+
+    def _find_owner(self, element, decl, attr_decl):
+        if decl is attr_decl:
+            return element
+        return self._find_holder(element, decl, attr_decl)
+
+    def _find_holder(self, element, decl, target_decl):
+        """Locate the instance element for a decl reachable via single-
+        occurrence steps from ``element``/``decl``."""
+        if decl is target_decl:
+            return element
+        for particle in decl.particles:
+            if not particle.at_most_one:
+                continue
+            child_element = element.find(particle.decl.name)
+            if particle.decl is target_decl:
+                return child_element
+            if child_element is not None and not particle.decl.is_leaf:
+                found = self._find_holder(
+                    child_element, particle.decl, target_decl
+                )
+                if found is not None:
+                    return found
+        return None
+
+    def _insert_repeating(self, element, decl, parent_row_id):
+        """Insert child-table rows for every many-occurrence descendant
+        reachable through single-occurrence steps."""
+        for particle in decl.particles:
+            child = particle.decl
+            if particle.at_most_one:
+                if not child.is_leaf:
+                    child_element = element.find(child.name)
+                    if child_element is not None:
+                        self._insert_repeating(
+                            child_element, child, parent_row_id
+                        )
+                continue
+            child_table = self.bindings[id(child)]
+            for seq, child_element in enumerate(element.findall(child.name)):
+                row_id = self._next_row_id(child_table)
+                values = [row_id, parent_row_id, seq]
+                if child.is_leaf:
+                    values.append(child_element.string_value())
+                    for binding in self._columns[id(child_table)][1:]:
+                        values.append(
+                            self._find_value(child_element, child, binding)
+                        )
+                else:
+                    values.extend(
+                        self._column_values(child_element, child, child_table)
+                    )
+                self.db.insert(child_table.table_name, tuple(values))
+                self._insert_repeating(child_element, child, row_id)
+
+    def _next_row_id(self, table_binding):
+        return len(self.db.table(table_binding.table_name)) + 1
+
+    # -- materialisation (functional / no-rewrite path) --------------------------------
+
+    def document_ids(self):
+        root_table = self.db.table(self.tables[0].table_name)
+        return [row[0] for _, row in root_table.scan()]
+
+    def materialize(self, doc_id, stats=None):
+        """Rebuild the full DOM of one stored document.
+
+        Each table is scanned once and grouped by parent id, so
+        materialisation is linear in storage size — the honest cost of the
+        paper's "XSLT no rewrite" baseline.
+        """
+        builder = TreeBuilder()
+        root_table = self.tables[0]
+        row = self._fetch_row(root_table, doc_id, stats)
+        if row is None:
+            raise DatabaseError("no document %d" % doc_id)
+        # Child rows are fetched through the parent-id index (one probe per
+        # parent); without one, each child table is scanned once and
+        # grouped.  Either way materialisation touches every row of *this*
+        # document — the honest no-rewrite cost.
+        self._child_cache = {}
+        for table_binding in self.tables[1:]:
+            if self.db.find_index(table_binding.table_name, PARENT_ID):
+                continue  # probed on demand in _child_rows
+            table = self.db.table(table_binding.table_name)
+            grouped = {}
+            for _, raw in table.scan():
+                if stats is not None:
+                    stats.rows_scanned += 1
+                grouped.setdefault(raw[1], []).append(table.row_dict(raw))
+            for rows in grouped.values():
+                rows.sort(key=lambda r: r[SEQ])
+            self._child_cache[id(table_binding)] = grouped
+        try:
+            self._emit(builder, self.schema.root, root_table, row, stats)
+        finally:
+            self._child_cache = None
+        return builder.finish()
+
+    def _fetch_row(self, table_binding, row_id, stats):
+        table = self.db.table(table_binding.table_name)
+        for _, row in table.scan():
+            if stats is not None:
+                stats.rows_scanned += 1
+            if row[0] == row_id:
+                return table.row_dict(row)
+        return None
+
+    def _emit(self, builder, decl, table_binding, row, stats):
+        builder.start_element(decl.name)
+        self._emit_content(builder, decl, table_binding, row, stats)
+        builder.end_element()
+
+    def _emit_content(self, builder, decl, table_binding, row, stats):
+        self._emit_attributes(builder, decl, table_binding, row)
+        for particle in decl.particles:
+            child = particle.decl
+            binding = self.bindings[id(child)]
+            if isinstance(binding, ColumnBinding):
+                value = row.get(binding.column_name)
+                if value is not None:
+                    builder.start_element(child.name)
+                    self._emit_attributes(builder, child, table_binding, row)
+                    builder.text(_as_text(value))
+                    builder.end_element()
+            elif isinstance(binding, InlineBinding):
+                if (
+                    binding.presence_column is not None
+                    and not row.get(binding.presence_column)
+                ):
+                    continue  # the optional wrapper was absent
+                builder.start_element(child.name)
+                self._emit_content(builder, child, table_binding, row, stats)
+                builder.end_element()
+            else:  # child table
+                child_rows = self._child_rows(binding, row[ROW_ID], stats)
+                for child_row in child_rows:
+                    if child.is_leaf:
+                        builder.start_element(child.name)
+                        self._emit_attributes(builder, child, binding,
+                                              child_row)
+                        builder.text(_as_text(child_row.get(VALUE)))
+                        builder.end_element()
+                    else:
+                        self._emit(builder, child, binding, child_row, stats)
+        if decl.has_text and decl.is_leaf:
+            pass  # leaf text is stored in the parent's column
+
+    def _emit_attributes(self, builder, owner_decl, table_binding, row):
+        for attribute in owner_decl.attributes:
+            binding = self._attr_binding(table_binding, owner_decl, attribute)
+            if binding is not None and row.get(binding.column_name) is not None:
+                builder.attribute(attribute, _as_text(row[binding.column_name]))
+
+    def _attr_binding(self, table_binding, owner_decl, attribute):
+        """The column binding of ``owner_decl``'s attribute, if stored."""
+        for binding in self._columns[id(table_binding)]:
+            if (
+                getattr(binding, "is_attribute", False)
+                and binding.decl is owner_decl
+                and binding.attr_name == attribute
+            ):
+                return binding
+        return None
+
+    def _child_rows(self, table_binding, parent_id, stats):
+        if self._child_cache is not None and id(table_binding) in self._child_cache:
+            return self._child_cache[id(table_binding)].get(parent_id, [])
+        table = self.db.table(table_binding.table_name)
+        index = self.db.find_index(table_binding.table_name, PARENT_ID)
+        rows = []
+        if index is not None:
+            for row_id in index.lookup_eq(parent_id, stats=stats):
+                if stats is not None:
+                    stats.rows_scanned += 1
+                rows.append(table.row_dict(table.fetch(row_id)))
+        else:
+            for _, row in table.scan():
+                if stats is not None:
+                    stats.rows_scanned += 1
+                if row[1] == parent_id:
+                    rows.append(table.row_dict(row))
+        rows.sort(key=lambda r: r[SEQ])
+        return rows
+
+    # -- canonical reconstruction view ------------------------------------------------
+
+    def make_view_query(self):
+        """The SQL/XML view reconstructing documents from the shredded
+        tables — the paper's Table 3 shape; the rewrite merges into it."""
+        root_table = self.tables[0]
+        alias = root_table.table_name
+        construction = self._construct_expr(
+            self.schema.root, root_table, alias
+        )
+        return Query(Scan(root_table.table_name, alias),
+                     [("xml_content", construction)])
+
+    def _construct_expr(self, decl, table_binding, alias):
+        content = []
+        attributes = []
+        for attribute in decl.attributes:
+            binding = self._attr_binding(table_binding, decl, attribute)
+            if binding is not None:
+                attributes.append((attribute, col(binding.column_name, alias)))
+        for particle in decl.particles:
+            content.append(
+                self._child_expr(decl, particle, table_binding, alias)
+            )
+        if decl.is_leaf and decl.has_text:
+            content.append(col(VALUE, alias))
+        return XMLElement(decl.name, *content, attributes=attributes)
+
+    def _child_expr(self, decl, particle, table_binding, alias):
+        child = particle.decl
+        binding = self.bindings[id(child)]
+        if isinstance(binding, ColumnBinding):
+            leaf_attributes = []
+            for attribute in child.attributes:
+                attr_binding = self._attr_binding(table_binding, child,
+                                                  attribute)
+                if attr_binding is not None:
+                    leaf_attributes.append(
+                        (attribute, col(attr_binding.column_name, alias))
+                    )
+            element = XMLElement(
+                child.name, col(binding.column_name, alias),
+                attributes=leaf_attributes,
+            )
+            if particle.occurs == "?" or decl.group == "choice":
+                # absent children are NULL columns: guard so the view does
+                # not fabricate empty elements for them
+                return CaseWhen(
+                    [(IsNull(col(binding.column_name, alias), negated=True),
+                      element)],
+                    Const(None),
+                )
+            return element
+        if isinstance(binding, InlineBinding):
+            inline = self._inline_expr(child, table_binding, alias)
+            if binding.presence_column is not None:
+                return CaseWhen(
+                    [(eq(col(binding.presence_column, alias), Const(1)),
+                      inline)],
+                    Const(None),
+                )
+            return inline
+        return self._aggregate_subquery(child, binding, alias)
+
+    def _inline_expr(self, decl, table_binding, alias):
+        content = [
+            self._child_expr(decl, particle, table_binding, alias)
+            for particle in decl.particles
+        ]
+        return XMLElement(decl.name, *content)
+
+    def _aggregate_subquery(self, decl, table_binding, parent_alias):
+        child_alias = table_binding.table_name
+        inner = self._construct_expr(decl, table_binding, child_alias)
+        plan = Filter(
+            Scan(table_binding.table_name, child_alias),
+            eq(col(PARENT_ID, child_alias), col(ROW_ID, parent_alias)),
+        )
+        subquery = Query(
+            plan,
+            [(None, XMLAgg(inner, order_by=[(col(SEQ, child_alias), False)]))],
+        )
+        return ScalarSubquery(subquery)
+
+
+def _as_text(value):
+    if value is None:
+        return ""
+    if isinstance(value, float) and value == int(value):
+        return str(int(value))
+    return str(value)
+
+
+class ClobStorage:
+    """Serialised-text storage: no structure for the rewrite to exploit."""
+
+    def __init__(self, db, name):
+        self.db = db
+        self.name = name
+        self.table_name = "%s_clob" % name
+        db.create_table(self.table_name, [("id", INT), ("body", TEXT)])
+        self._doc_counter = 0
+
+    def load(self, document):
+        self._doc_counter += 1
+        self.db.insert(
+            self.table_name, (self._doc_counter, serialize(document))
+        )
+        return self._doc_counter
+
+    def load_many(self, documents):
+        return [self.load(document) for document in documents]
+
+    def document_ids(self):
+        table = self.db.table(self.table_name)
+        return [row[0] for _, row in table.scan()]
+
+    def materialize(self, doc_id, stats=None):
+        table = self.db.table(self.table_name)
+        for _, row in table.scan():
+            if stats is not None:
+                stats.rows_scanned += 1
+            if row[0] == doc_id:
+                return parse_document(row[1])
+        raise DatabaseError("no document %d" % doc_id)

@@ -1,0 +1,34 @@
+"""Heap tables: row storage with stable row ids."""
+
+from __future__ import annotations
+
+
+class HeapTable:
+    """Append-only row storage; row id is the list position."""
+
+    def __init__(self, schema):
+        self.schema = schema
+        self.rows = []
+
+    def __len__(self):
+        return len(self.rows)
+
+    def insert(self, values):
+        """Insert one row (coerced to column types); returns its row id."""
+        row = self.schema.coerce_row(values)
+        self.rows.append(row)
+        return len(self.rows) - 1
+
+    def insert_many(self, value_rows):
+        return [self.insert(values) for values in value_rows]
+
+    def fetch(self, row_id):
+        return self.rows[row_id]
+
+    def scan(self):
+        """Yield (row_id, row) pairs."""
+        return enumerate(self.rows)
+
+    def row_dict(self, row):
+        """Row tuple → {column: value} mapping."""
+        return dict(zip(self.schema.column_names(), row))

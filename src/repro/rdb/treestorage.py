@@ -1,0 +1,161 @@
+"""Tree storage for XMLType (the third storage model in the paper's
+Figure 1: "Tree Storage", alongside object-relational and CLOB/BLOB).
+
+Every node of every document becomes one row of a generic node table::
+
+    <name>_nodes(node_id, doc_id, parent_id, seq, kind, name, value)
+
+Unlike object-relational shredding, tree storage needs no schema and
+handles *any* document — mixed content, comments, processing
+instructions.  The cost is that navigation is self-joins over the node
+table, so the XSLT rewrite does not apply (there is no typed-column
+mapping to merge into); the paper's §7.4 proposes tree storage *with
+path/value indexes*, which is what :class:`TreeStorage` maintains for
+document-level filtering.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DatabaseError
+from repro.rdb.pathindex import PathValueIndex
+from repro.rdb.types import INT, TEXT
+from repro.xmlmodel.builder import TreeBuilder
+from repro.xmlmodel.nodes import NodeKind
+
+
+class TreeStorage:
+    """Schema-less node-table storage with an optional path/value index."""
+
+    def __init__(self, db, name, path_index=True):
+        self.db = db
+        self.name = name
+        self.table_name = "%s_nodes" % name
+        db.create_table(
+            self.table_name,
+            [
+                ("node_id", INT),
+                ("doc_id", INT),
+                ("parent_id", INT),
+                ("seq", INT),
+                ("kind", TEXT),
+                ("name", TEXT),
+                ("value", TEXT),
+            ],
+        )
+        db.create_index(self.table_name, "doc_id")
+        self.index = PathValueIndex() if path_index else None
+        self._doc_counter = 0
+        self._node_counter = 0
+
+    # -- loading -----------------------------------------------------------
+
+    def load(self, document):
+        self._doc_counter += 1
+        doc_id = self._doc_counter
+        for seq, child in enumerate(document.children):
+            self._insert_node(child, doc_id, parent_id=0, seq=seq)
+        if self.index is not None:
+            self.index.add_document(doc_id, document)
+        return doc_id
+
+    def load_many(self, documents):
+        return [self.load(document) for document in documents]
+
+    def _insert_node(self, node, doc_id, parent_id, seq):
+        self._node_counter += 1
+        node_id = self._node_counter
+        kind = node.kind
+        if kind == NodeKind.ELEMENT:
+            self.db.insert(
+                self.table_name,
+                (node_id, doc_id, parent_id, seq, "element",
+                 node.name.local, None),
+            )
+            position = 0
+            for attribute in node.attributes:
+                self._node_counter += 1
+                self.db.insert(
+                    self.table_name,
+                    (self._node_counter, doc_id, node_id, position,
+                     "attribute", attribute.name.local, attribute.value),
+                )
+                position += 1
+            for child in node.children:
+                self._insert_node(child, doc_id, node_id, position)
+                position += 1
+        elif kind == NodeKind.TEXT:
+            self.db.insert(
+                self.table_name,
+                (node_id, doc_id, parent_id, seq, "text", None, node.value),
+            )
+        elif kind == NodeKind.COMMENT:
+            self.db.insert(
+                self.table_name,
+                (node_id, doc_id, parent_id, seq, "comment", None, node.value),
+            )
+        elif kind == NodeKind.PI:
+            self.db.insert(
+                self.table_name,
+                (node_id, doc_id, parent_id, seq, "pi", node.target,
+                 node.value),
+            )
+        else:
+            raise DatabaseError("cannot store node kind %r" % kind)
+
+    # -- materialisation ---------------------------------------------------------
+
+    def document_ids(self):
+        seen = []
+        for _, row in self.db.table(self.table_name).scan():
+            if row[1] not in seen:
+                seen.append(row[1])
+        return seen
+
+    def materialize(self, doc_id, stats=None):
+        """Rebuild one document: one indexed fetch of its rows, then an
+        in-memory tree assembly."""
+        table = self.db.table(self.table_name)
+        index = self.db.find_index(self.table_name, "doc_id")
+        rows = []
+        for row_id in index.lookup_eq(doc_id, stats=stats):
+            if stats is not None:
+                stats.rows_scanned += 1
+            rows.append(table.fetch(row_id))
+        if not rows:
+            raise DatabaseError("no document %d" % doc_id)
+        children = {}
+        for row in rows:
+            children.setdefault(row[2], []).append(row)
+        for group in children.values():
+            group.sort(key=lambda row: row[3])
+
+        builder = TreeBuilder()
+
+        def emit(row):
+            kind = row[4]
+            if kind == "element":
+                builder.start_element(row[5])
+                for child in children.get(row[0], ()):
+                    if child[4] == "attribute":
+                        builder.attribute(child[5], child[6])
+                for child in children.get(row[0], ()):
+                    if child[4] != "attribute":
+                        emit(child)
+                builder.end_element()
+            elif kind == "text":
+                builder.text(row[6])
+            elif kind == "comment":
+                builder.comment(row[6])
+            elif kind == "pi":
+                builder.processing_instruction(row[5], row[6])
+
+        for row in children.get(0, ()):
+            emit(row)
+        return builder.finish()
+
+    # -- path/value filtering -------------------------------------------------------
+
+    def find_documents(self, path, op, value, stats=None):
+        if self.index is None:
+            raise DatabaseError("tree storage built without a path index")
+        return self.index.lookup(path, op, value, stats=stats)

@@ -1,0 +1,88 @@
+"""Column types and table schemas for the relational engine."""
+
+from __future__ import annotations
+
+from repro.errors import CatalogError, DatabaseError
+from repro.xmlmodel.nodes import Node
+
+INT = "int"
+FLOAT = "float"
+TEXT = "text"
+XML = "xml"
+
+_TYPES = frozenset([INT, FLOAT, TEXT, XML])
+
+
+class Column:
+    """A typed column."""
+
+    __slots__ = ("name", "type")
+
+    def __init__(self, name, type_=TEXT):
+        if type_ not in _TYPES:
+            raise CatalogError("unknown column type %r" % type_)
+        self.name = name
+        self.type = type_
+
+    def coerce(self, value):
+        """Coerce a Python value to this column's storage type."""
+        if value is None:
+            return None
+        if self.type == INT:
+            return int(value)
+        if self.type == FLOAT:
+            return float(value)
+        if self.type == TEXT:
+            return value if isinstance(value, str) else str(value)
+        if self.type == XML:
+            if not isinstance(value, (Node, str)):
+                raise DatabaseError(
+                    "XML column %r expects a node or markup text" % self.name
+                )
+            return value
+        raise AssertionError("unreachable")
+
+    def __repr__(self):
+        return "Column(%r, %r)" % (self.name, self.type)
+
+
+class TableSchema:
+    """Ordered column list with name lookup."""
+
+    def __init__(self, name, columns):
+        self.name = name
+        self.columns = list(columns)
+        self._index = {}
+        for position, column in enumerate(self.columns):
+            if column.name in self._index:
+                raise CatalogError(
+                    "duplicate column %r in table %r" % (column.name, name)
+                )
+            self._index[column.name] = position
+
+    def position_of(self, column_name):
+        if column_name not in self._index:
+            raise CatalogError(
+                "no column %r in table %r" % (column_name, self.name)
+            )
+        return self._index[column_name]
+
+    def column(self, column_name):
+        return self.columns[self.position_of(column_name)]
+
+    def has_column(self, column_name):
+        return column_name in self._index
+
+    def column_names(self):
+        return [column.name for column in self.columns]
+
+    def coerce_row(self, values):
+        if len(values) != len(self.columns):
+            raise DatabaseError(
+                "table %r expects %d values, got %d"
+                % (self.name, len(self.columns), len(values))
+            )
+        return tuple(
+            column.coerce(value)
+            for column, value in zip(self.columns, values)
+        )

@@ -1,0 +1,50 @@
+"""Structural information about XML documents (paper §3.2).
+
+The partial evaluator needs to know, for each element type: its possible
+children, their model group (sequence / choice / all), their cardinality,
+whether text content can occur, and whether the structure is recursive.
+This package provides:
+
+* :mod:`.model` — the structural schema model
+  (:class:`~repro.schema.model.ElementDecl`,
+  :class:`~repro.schema.model.Particle`,
+  :class:`~repro.schema.model.StructuralSchema`);
+* :mod:`.dtd` — deriving a schema from a DTD internal subset;
+* :mod:`.sample` — generating the annotated *sample document* of §4.2.
+
+Deriving structure from SQL/XML view definitions lives in
+:mod:`repro.rdb.infer` (it needs the relational expression types), and from
+XQuery static typing in :mod:`repro.xquery.static_type`.
+"""
+
+from repro.schema.model import (
+    ALL,
+    CHOICE,
+    MANY,
+    ONE,
+    ONE_OR_MORE,
+    OPTIONAL,
+    SEQUENCE,
+    ElementDecl,
+    Particle,
+    StructuralSchema,
+)
+from repro.schema.dtd import schema_from_dtd
+from repro.schema.sample import ANNOTATION_NS, SampleDocument, generate_sample
+
+__all__ = [
+    "ALL",
+    "ANNOTATION_NS",
+    "CHOICE",
+    "ElementDecl",
+    "MANY",
+    "ONE",
+    "ONE_OR_MORE",
+    "OPTIONAL",
+    "Particle",
+    "SEQUENCE",
+    "SampleDocument",
+    "StructuralSchema",
+    "generate_sample",
+    "schema_from_dtd",
+]

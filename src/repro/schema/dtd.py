@@ -1,0 +1,185 @@
+"""Derive a structural schema from a DTD internal subset.
+
+Supports the common DTD content models::
+
+    <!ELEMENT name (a, b*, c?)>       sequence
+    <!ELEMENT name (a | b | c)>       choice
+    <!ELEMENT name (#PCDATA)>         text-only
+    <!ELEMENT name (#PCDATA | a)*>    mixed (text + choice children)
+    <!ELEMENT name EMPTY>             empty
+    <!ELEMENT name ANY>               rejected (no structure to exploit)
+    <!ATTLIST name attr CDATA ...>    attribute names recorded
+
+Nested groups are flattened conservatively: inner members keep their own
+cardinality joined with the group's (the flattened model never claims more
+structure than the original, so rewrites stay sound).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import SchemaError
+from repro.schema.model import (
+    CHOICE,
+    MANY,
+    ONE,
+    ONE_OR_MORE,
+    OPTIONAL,
+    SEQUENCE,
+    ElementDecl,
+    Particle,
+    StructuralSchema,
+)
+
+_ELEMENT_RE = re.compile(r"<!ELEMENT\s+([\w.:-]+)\s+([^>]+)>")
+_ATTLIST_RE = re.compile(r"<!ATTLIST\s+([\w.:-]+)\s+([^>]+)>")
+_ATT_NAME_RE = re.compile(
+    r"([\w.:-]+)\s+(?:CDATA|ID|IDREF|IDREFS|NMTOKEN|NMTOKENS|ENTITY|"
+    r"ENTITIES|NOTATION\s*\([^)]*\)|\([^)]*\))\s+"
+    r"(?:#REQUIRED|#IMPLIED|#FIXED\s+(?:\"[^\"]*\"|'[^']*')|\"[^\"]*\"|'[^']*')"
+)
+
+
+def schema_from_dtd(dtd_text, root_name=None):
+    """Parse DTD declarations and return a :class:`StructuralSchema`.
+
+    :param root_name: the document element type; defaults to the first
+        declared element.
+    """
+    raw_models = {}
+    order = []
+    for match in _ELEMENT_RE.finditer(dtd_text):
+        name, model = match.group(1), match.group(2).strip()
+        if name in raw_models:
+            raise SchemaError("duplicate <!ELEMENT %s>" % name)
+        raw_models[name] = model
+        order.append(name)
+    if not raw_models:
+        raise SchemaError("no <!ELEMENT> declarations found")
+
+    attributes = {}
+    for match in _ATTLIST_RE.finditer(dtd_text):
+        name, body = match.group(1), match.group(2)
+        names = [m.group(1) for m in _ATT_NAME_RE.finditer(body)]
+        attributes.setdefault(name, []).extend(names)
+
+    decls = {
+        name: ElementDecl(name, attributes=attributes.get(name, []))
+        for name in raw_models
+    }
+
+    for name, model in raw_models.items():
+        _apply_content_model(decls[name], model, decls)
+
+    if root_name is None:
+        root_name = order[0]
+    if root_name not in decls:
+        raise SchemaError("root element %r is not declared" % root_name)
+    return StructuralSchema(decls[root_name])
+
+
+def _apply_content_model(decl, model, decls):
+    model = model.strip()
+    if model == "EMPTY":
+        return
+    if model == "ANY":
+        raise SchemaError(
+            "<!ELEMENT %s ANY> carries no structural information" % decl.name
+        )
+    if not model.startswith("("):
+        raise SchemaError("malformed content model %r" % model)
+
+    group, occurs, rest = _parse_group(model, decls)
+    if rest.strip():
+        raise SchemaError("trailing content in model %r" % model)
+    kind, particles, has_text = group
+    decl.has_text = has_text
+    if particles:
+        decl.group = kind
+        # An outer * / + multiplies every member's cardinality.
+        if occurs in (MANY, ONE_OR_MORE):
+            particles = [Particle(p.decl, MANY) for p in particles]
+        elif occurs == OPTIONAL:
+            particles = [
+                Particle(p.decl, _optionalize(p.occurs)) for p in particles
+            ]
+        decl.particles = particles
+
+
+def _optionalize(occurs):
+    if occurs in (ONE, OPTIONAL):
+        return OPTIONAL
+    return MANY
+
+
+def _parse_group(text, decls):
+    """Parse '(' ... ')' occurs?  → ((kind, particles, has_text), occurs, rest)."""
+    assert text[0] == "("
+    body = text[1:]
+    kind = None
+    particles = []
+    has_text = False
+    expect_member = True
+
+    while True:
+        body = body.lstrip()
+        if not body:
+            raise SchemaError("unterminated group")
+        if body.startswith(")"):
+            body = body[1:]
+            break
+        if not expect_member:
+            if body[0] in ",|":
+                member_kind = SEQUENCE if body[0] == "," else CHOICE
+                if kind is None:
+                    kind = member_kind
+                elif kind != member_kind:
+                    raise SchemaError(
+                        "mixed ',' and '|' connectors in one group"
+                    )
+                body = body[1:]
+                expect_member = True
+                continue
+            raise SchemaError("malformed content model near %r" % body[:20])
+
+        if body.startswith("#PCDATA"):
+            has_text = True
+            body = body[len("#PCDATA"):]
+        elif body.startswith("("):
+            inner, inner_occurs, body = _parse_group(body, decls)
+            _, inner_particles, inner_text = inner
+            has_text = has_text or inner_text
+            # Flatten: join inner cardinalities with the nested group's.
+            for particle in inner_particles:
+                occurs = particle.occurs
+                if inner_occurs in (MANY, ONE_OR_MORE):
+                    occurs = MANY
+                elif inner_occurs == OPTIONAL:
+                    occurs = _optionalize(occurs)
+                particles.append(Particle(particle.decl, occurs))
+        else:
+            match = re.match(r"[\w.:-]+", body)
+            if not match:
+                raise SchemaError("malformed content model near %r" % body[:20])
+            child_name = match.group(0)
+            body = body[len(child_name):]
+            occurs = ONE
+            if body[:1] in ("*", "+", "?"):
+                occurs = body[0]
+                body = body[1:]
+            child_decl = decls.get(child_name)
+            if child_decl is None:
+                child_decl = ElementDecl(child_name, has_text=True)
+                decls[child_name] = child_decl
+            particles.append(Particle(child_decl, occurs))
+        expect_member = False
+
+    occurs = ONE
+    if body[:1] in ("*", "+", "?"):
+        occurs = body[0]
+        body = body[1:]
+
+    if has_text and particles:
+        kind = CHOICE  # mixed content is (#PCDATA | a | b)*
+    return (kind or SEQUENCE, particles, has_text), occurs, body

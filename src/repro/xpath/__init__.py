@@ -1,0 +1,42 @@
+"""XPath 1.0 engine: lexer, parser, evaluator, function library, patterns.
+
+The same expression machinery is shared by the XSLT VM (select expressions,
+match patterns) and the XQuery engine (path expressions), which is exactly
+the layering the paper relies on: "XSLT and XQuery share the same XPath and
+many functions and operators as a common core" (§3).
+
+Public API:
+
+* :func:`compile_xpath` / :func:`evaluate_xpath` — expressions;
+* :func:`compile_pattern` — XSLT match patterns with default priorities;
+* :class:`XPathContext` — evaluation context (node, position, size,
+  variables, namespaces, functions);
+* the value-conversion helpers in :mod:`.datamodel`.
+"""
+
+from repro.xpath.context import XPathContext
+from repro.xpath.datamodel import (
+    is_node,
+    is_node_set,
+    number_to_string,
+    to_boolean,
+    to_number,
+    to_string,
+)
+from repro.xpath.parser import compile_xpath, parse_xpath
+from repro.xpath.patterns import compile_pattern
+from repro.xpath.evaluator import evaluate_xpath
+
+__all__ = [
+    "XPathContext",
+    "compile_pattern",
+    "compile_xpath",
+    "evaluate_xpath",
+    "is_node",
+    "is_node_set",
+    "number_to_string",
+    "parse_xpath",
+    "to_boolean",
+    "to_number",
+    "to_string",
+]

@@ -1,0 +1,110 @@
+"""XPath axis iterators.
+
+Each axis function takes a context node and yields candidate nodes in *axis
+order* (document order for forward axes, reverse document order for reverse
+axes), which is what positional predicates count in.
+"""
+
+from __future__ import annotations
+
+from repro.xmlmodel.nodes import NodeKind
+
+
+def axis_child(node):
+    return iter(node.children)
+
+
+def axis_descendant(node):
+    return node.iter_descendants()
+
+
+def axis_descendant_or_self(node):
+    return node.iter_subtree()
+
+
+def axis_parent(node):
+    if node.parent is not None:
+        yield node.parent
+
+
+def axis_ancestor(node):
+    return node.ancestors()
+
+
+def axis_ancestor_or_self(node):
+    yield node
+    for ancestor in node.ancestors():
+        yield ancestor
+
+
+def axis_following_sibling(node):
+    return node.following_siblings()
+
+
+def axis_preceding_sibling(node):
+    return node.preceding_siblings()
+
+
+def axis_following(node):
+    """Nodes after the subtree of ``node``, excluding ancestors/attributes."""
+    current = node
+    while current is not None:
+        for sibling in current.following_siblings():
+            for item in sibling.iter_subtree():
+                yield item
+        current = current.parent
+
+
+def axis_preceding(node):
+    """Nodes wholly before ``node``, excluding ancestors, reverse order."""
+    ancestors = set(id(a) for a in node.ancestors())
+    root = node.root()
+    before = []
+    for item in root.iter_subtree():
+        if item is node:
+            break
+        if id(item) not in ancestors and item is not root:
+            before.append(item)
+    return reversed(before)
+
+
+def axis_attribute(node):
+    if node.kind == NodeKind.ELEMENT:
+        return iter(node.attributes)
+    return iter(())
+
+
+def axis_self(node):
+    yield node
+
+
+def axis_namespace(node):
+    """Namespace nodes are not materialised in this model."""
+    return iter(())
+
+
+AXES = {
+    "child": axis_child,
+    "descendant": axis_descendant,
+    "descendant-or-self": axis_descendant_or_self,
+    "parent": axis_parent,
+    "ancestor": axis_ancestor,
+    "ancestor-or-self": axis_ancestor_or_self,
+    "following-sibling": axis_following_sibling,
+    "preceding-sibling": axis_preceding_sibling,
+    "following": axis_following,
+    "preceding": axis_preceding,
+    "attribute": axis_attribute,
+    "self": axis_self,
+    "namespace": axis_namespace,
+}
+
+REVERSE_AXES = frozenset(
+    ["parent", "ancestor", "ancestor-or-self", "preceding", "preceding-sibling"]
+)
+
+# The principal node kind of an axis: what a name test selects.
+PRINCIPAL_KIND = {
+    "attribute": NodeKind.ATTRIBUTE,
+    "namespace": "namespace",
+}

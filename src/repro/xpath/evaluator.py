@@ -1,0 +1,31 @@
+"""Convenience entry point for evaluating XPath expressions."""
+
+from __future__ import annotations
+
+from repro.xmlmodel.nodes import Node
+from repro.xpath.context import XPathContext
+from repro.xpath.parser import compile_xpath
+
+
+def evaluate_xpath(source, node, variables=None, namespaces=None, functions=None):
+    """Compile and evaluate ``source`` with ``node`` as the context node.
+
+    Returns an XPath value: node list, string, float or bool.
+    """
+    expr = compile_xpath(source)
+    context = XPathContext(
+        node,
+        variables=variables,
+        namespaces=namespaces,
+        functions=functions,
+    )
+    return expr.evaluate(context)
+
+
+def first_node(value):
+    """The first node of a node-set value, or ``None``."""
+    if isinstance(value, Node):
+        return value
+    if isinstance(value, list) and value:
+        return value[0]
+    return None

@@ -1,0 +1,353 @@
+"""XPath 1.0 core function library, plus the ``fn:`` additions the
+generated XQuery uses (``string-join``, ``exists``, ``empty``, ``data``).
+
+Registry format: ``name -> (min_args, max_args, impl)`` where ``impl``
+receives the evaluation context followed by the already-evaluated argument
+values.  ``max_args`` of ``None`` means variadic.  Host languages (the XSLT
+VM) overlay extra entries via ``XPathContext.functions``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import XPathEvaluationError
+from repro.xmlmodel.nodes import Node, NodeKind
+from repro.xpath.datamodel import (
+    NAN,
+    to_boolean,
+    to_node_set,
+    to_number,
+    to_string,
+    xpath_round,
+)
+
+
+def _context_node_set(context):
+    if context.node is None:
+        raise XPathEvaluationError("no context node")
+    return [context.node]
+
+
+# -- node-set functions -------------------------------------------------------
+
+
+def fn_last(context):
+    return float(context.size)
+
+
+def fn_position(context):
+    return float(context.position)
+
+
+def fn_count(context, value):
+    # XPath 1.0 takes a node-set; the XQuery engine shares this library and
+    # counts general item sequences, so any list is accepted.
+    if isinstance(value, Node):
+        return 1.0
+    if isinstance(value, list):
+        return float(len(value))
+    return float(len(to_node_set(value, "count() argument")))
+
+
+def fn_id(context, value):
+    # No DTD-driven ID support in this model; defined to select nothing.
+    return []
+
+
+def fn_local_name(context, value=None):
+    nodes = (
+        _context_node_set(context)
+        if value is None
+        else to_node_set(value, "local-name() argument")
+    )
+    if not nodes or nodes[0].name is None:
+        return ""
+    return nodes[0].name.local
+
+
+def fn_namespace_uri(context, value=None):
+    nodes = (
+        _context_node_set(context)
+        if value is None
+        else to_node_set(value, "namespace-uri() argument")
+    )
+    if not nodes or nodes[0].name is None:
+        return ""
+    return nodes[0].name.uri or ""
+
+
+def fn_name(context, value=None):
+    nodes = (
+        _context_node_set(context)
+        if value is None
+        else to_node_set(value, "name() argument")
+    )
+    if not nodes or nodes[0].name is None:
+        return ""
+    return nodes[0].name.lexical
+
+
+# -- string functions --------------------------------------------------------
+
+
+def fn_string(context, value=None):
+    if value is None:
+        return context.node.string_value() if context.node is not None else ""
+    return to_string(value)
+
+
+def fn_concat(context, *values):
+    return "".join(to_string(value) for value in values)
+
+
+def fn_starts_with(context, haystack, prefix):
+    return to_string(haystack).startswith(to_string(prefix))
+
+
+def fn_contains(context, haystack, needle):
+    return to_string(needle) in to_string(haystack)
+
+
+def fn_substring_before(context, haystack, needle):
+    text = to_string(haystack)
+    marker = to_string(needle)
+    index = text.find(marker)
+    return text[:index] if index >= 0 else ""
+
+
+def fn_substring_after(context, haystack, needle):
+    text = to_string(haystack)
+    marker = to_string(needle)
+    index = text.find(marker)
+    return text[index + len(marker):] if index >= 0 else ""
+
+
+def fn_substring(context, value, start, length=None):
+    """XPath substring() with its round-and-clip semantics."""
+    text = to_string(value)
+    start_num = to_number(start)
+    if start_num != start_num:  # NaN start selects nothing
+        return ""
+    begin = xpath_round(start_num)
+    if length is not None:
+        length_num = to_number(length)
+        if length_num != length_num:
+            return ""
+        end = begin + xpath_round(length_num)
+    else:
+        end = math.inf
+    result = []
+    for position, char in enumerate(text, start=1):
+        if position >= begin and position < end:
+            result.append(char)
+    return "".join(result)
+
+
+def fn_string_length(context, value=None):
+    text = fn_string(context, value)
+    return float(len(text))
+
+
+def fn_normalize_space(context, value=None):
+    text = fn_string(context, value)
+    return " ".join(text.split())
+
+
+def fn_translate(context, value, source_chars, target_chars):
+    text = to_string(value)
+    source = to_string(source_chars)
+    target = to_string(target_chars)
+    mapping = {}
+    for index, char in enumerate(source):
+        if char not in mapping:
+            mapping[char] = target[index] if index < len(target) else None
+    out = []
+    for char in text:
+        if char in mapping:
+            replacement = mapping[char]
+            if replacement is not None:
+                out.append(replacement)
+        else:
+            out.append(char)
+    return "".join(out)
+
+
+# -- boolean functions ---------------------------------------------------------
+
+
+def fn_boolean(context, value):
+    return to_boolean(value)
+
+
+def fn_not(context, value):
+    return not to_boolean(value)
+
+
+def fn_true(context):
+    return True
+
+
+def fn_false(context):
+    return False
+
+
+def fn_lang(context, value):
+    wanted = to_string(value).lower()
+    node = context.node
+    while node is not None:
+        if node.kind == NodeKind.ELEMENT:
+            lang = node.get_attribute(
+                "lang", uri="http://www.w3.org/XML/1998/namespace"
+            )
+            if lang is not None:
+                lang = lang.lower()
+                return lang == wanted or lang.startswith(wanted + "-")
+        node = node.parent
+    return False
+
+
+# -- number functions -----------------------------------------------------------
+
+
+def fn_number(context, value=None):
+    if value is None:
+        if context.node is None:
+            return NAN
+        return to_number(context.node.string_value())
+    return to_number(value)
+
+
+def fn_sum(context, value):
+    # Accepts node-sets (XPath) and general item sequences (XQuery).
+    if isinstance(value, Node):
+        value = [value]
+    if not isinstance(value, list):
+        value = [value]
+    return float(sum(to_number(item) for item in value))
+
+
+def fn_floor(context, value):
+    number = to_number(value)
+    if number != number or number in (math.inf, -math.inf):
+        return number
+    return float(math.floor(number))
+
+
+def fn_ceiling(context, value):
+    number = to_number(value)
+    if number != number or number in (math.inf, -math.inf):
+        return number
+    return float(math.ceil(number))
+
+
+def fn_round(context, value):
+    return xpath_round(to_number(value))
+
+
+# -- XQuery fn: additions used by generated queries -----------------------------
+
+
+def fn_exists(context, value):
+    if isinstance(value, Node):
+        return True
+    if isinstance(value, list):
+        return len(value) > 0
+    return True  # an atomic value is a singleton sequence
+
+
+def fn_empty(context, value):
+    return not fn_exists(context, value)
+
+
+def fn_string_join(context, value, separator=""):
+    separator = to_string(separator)
+    if isinstance(value, Node):
+        value = [value]
+    if not isinstance(value, list):
+        value = [value]
+    return separator.join(to_string(item) for item in value)
+
+
+def fn_data(context, value):
+    """Atomize: nodes become their string values."""
+    if isinstance(value, Node):
+        return value.string_value()
+    if isinstance(value, list):
+        return [
+            item.string_value() if isinstance(item, Node) else item
+            for item in value
+        ]
+    return value
+
+
+def fn_distinct_values(context, value):
+    if not isinstance(value, list):
+        value = [value]
+    seen = []
+    for item in value:
+        atom = item.string_value() if isinstance(item, Node) else item
+        if atom not in seen:
+            seen.append(atom)
+    return seen
+
+
+def fn_avg(context, value):
+    nodes = to_node_set(value, "avg() argument")
+    if not nodes:
+        return []
+    return fn_sum(context, nodes) / len(nodes)
+
+
+def fn_min(context, value):
+    nodes = to_node_set(value, "min() argument")
+    if not nodes:
+        return []
+    return min(to_number(node.string_value()) for node in nodes)
+
+
+def fn_max(context, value):
+    nodes = to_node_set(value, "max() argument")
+    if not nodes:
+        return []
+    return max(to_number(node.string_value()) for node in nodes)
+
+
+CORE_FUNCTIONS = {
+    "last": (0, 0, fn_last),
+    "position": (0, 0, fn_position),
+    "count": (1, 1, fn_count),
+    "id": (1, 1, fn_id),
+    "local-name": (0, 1, fn_local_name),
+    "namespace-uri": (0, 1, fn_namespace_uri),
+    "name": (0, 1, fn_name),
+    "string": (0, 1, fn_string),
+    "concat": (2, None, fn_concat),
+    "starts-with": (2, 2, fn_starts_with),
+    "contains": (2, 2, fn_contains),
+    "substring-before": (2, 2, fn_substring_before),
+    "substring-after": (2, 2, fn_substring_after),
+    "substring": (2, 3, fn_substring),
+    "string-length": (0, 1, fn_string_length),
+    "normalize-space": (0, 1, fn_normalize_space),
+    "translate": (3, 3, fn_translate),
+    "boolean": (1, 1, fn_boolean),
+    "not": (1, 1, fn_not),
+    "true": (0, 0, fn_true),
+    "false": (0, 0, fn_false),
+    "lang": (1, 1, fn_lang),
+    "number": (0, 1, fn_number),
+    "sum": (1, 1, fn_sum),
+    "floor": (1, 1, fn_floor),
+    "ceiling": (1, 1, fn_ceiling),
+    "round": (1, 1, fn_round),
+    # fn: extensions shared with the XQuery engine
+    "exists": (1, 1, fn_exists),
+    "empty": (1, 1, fn_empty),
+    "string-join": (1, 2, fn_string_join),
+    "data": (1, 1, fn_data),
+    "distinct-values": (1, 1, fn_distinct_values),
+    "avg": (1, 1, fn_avg),
+    "min": (1, 1, fn_min),
+    "max": (1, 1, fn_max),
+}

@@ -1,0 +1,345 @@
+"""Recursive-descent parser for XPath 1.0.
+
+Produces :mod:`repro.xpath.ast` nodes.  The grammar follows the REC
+productions; ``//`` is expanded to ``/descendant-or-self::node()/`` during
+parsing, and ``.``/``..`` become ``self::node()``/``parent::node()`` steps.
+
+The :class:`XPathParser` is designed for reuse: the XSLT pattern parser and
+the XQuery parser call into its step- and expression-level methods.
+"""
+
+from __future__ import annotations
+
+from repro.errors import XPathSyntaxError
+from repro.xmlmodel.nodes import NodeKind
+from repro.xpath import lexer as lex
+from repro.xpath.ast import (
+    BinaryOp,
+    FilterExpr,
+    FunctionCall,
+    KindTest,
+    Literal,
+    NameTest,
+    NumberLiteral,
+    PathExpr,
+    Step,
+    UnaryMinus,
+    UnionExpr,
+    VariableRef,
+)
+from repro.xpath.lexer import Lexer
+
+_KIND_FOR_NODETYPE = {
+    "node": None,
+    "text": NodeKind.TEXT,
+    "comment": NodeKind.COMMENT,
+    "processing-instruction": NodeKind.PI,
+}
+
+_EQUALITY_OPS = ("=", "!=")
+_RELATIONAL_OPS = ("<", "<=", ">", ">=")
+_ADDITIVE_OPS = ("+", "-")
+_MULTIPLICATIVE_OPS = ("*", "div", "mod")
+
+
+class XPathParser:
+    """Parser over an incremental :class:`Lexer`."""
+
+    def __init__(self, lexer):
+        self.lexer = lexer
+
+    # -- token helpers -------------------------------------------------------
+
+    def peek(self, offset=0):
+        return self.lexer.peek(offset)
+
+    def advance(self):
+        return self.lexer.advance()
+
+    def at(self, type_, value=None, offset=0):
+        token = self.peek(offset)
+        if token.type != type_:
+            return False
+        return value is None or token.value == value
+
+    def expect(self, type_, value=None):
+        token = self.advance()
+        if token.type != type_ or (value is not None and token.value != value):
+            raise XPathSyntaxError(
+                "expected %s%s, got %r at offset %d"
+                % (
+                    type_,
+                    " %r" % value if value is not None else "",
+                    token.value,
+                    token.pos,
+                )
+            )
+        return token
+
+    def fail(self, message):
+        token = self.peek()
+        raise XPathSyntaxError("%s at offset %d" % (message, token.pos))
+
+    # -- expression grammar ----------------------------------------------------
+
+    def parse_expr(self):
+        return self.parse_or()
+
+    def parse_or(self):
+        left = self.parse_and()
+        while self.at(lex.OPERATOR, "or"):
+            self.advance()
+            left = BinaryOp("or", left, self.parse_and())
+        return left
+
+    def parse_and(self):
+        left = self.parse_equality()
+        while self.at(lex.OPERATOR, "and"):
+            self.advance()
+            left = BinaryOp("and", left, self.parse_equality())
+        return left
+
+    def parse_equality(self):
+        left = self.parse_relational()
+        while self.peek().type == lex.OPERATOR and self.peek().value in _EQUALITY_OPS:
+            op = self.advance().value
+            left = BinaryOp(op, left, self.parse_relational())
+        return left
+
+    def parse_relational(self):
+        left = self.parse_additive()
+        while (
+            self.peek().type == lex.OPERATOR and self.peek().value in _RELATIONAL_OPS
+        ):
+            op = self.advance().value
+            left = BinaryOp(op, left, self.parse_additive())
+        return left
+
+    def parse_additive(self):
+        left = self.parse_multiplicative()
+        while self.peek().type == lex.OPERATOR and self.peek().value in _ADDITIVE_OPS:
+            op = self.advance().value
+            left = BinaryOp(op, left, self.parse_multiplicative())
+        return left
+
+    def parse_multiplicative(self):
+        left = self.parse_unary()
+        while (
+            self.peek().type == lex.OPERATOR
+            and self.peek().value in _MULTIPLICATIVE_OPS
+        ):
+            op = self.advance().value
+            left = BinaryOp(op, left, self.parse_unary())
+        return left
+
+    def parse_unary(self):
+        if self.at(lex.OPERATOR, "-"):
+            self.advance()
+            return UnaryMinus(self.parse_unary())
+        return self.parse_union()
+
+    def parse_union(self):
+        left = self.parse_path()
+        if not self.at(lex.OPERATOR, "|"):
+            return left
+        parts = [left]
+        while self.at(lex.OPERATOR, "|"):
+            self.advance()
+            parts.append(self.parse_path())
+        return UnionExpr(parts)
+
+    # -- paths -------------------------------------------------------------------
+
+    def parse_path(self):
+        """PathExpr: a location path, or a filter expr with optional steps."""
+        if self._at_primary_start():
+            primary = self.parse_primary()
+            predicates = []
+            while self.at(lex.LBRACK):
+                self.advance()
+                predicates.append(self.parse_expr())
+                self.expect(lex.RBRACK)
+            base = FilterExpr(primary, predicates) if predicates else primary
+            if self.at(lex.SLASH) or self.at(lex.DSLASH):
+                steps = self._parse_step_sequence()
+                return PathExpr(steps, start=base)
+            return base
+        return self.parse_location_path()
+
+    def _at_primary_start(self):
+        token = self.peek()
+        if token.type in (lex.VARIABLE, lex.LITERAL, lex.NUMBER, lex.LPAREN):
+            return True
+        if token.type == lex.NAME and self.peek(1).type == lex.LPAREN:
+            return True
+        return False
+
+    def parse_primary(self):
+        token = self.peek()
+        if token.type == lex.VARIABLE:
+            self.advance()
+            return VariableRef(token.value)
+        if token.type == lex.LITERAL:
+            self.advance()
+            return Literal(token.value)
+        if token.type == lex.NUMBER:
+            self.advance()
+            return NumberLiteral(token.value)
+        if token.type == lex.LPAREN:
+            self.advance()
+            inner = self.parse_expr()
+            self.expect(lex.RPAREN)
+            return inner
+        if token.type == lex.NAME and self.peek(1).type == lex.LPAREN:
+            return self.parse_function_call()
+        self.fail("expected a primary expression")
+
+    def parse_function_call(self):
+        name = self.advance().value
+        if name.startswith("fn:"):
+            name = name[3:]
+        self.expect(lex.LPAREN)
+        args = []
+        if not self.at(lex.RPAREN):
+            args.append(self.parse_argument())
+            while self.at(lex.OPERATOR, ","):
+                self.advance()
+                args.append(self.parse_argument())
+        self.expect(lex.RPAREN)
+        return FunctionCall(name, args)
+
+    def parse_argument(self):
+        """One function-call argument (overridden by the XQuery parser,
+        where arguments are ExprSingle so commas separate arguments)."""
+        return self.parse_expr()
+
+    def parse_location_path(self):
+        token = self.peek()
+        if token.type == lex.SLASH:
+            self.advance()
+            if self._at_step_start():
+                steps = [self.parse_step()]
+                steps.extend(self._parse_step_sequence_tail())
+                return PathExpr(steps, absolute=True)
+            return PathExpr([], absolute=True)
+        if token.type == lex.DSLASH:
+            self.advance()
+            steps = [Step("descendant-or-self", KindTest(None)), self.parse_step()]
+            steps.extend(self._parse_step_sequence_tail())
+            return PathExpr(steps, absolute=True)
+        steps = [self.parse_step()]
+        steps.extend(self._parse_step_sequence_tail())
+        return PathExpr(steps)
+
+    def _parse_step_sequence(self):
+        """Steps after a filter expression: (('/' | '//') Step)+ ."""
+        steps = []
+        while True:
+            if self.at(lex.SLASH):
+                self.advance()
+                steps.append(self.parse_step())
+            elif self.at(lex.DSLASH):
+                self.advance()
+                steps.append(Step("descendant-or-self", KindTest(None)))
+                steps.append(self.parse_step())
+            else:
+                break
+        if not steps:
+            self.fail("expected a step after '/'")
+        return steps
+
+    def _parse_step_sequence_tail(self):
+        steps = []
+        while self.at(lex.SLASH) or self.at(lex.DSLASH):
+            if self.advance().type == lex.DSLASH:
+                steps.append(Step("descendant-or-self", KindTest(None)))
+            steps.append(self.parse_step())
+        return steps
+
+    def _at_step_start(self):
+        token = self.peek()
+        return token.type in (
+            lex.NAME,
+            lex.STAR,
+            lex.NCWILD,
+            lex.AT,
+            lex.AXIS,
+            lex.NODETYPE,
+            lex.DOT,
+            lex.DOTDOT,
+        )
+
+    def parse_step(self):
+        token = self.peek()
+        if token.type == lex.DOT:
+            self.advance()
+            return Step("self", KindTest(None))
+        if token.type == lex.DOTDOT:
+            self.advance()
+            return Step("parent", KindTest(None))
+
+        axis = "child"
+        if token.type == lex.AT:
+            self.advance()
+            axis = "attribute"
+        elif token.type == lex.AXIS:
+            axis = self.advance().value
+
+        test = self.parse_node_test()
+        predicates = []
+        while self.at(lex.LBRACK):
+            self.advance()
+            predicates.append(self.parse_expr())
+            self.expect(lex.RBRACK)
+        return Step(axis, test, predicates)
+
+    def parse_node_test(self):
+        token = self.peek()
+        if token.type == lex.STAR:
+            self.advance()
+            return NameTest(None, "*")
+        if token.type == lex.NCWILD:
+            self.advance()
+            return NameTest(token.value, "*")
+        if token.type == lex.NODETYPE:
+            self.advance()
+            self.expect(lex.LPAREN)
+            target = None
+            if token.value == "processing-instruction" and self.at(lex.LITERAL):
+                target = self.advance().value
+            self.expect(lex.RPAREN)
+            return KindTest(_KIND_FOR_NODETYPE[token.value], target)
+        if token.type == lex.NAME:
+            self.advance()
+            prefix, _, local = token.value.rpartition(":")
+            return NameTest(prefix or None, local)
+        self.fail("expected a node test")
+
+
+def parse_xpath(source):
+    """Parse an XPath 1.0 expression string into an AST."""
+    lexer = Lexer(source)
+    parser = XPathParser(lexer)
+    expr = parser.parse_expr()
+    trailing = lexer.peek()
+    if trailing.type != lex.EOF:
+        raise XPathSyntaxError(
+            "unexpected trailing input %r at offset %d in %r"
+            % (trailing.value, trailing.pos, source)
+        )
+    return expr
+
+
+_COMPILE_CACHE = {}
+_COMPILE_CACHE_LIMIT = 2048
+
+
+def compile_xpath(source):
+    """Parse with memoisation (stylesheets re-use the same expressions)."""
+    expr = _COMPILE_CACHE.get(source)
+    if expr is None:
+        expr = parse_xpath(source)
+        if len(_COMPILE_CACHE) >= _COMPILE_CACHE_LIMIT:
+            _COMPILE_CACHE.clear()
+        _COMPILE_CACHE[source] = expr
+    return expr

@@ -1,0 +1,271 @@
+"""XSLT 1.0 match patterns.
+
+A pattern is a union of *location path patterns*; a node matches if it
+matches any alternative.  Matching is implemented by the reverse-step walk
+the paper attributes to [6] (Moerkotte) and [9]: the node must match the
+last step, its parent chain must satisfy the remaining steps, and a leading
+``/`` anchors the chain at the document root.
+
+Each alternative carries the XSLT 1.0 *default priority* (§5.5), used for
+template conflict resolution:
+
+* QName or ``processing-instruction('name')`` test → 0
+* ``prefix:*`` → −0.25
+* bare kind test (``*``, ``node()``, ``text()``, ...) → −0.5
+* anything else (multiple steps or predicates) → +0.5
+"""
+
+from __future__ import annotations
+
+from repro.errors import XPathSyntaxError
+from repro.xmlmodel.nodes import NodeKind
+from repro.xpath import lexer as lex
+from repro.xpath.ast import KindTest, NameTest, _filter_by_predicate
+from repro.xpath.lexer import Lexer
+from repro.xpath.parser import XPathParser
+
+# Connectors between pattern steps.
+CHILD = "/"
+ANCESTOR = "//"
+
+
+class StepPattern:
+    """One pattern step: child or attribute axis, node test, predicates."""
+
+    __slots__ = ("axis", "test", "predicates")
+
+    def __init__(self, axis, test, predicates):
+        self.axis = axis
+        self.test = test
+        self.predicates = predicates
+
+    def node_matches(self, node, context):
+        """Does ``node`` satisfy this step's test and predicates?"""
+        principal = (
+            NodeKind.ATTRIBUTE if self.axis == "attribute" else NodeKind.ELEMENT
+        )
+        if not self.test.matches(node, principal, context):
+            return False
+        if not self.predicates:
+            return True
+        return self._predicates_hold(node, context)
+
+    def _predicates_hold(self, node, context):
+        """Pattern predicates count position among like-named siblings."""
+        parent = node.parent
+        if parent is None:
+            siblings = [node]
+        elif self.axis == "attribute":
+            siblings = [
+                attribute
+                for attribute in parent.attributes
+                if self.test.matches(attribute, NodeKind.ATTRIBUTE, context)
+            ]
+        else:
+            siblings = [
+                child
+                for child in parent.children
+                if self.test.matches(child, NodeKind.ELEMENT, context)
+            ]
+        survivors = siblings
+        for predicate in self.predicates:
+            survivors = _filter_by_predicate(survivors, predicate, context)
+        return any(candidate is node for candidate in survivors)
+
+    def to_text(self):
+        prefix = "@" if self.axis == "attribute" else ""
+        text = prefix + self.test.to_text()
+        for predicate in self.predicates:
+            text += "[%s]" % predicate.to_text()
+        return text
+
+
+class PathPattern:
+    """One alternative of a pattern: steps joined by '/' or '//'."""
+
+    __slots__ = ("steps", "connectors", "anchored", "source")
+
+    def __init__(self, steps, connectors, anchored, source=""):
+        # steps[i] is joined to steps[i+1] by connectors[i]
+        self.steps = steps
+        self.connectors = connectors
+        self.anchored = anchored
+        self.source = source
+
+    def matches(self, node, context):
+        if not self.steps:  # the pattern "/" — matches the document node
+            return node.kind == NodeKind.DOCUMENT
+        if not self.steps[-1].node_matches(node, context):
+            return False
+        return self._chain_matches(node, len(self.steps) - 1, context)
+
+    def _chain_matches(self, node, step_index, context):
+        """Check steps[0..step_index-1] against the ancestors of ``node``."""
+        if step_index == 0:
+            if not self.anchored:
+                return True
+            parent = node.parent
+            return parent is not None and parent.kind == NodeKind.DOCUMENT
+        connector = self.connectors[step_index - 1]
+        prior = self.steps[step_index - 1]
+        parent = node.parent
+        if connector == CHILD:
+            if parent is None:
+                return False
+            return prior.node_matches(parent, context) and self._chain_matches(
+                parent, step_index - 1, context
+            )
+        # '//': some ancestor matches the prior step
+        ancestor = parent
+        while ancestor is not None:
+            if prior.node_matches(ancestor, context) and self._chain_matches(
+                ancestor, step_index - 1, context
+            ):
+                return True
+            ancestor = ancestor.parent
+        return False
+
+    def default_priority(self):
+        if len(self.steps) != 1 or self.anchored:
+            return 0.5
+        step = self.steps[0]
+        if step.predicates:
+            return 0.5
+        test = step.test
+        if isinstance(test, NameTest):
+            if test.local == "*":
+                if test.prefix is None:
+                    return -0.5
+                return -0.25
+            return 0.0
+        if isinstance(test, KindTest):
+            if test.kind == NodeKind.PI and test.target is not None:
+                return 0.0
+            return -0.5
+        return 0.5  # pragma: no cover - test kinds are exhaustive
+
+    def to_text(self):
+        if not self.steps:
+            return "/"
+        parts = []
+        if self.anchored:
+            parts.append("/")
+        for index, step in enumerate(self.steps):
+            if index:
+                parts.append(self.connectors[index - 1])
+            parts.append(step.to_text())
+        return "".join(parts)
+
+
+class Pattern:
+    """A full match pattern: union of :class:`PathPattern` alternatives."""
+
+    __slots__ = ("alternatives", "source")
+
+    def __init__(self, alternatives, source):
+        self.alternatives = alternatives
+        self.source = source
+
+    def matches(self, node, context):
+        return any(alt.matches(node, context) for alt in self.alternatives)
+
+    def max_default_priority(self):
+        return max(alt.default_priority() for alt in self.alternatives)
+
+    def to_text(self):
+        return " | ".join(alt.to_text() for alt in self.alternatives)
+
+    def __repr__(self):
+        return "Pattern(%r)" % self.source
+
+
+class _PatternParser(XPathParser):
+    """Parses the pattern grammar, reusing the XPath step machinery."""
+
+    def parse_pattern(self):
+        alternatives = [self.parse_location_path_pattern()]
+        while self.at(lex.OPERATOR, "|"):
+            self.advance()
+            alternatives.append(self.parse_location_path_pattern())
+        return alternatives
+
+    def parse_location_path_pattern(self):
+        anchored = False
+        steps = []
+        connectors = []
+        token = self.peek()
+        if token.type == lex.SLASH:
+            self.advance()
+            anchored = True
+            if not self._at_pattern_step_start():
+                return PathPattern([], [], anchored=True)
+        elif token.type == lex.DSLASH:
+            self.advance()
+            # Leading '//' is equivalent to unanchored.
+        steps.append(self.parse_step_pattern())
+        while self.at(lex.SLASH) or self.at(lex.DSLASH):
+            connector = CHILD if self.advance().type == lex.SLASH else ANCESTOR
+            connectors.append(connector)
+            steps.append(self.parse_step_pattern())
+        return PathPattern(steps, connectors, anchored)
+
+    def _at_pattern_step_start(self):
+        return self.peek().type in (
+            lex.NAME,
+            lex.STAR,
+            lex.NCWILD,
+            lex.AT,
+            lex.AXIS,
+            lex.NODETYPE,
+        )
+
+    def parse_step_pattern(self):
+        axis = "child"
+        token = self.peek()
+        if token.type == lex.AT:
+            self.advance()
+            axis = "attribute"
+        elif token.type == lex.AXIS:
+            if token.value not in ("child", "attribute"):
+                raise XPathSyntaxError(
+                    "patterns allow only child/attribute axes, got %r"
+                    % token.value
+                )
+            axis = self.advance().value
+        test = self.parse_node_test()
+        predicates = []
+        while self.at(lex.LBRACK):
+            self.advance()
+            predicates.append(self.parse_expr())
+            self.expect(lex.RBRACK)
+        return StepPattern(axis, test, predicates)
+
+
+def parse_pattern(source):
+    """Parse a pattern string into a :class:`Pattern`."""
+    lexer = Lexer(source)
+    parser = _PatternParser(lexer)
+    alternatives = parser.parse_pattern()
+    trailing = lexer.peek()
+    if trailing.type != lex.EOF:
+        raise XPathSyntaxError(
+            "unexpected trailing input %r in pattern %r" % (trailing.value, source)
+        )
+    for alternative in alternatives:
+        alternative.source = source
+    return Pattern(alternatives, source)
+
+
+_PATTERN_CACHE = {}
+_PATTERN_CACHE_LIMIT = 1024
+
+
+def compile_pattern(source):
+    """Parse a pattern with memoisation."""
+    pattern = _PATTERN_CACHE.get(source)
+    if pattern is None:
+        pattern = parse_pattern(source)
+        if len(_PATTERN_CACHE) >= _PATTERN_CACHE_LIMIT:
+            _PATTERN_CACHE.clear()
+        _PATTERN_CACHE[source] = pattern
+    return pattern

@@ -1,0 +1,27 @@
+"""XQuery subset engine: the rewrite target language.
+
+Implements the XQuery 1.0 subset that the XSLT→XQuery rewrite emits and
+that the paper's examples exercise (Table 8, Table 10):
+
+* FLWOR expressions (``for``/``let``/``where``/``order by``/``return``);
+* direct element constructors with enclosed ``{...}`` expressions;
+* conditionals, quantified expressions, sequence and range expressions;
+* ``instance of element(name)``/``text()``/``node()`` tests;
+* a prolog with ``declare variable`` and ``declare function`` (the
+  non-inline rewrite mode emits one function per template);
+* the shared XPath core (paths, operators, function library).
+
+Public API: :func:`parse_xquery`, :func:`evaluate_xquery`,
+:func:`~repro.xquery.serializer.xquery_to_text`.
+"""
+
+from repro.xquery.parser import parse_xquery
+from repro.xquery.evaluator import evaluate_xquery, evaluate_module
+from repro.xquery.serializer import xquery_to_text
+
+__all__ = [
+    "evaluate_module",
+    "evaluate_xquery",
+    "parse_xquery",
+    "xquery_to_text",
+]

@@ -1,0 +1,54 @@
+"""Evaluate XQuery modules against a context item."""
+
+from __future__ import annotations
+
+from repro.xmlmodel.builder import TreeBuilder
+from repro.xmlmodel.parser import parse_document
+from repro.xpath.context import XPathContext
+from repro.xquery.ast import Module, as_sequence, insert_sequence
+from repro.xquery.parser import parse_xquery
+
+
+def evaluate_module(module, context_node, variables=None, namespaces=None,
+                    functions=None):
+    """Evaluate a parsed :class:`~repro.xquery.ast.Module`.
+
+    Returns the result sequence (list of nodes/atomics).
+    """
+    context = XPathContext(
+        context_node,
+        variables=dict(variables) if variables else {},
+        namespaces=namespaces,
+        functions=functions,
+    )
+    context.extra["xquery_functions"] = {
+        (declaration.name, len(declaration.params)): declaration
+        for declaration in module.functions
+    }
+    for declaration in module.variables:
+        context = context.with_variables(
+            {declaration.name: declaration.expr.evaluate(context)}
+        )
+    return as_sequence(module.body.evaluate(context))
+
+
+def evaluate_xquery(source, context_node=None, variables=None, namespaces=None):
+    """Parse and evaluate a query string; returns the result sequence."""
+    if isinstance(source, Module):
+        module = source
+    else:
+        module = parse_xquery(source)
+    if isinstance(context_node, str):
+        context_node = parse_document(context_node)
+    return evaluate_module(
+        module, context_node, variables=variables, namespaces=namespaces
+    )
+
+
+def sequence_to_document(sequence):
+    """Materialise a result sequence as a document (XQuery content rules:
+    nodes copied, adjacent atomics space-joined) — the shape
+    ``XMLQuery(... RETURNING CONTENT)`` produces."""
+    builder = TreeBuilder()
+    insert_sequence(builder, sequence)
+    return builder.finish()

@@ -1,0 +1,568 @@
+"""Parser for the XQuery subset.
+
+Extends :class:`repro.xpath.parser.XPathParser` with FLWOR expressions,
+conditionals, quantified/range expressions, ``instance of`` tests, a module
+prolog (``declare variable`` / ``declare function``) and — via raw-character
+scanning over the incremental lexer — direct element constructors.
+"""
+
+from __future__ import annotations
+
+from repro.errors import XPathSyntaxError, XQuerySyntaxError
+from repro.xmlmodel.nodes import QName
+from repro.xpath import lexer as lex
+from repro.xpath.ast import FunctionCall
+from repro.xpath.lexer import Lexer
+from repro.xpath.parser import XPathParser
+from repro.xquery.ast import (
+    AttributeConstructor,
+    ComputedTextConstructor,
+    DirectElementConstructor,
+    DocumentConstructor,
+    EmptySequence,
+    FlworExpr,
+    ForClause,
+    FunctionDecl,
+    IfExpr,
+    InstanceOfExpr,
+    LetClause,
+    Module,
+    OrderByClause,
+    OrderSpec,
+    QuantifiedExpr,
+    RangeExpr,
+    SequenceExpr,
+    UserFunctionCall,
+    VariableDecl,
+    WhereClause,
+)
+
+_PREDEFINED_ENTITIES = {
+    "amp": "&", "lt": "<", "gt": ">", "quot": '"', "apos": "'",
+}
+
+_WORD_EQUALITY = {"eq": "=", "ne": "!="}
+_WORD_RELATIONAL = {"lt": "<", "le": "<=", "gt": ">", "ge": ">="}
+
+_NAME_START = set("ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz_")
+_NAME_CHARS = _NAME_START | set("0123456789.-")
+
+
+class XQueryParser(XPathParser):
+    """Parses the XQuery subset over a lexer in ``xquery_mode``."""
+
+    def __init__(self, lexer):
+        super().__init__(lexer)
+        self.declared_functions = set()
+
+    # -- module -----------------------------------------------------------
+
+    def parse_module(self):
+        variables = []
+        functions = []
+        while self.at(lex.NAME, "declare"):
+            what = self.peek(1)
+            if what.type == lex.NAME and what.value == "variable":
+                variables.append(self._parse_variable_decl())
+            elif what.type == lex.NAME and what.value == "function":
+                functions.append(self._parse_function_decl())
+            else:
+                self.fail("expected 'declare variable' or 'declare function'")
+        body = self.parse_expr()
+        if self.peek().type != lex.EOF:
+            self.fail("unexpected trailing input after query body")
+        return Module(variables, functions, body)
+
+    def _parse_variable_decl(self):
+        self.expect(lex.NAME, "declare")
+        self.expect(lex.NAME, "variable")
+        name = self.expect(lex.VARIABLE).value
+        self.expect(lex.OPERATOR, ":=")
+        expr = self.parse_expr_single()
+        self.expect(lex.OPERATOR, ";")
+        return VariableDecl(name, expr)
+
+    def _parse_function_decl(self):
+        self.expect(lex.NAME, "declare")
+        self.expect(lex.NAME, "function")
+        name = self.expect(lex.NAME).value
+        self.declared_functions.add(name)
+        self.expect(lex.LPAREN)
+        params = []
+        if not self.at(lex.RPAREN):
+            params.append(self.expect(lex.VARIABLE).value)
+            while self.at(lex.OPERATOR, ","):
+                self.advance()
+                params.append(self.expect(lex.VARIABLE).value)
+        self.expect(lex.RPAREN)
+        self.expect(lex.LBRACE)
+        body = self.parse_expr()
+        self.expect(lex.RBRACE)
+        self.expect(lex.OPERATOR, ";")
+        return FunctionDecl(name, params, body)
+
+    # -- expressions --------------------------------------------------------
+
+    def parse_expr(self):
+        """Expr ::= ExprSingle ("," ExprSingle)* — a sequence."""
+        first = self.parse_expr_single()
+        if not self.at(lex.OPERATOR, ","):
+            return first
+        items = [first]
+        while self.at(lex.OPERATOR, ","):
+            self.advance()
+            items.append(self.parse_expr_single())
+        return SequenceExpr(items)
+
+    def parse_expr_single(self):
+        token = self.peek()
+        if token.type == lex.NAME:
+            if token.value in ("for", "let") and self.peek(1).type == lex.VARIABLE:
+                return self.parse_flwor()
+            if token.value == "if" and self.peek(1).type == lex.LPAREN:
+                return self.parse_if()
+            if (
+                token.value in ("some", "every")
+                and self.peek(1).type == lex.VARIABLE
+            ):
+                return self.parse_quantified()
+        return self.parse_or()
+
+    def parse_flwor(self):
+        clauses = []
+        while True:
+            token = self.peek()
+            if token.type != lex.NAME:
+                break
+            if token.value == "for" and self.peek(1).type == lex.VARIABLE:
+                self.advance()
+                clauses.append(self._parse_for_binding())
+                while self.at(lex.OPERATOR, ","):
+                    self.advance()
+                    clauses.append(self._parse_for_binding())
+            elif token.value == "let" and self.peek(1).type == lex.VARIABLE:
+                self.advance()
+                clauses.append(self._parse_let_binding())
+                while self.at(lex.OPERATOR, ","):
+                    self.advance()
+                    clauses.append(self._parse_let_binding())
+            elif token.value == "where":
+                self.advance()
+                clauses.append(WhereClause(self.parse_expr_single()))
+            elif token.value in ("order", "stable"):
+                if token.value == "stable":
+                    self.advance()
+                self.expect(lex.NAME, "order")
+                self.expect(lex.NAME, "by")
+                clauses.append(OrderByClause(self._parse_order_specs()))
+            else:
+                break
+        self.expect(lex.NAME, "return")
+        return FlworExpr(clauses, self.parse_expr_single())
+
+    def _parse_for_binding(self):
+        variable = self.expect(lex.VARIABLE).value
+        position_variable = None
+        if self.at(lex.NAME, "at"):
+            self.advance()
+            position_variable = self.expect(lex.VARIABLE).value
+        self.expect(lex.NAME, "in")
+        return ForClause(variable, self.parse_expr_single(), position_variable)
+
+    def _parse_let_binding(self):
+        variable = self.expect(lex.VARIABLE).value
+        self.expect(lex.OPERATOR, ":=")
+        return LetClause(variable, self.parse_expr_single())
+
+    def _parse_order_specs(self):
+        specs = [self._parse_order_spec()]
+        while self.at(lex.OPERATOR, ","):
+            self.advance()
+            specs.append(self._parse_order_spec())
+        return specs
+
+    def _parse_order_spec(self):
+        expr = self.parse_expr_single()
+        descending = False
+        if self.at(lex.NAME, "ascending"):
+            self.advance()
+        elif self.at(lex.NAME, "descending"):
+            self.advance()
+            descending = True
+        return OrderSpec(expr, descending)
+
+    def parse_if(self):
+        self.expect(lex.NAME, "if")
+        self.expect(lex.LPAREN)
+        condition = self.parse_expr()
+        self.expect(lex.RPAREN)
+        self.expect(lex.NAME, "then")
+        then_expr = self.parse_expr_single()
+        self.expect(lex.NAME, "else")
+        else_expr = self.parse_expr_single()
+        return IfExpr(condition, then_expr, else_expr)
+
+    def parse_quantified(self):
+        kind = self.advance().value
+        bindings = [self._parse_quantified_binding()]
+        while self.at(lex.OPERATOR, ","):
+            self.advance()
+            bindings.append(self._parse_quantified_binding())
+        self.expect(lex.NAME, "satisfies")
+        return QuantifiedExpr(kind, bindings, self.parse_expr_single())
+
+    def _parse_quantified_binding(self):
+        variable = self.expect(lex.VARIABLE).value
+        self.expect(lex.NAME, "in")
+        return variable, self.parse_expr_single()
+
+    # -- operator-level overrides ------------------------------------------------
+
+    def parse_equality(self):
+        left = self.parse_relational()
+        while True:
+            token = self.peek()
+            if token.type == lex.OPERATOR and token.value in ("=", "!="):
+                op = self.advance().value
+            elif token.type == lex.NAME and token.value in _WORD_EQUALITY:
+                op = _WORD_EQUALITY[self.advance().value]
+            else:
+                return left
+            from repro.xpath.ast import BinaryOp
+
+            left = BinaryOp(op, left, self.parse_relational())
+
+    def parse_relational(self):
+        left = self.parse_range_expr()
+        while True:
+            token = self.peek()
+            if token.type == lex.OPERATOR and token.value in ("<", "<=", ">", ">="):
+                op = self.advance().value
+            elif token.type == lex.NAME and token.value in _WORD_RELATIONAL:
+                op = _WORD_RELATIONAL[self.advance().value]
+            else:
+                return left
+            from repro.xpath.ast import BinaryOp
+
+            left = BinaryOp(op, left, self.parse_range_expr())
+
+    def parse_range_expr(self):
+        left = self.parse_additive()
+        if self.at(lex.NAME, "to"):
+            self.advance()
+            return RangeExpr(left, self.parse_additive())
+        return left
+
+    def parse_unary(self):
+        expr = super().parse_unary()
+        if (
+            self.at(lex.NAME, "instance")
+            and self.peek(1).type == lex.NAME
+            and self.peek(1).value == "of"
+        ):
+            self.advance()
+            self.advance()
+            type_name, element_name = self._parse_sequence_type()
+            return InstanceOfExpr(expr, type_name, element_name)
+        return expr
+
+    def _parse_sequence_type(self):
+        token = self.peek()
+        if token.type == lex.NODETYPE:
+            self.advance()
+            self.expect(lex.LPAREN)
+            self.expect(lex.RPAREN)
+            return token.value, None
+        name = self.expect(lex.NAME).value
+        if name not in ("element", "attribute", "document-node", "item"):
+            self.fail("unsupported sequence type %r" % name)
+        element_name = None
+        if self.at(lex.LPAREN):
+            self.advance()
+            if not self.at(lex.RPAREN):
+                inner = self.advance()
+                if inner.type not in (lex.NAME, lex.STAR):
+                    self.fail("expected a name inside %s()" % name)
+                if inner.type == lex.NAME:
+                    element_name = inner.value
+            self.expect(lex.RPAREN)
+        return name, element_name
+
+    # -- primaries and constructors -------------------------------------------------
+
+    def parse_path(self):
+        token = self.peek()
+        if token.type == lex.OPERATOR and token.value == "<":
+            return self.parse_direct_constructor()
+        if (
+            token.type == lex.NAME
+            and token.value in ("text", "document")
+            and self.peek(1).type == lex.LBRACE
+        ):
+            self.advance()
+            self.advance()
+            inner = self.parse_expr()
+            self.expect(lex.RBRACE)
+            if token.value == "text":
+                return ComputedTextConstructor(inner)
+            return DocumentConstructor(inner)
+        return super().parse_path()
+
+    def parse_primary(self):
+        token = self.peek()
+        if token.type == lex.LPAREN:
+            self.advance()
+            if self.at(lex.RPAREN):
+                self.advance()
+                return EmptySequence()
+            inner = self.parse_expr()
+            self.expect(lex.RPAREN)
+            return inner
+        return super().parse_primary()
+
+    def parse_argument(self):
+        return self.parse_expr_single()
+
+    def parse_function_call(self):
+        name_token = self.peek()
+        call = super().parse_function_call()
+        if isinstance(call, FunctionCall):
+            raw_name = name_token.value
+            if raw_name in self.declared_functions or raw_name.startswith(
+                "local:"
+            ):
+                return UserFunctionCall(raw_name, call.args)
+        return call
+
+    # -- direct element constructors (raw scanning) -------------------------------------
+
+    def parse_direct_constructor(self):
+        lt = self.expect(lex.OPERATOR, "<")
+        constructor, pos = self._scan_element(lt.pos)
+        self.lexer.reset(pos, operand_expected=False)
+        return constructor
+
+    def _scan_element(self, pos):
+        """Scan ``<name ...>...</name>`` starting at the '<'; returns the
+        constructor and the position just past the closing tag."""
+        source = self.lexer.source
+        assert source[pos] == "<"
+        pos += 1
+        name, pos = self._scan_qname(pos)
+
+        attributes = []
+        namespaces = {}
+        while True:
+            pos = _skip_ws(source, pos)
+            if source.startswith("/>", pos):
+                element = self._make_constructor(name, attributes, [], namespaces)
+                return element, pos + 2
+            if pos < len(source) and source[pos] == ">":
+                pos += 1
+                break
+            attr_name, pos = self._scan_qname(pos)
+            pos = _skip_ws(source, pos)
+            if pos >= len(source) or source[pos] != "=":
+                self._raw_fail("expected '=' in constructor attribute", pos)
+            pos = _skip_ws(source, pos + 1)
+            parts, pos = self._scan_attribute_value(pos)
+            if attr_name == "xmlns":
+                namespaces[""] = _only_literal(parts)
+            elif attr_name.startswith("xmlns:"):
+                namespaces[attr_name[6:]] = _only_literal(parts)
+            else:
+                attributes.append(
+                    AttributeConstructor(_to_qname(attr_name), parts)
+                )
+
+        content, pos = self._scan_content(pos, name)
+        element = self._make_constructor(name, attributes, content, namespaces)
+        return element, pos
+
+    @staticmethod
+    def _make_constructor(name, attributes, content, namespaces):
+        return DirectElementConstructor(
+            _to_qname(name), attributes, content, namespaces
+        )
+
+    def _scan_attribute_value(self, pos):
+        source = self.lexer.source
+        if pos >= len(source) or source[pos] not in "\"'":
+            self._raw_fail("expected quoted attribute value", pos)
+        quote = source[pos]
+        pos += 1
+        parts = []
+        literal = []
+        while True:
+            if pos >= len(source):
+                self._raw_fail("unterminated attribute value", pos)
+            char = source[pos]
+            if char == quote:
+                pos += 1
+                break
+            if char == "{":
+                if source.startswith("{{", pos):
+                    literal.append("{")
+                    pos += 2
+                    continue
+                if literal:
+                    parts.append("".join(literal))
+                    literal = []
+                expr, pos = self._parse_enclosed(pos)
+                parts.append(expr)
+                continue
+            if char == "}":
+                if source.startswith("}}", pos):
+                    literal.append("}")
+                    pos += 2
+                    continue
+                self._raw_fail("unescaped '}' in attribute value", pos)
+            if char == "&":
+                text, pos = self._scan_entity(pos)
+                literal.append(text)
+                continue
+            literal.append(char)
+            pos += 1
+        if literal:
+            parts.append("".join(literal))
+        return parts, pos
+
+    def _scan_content(self, pos, open_name):
+        source = self.lexer.source
+        content = []
+        literal = []
+
+        def flush(drop_blank):
+            if literal:
+                text = "".join(literal)
+                del literal[:]
+                if drop_blank and not text.strip():
+                    return  # boundary whitespace is stripped
+                content.append(text)
+
+        while True:
+            if pos >= len(source):
+                self._raw_fail("unterminated constructor <%s>" % open_name, pos)
+            char = source[pos]
+            if char == "<":
+                if source.startswith("</", pos):
+                    flush(drop_blank=True)
+                    pos += 2
+                    end_name, pos = self._scan_qname(pos)
+                    pos = _skip_ws(source, pos)
+                    if pos >= len(source) or source[pos] != ">":
+                        self._raw_fail("malformed end tag", pos)
+                    if end_name != open_name:
+                        self._raw_fail(
+                            "mismatched </%s>, expected </%s>"
+                            % (end_name, open_name),
+                            pos,
+                        )
+                    return content, pos + 1
+                if source.startswith("<!--", pos):
+                    end = source.find("-->", pos + 4)
+                    if end < 0:
+                        self._raw_fail("unterminated comment", pos)
+                    pos = end + 3
+                    continue
+                if source.startswith("<![CDATA[", pos):
+                    end = source.find("]]>", pos + 9)
+                    if end < 0:
+                        self._raw_fail("unterminated CDATA", pos)
+                    literal.append(source[pos + 9:end])
+                    pos = end + 3
+                    continue
+                flush(drop_blank=True)
+                nested, pos = self._scan_element(pos)
+                content.append(nested)
+                continue
+            if char == "{":
+                if source.startswith("{{", pos):
+                    literal.append("{")
+                    pos += 2
+                    continue
+                flush(drop_blank=True)
+                expr, pos = self._parse_enclosed(pos)
+                content.append(expr)
+                continue
+            if char == "}":
+                if source.startswith("}}", pos):
+                    literal.append("}")
+                    pos += 2
+                    continue
+                self._raw_fail("unescaped '}' in element content", pos)
+            if char == "&":
+                text, pos = self._scan_entity(pos)
+                literal.append(text)
+                continue
+            literal.append(char)
+            pos += 1
+
+    def _parse_enclosed(self, pos):
+        """Parse a ``{ Expr }`` starting at the '{'; returns (expr, pos past '}')."""
+        self.lexer.reset(pos + 1)
+        expr = self.parse_expr()
+        rbrace = self.expect(lex.RBRACE)
+        return expr, rbrace.end
+
+    def _scan_qname(self, pos):
+        source = self.lexer.source
+        if pos >= len(source) or source[pos] not in _NAME_START:
+            self._raw_fail("expected a name", pos)
+        start = pos
+        pos += 1
+        while pos < len(source) and (
+            source[pos] in _NAME_CHARS or source[pos] == ":"
+        ):
+            pos += 1
+        return source[start:pos], pos
+
+    def _scan_entity(self, pos):
+        source = self.lexer.source
+        semi = source.find(";", pos + 1)
+        if semi < 0:
+            self._raw_fail("unterminated entity reference", pos)
+        entity = source[pos + 1:semi]
+        if entity.startswith("#x") or entity.startswith("#X"):
+            return chr(int(entity[2:], 16)), semi + 1
+        if entity.startswith("#"):
+            return chr(int(entity[1:])), semi + 1
+        if entity in _PREDEFINED_ENTITIES:
+            return _PREDEFINED_ENTITIES[entity], semi + 1
+        self._raw_fail("undefined entity &%s;" % entity, pos)
+
+    def _raw_fail(self, message, pos):
+        raise XQuerySyntaxError(
+            "%s at offset %d in constructor" % (message, pos)
+        )
+
+
+def _skip_ws(source, pos):
+    while pos < len(source) and source[pos] in " \t\r\n":
+        pos += 1
+    return pos
+
+
+def _only_literal(parts):
+    if len(parts) == 1 and isinstance(parts[0], str):
+        return parts[0]
+    if not parts:
+        return ""
+    raise XQuerySyntaxError("namespace declarations must be literal strings")
+
+
+def _to_qname(lexical):
+    prefix, _, local = lexical.rpartition(":")
+    return QName(local, None, prefix or None)
+
+
+def parse_xquery(source):
+    """Parse an XQuery module (prolog + body) into a :class:`Module`."""
+    lexer = Lexer(source, xquery_mode=True)
+    parser = XQueryParser(lexer)
+    try:
+        return parser.parse_module()
+    except XQuerySyntaxError:
+        raise
+    except XPathSyntaxError as exc:
+        raise XQuerySyntaxError(str(exc)) from exc

@@ -1,0 +1,399 @@
+"""Static structural typing of XQuery results (paper §3.2).
+
+"If the input XMLType is computed from another XQuery/XPath, then we can
+derive the structural information based on the static typing result of the
+XQuery."  Given the structural schema of a query's input, this module
+infers the structural schema of its *output*: which elements it can
+construct, with which children, model groups and cardinalities.
+
+The inference is conservative in the direction partial evaluation needs:
+it may report an element as repeating or optional when it is in fact
+single/required (costing only elegance, e.g. FOR instead of LET), but it
+never omits an element the query can construct.
+"""
+
+from __future__ import annotations
+
+from repro.errors import RewriteError
+from repro.schema.model import (
+    MANY,
+    ONE,
+    OPTIONAL,
+    SEQUENCE,
+    ElementDecl,
+    Particle,
+    StructuralSchema,
+)
+from repro.xpath import ast as xp
+from repro.xquery import ast as xq
+
+FRAGMENT_ROOT = "#fragment"
+
+
+def infer_result_schema(module, input_schema=None):
+    """Infer the structural schema of ``module``'s result.
+
+    :param input_schema: schema of the context item the query runs
+        against; required when the query copies input nodes into its
+        output (bare path expressions in content).
+    :returns: a :class:`StructuralSchema` — rooted at the single
+        constructed element when the body builds exactly one, else at a
+        synthetic ``#fragment`` declaration.
+    """
+    typer = _Typer(module, input_schema)
+    particles = typer.type_expr(module.body, _root_env(module, input_schema))
+    if len(particles) == 1 and particles[0].occurs == ONE and not (
+        particles[0].decl.name == "#text"
+    ):
+        return StructuralSchema(particles[0].decl)
+    root = ElementDecl(
+        FRAGMENT_ROOT,
+        group=SEQUENCE,
+        particles=_merge_particles(
+            [p for p in particles if p.decl.name != "#text"]
+        ),
+        has_text=any(p.decl.name == "#text" for p in particles),
+    )
+    return StructuralSchema(root)
+
+
+def _root_env(module, input_schema):
+    from repro.xpath.ast import is_context_item
+
+    env = {}
+    if module.variables and is_context_item(module.variables[0].expr):
+        env[module.variables[0].name] = _ContextBinding(input_schema)
+    env["."] = _ContextBinding(input_schema)
+    return env
+
+
+class _ContextBinding:
+    """A variable bound to (part of) the input document."""
+
+    __slots__ = ("schema", "decl")
+
+    def __init__(self, schema, decl=None):
+        self.schema = schema
+        self.decl = decl  # None = the document node
+
+
+class _ResultBinding:
+    """A variable bound to constructed output (a list of particles)."""
+
+    __slots__ = ("particles",)
+
+    def __init__(self, particles):
+        self.particles = particles
+
+
+_TEXT_DECL = ElementDecl("#text", has_text=True)
+
+
+def _text_particle(occurs=ONE):
+    return Particle(_TEXT_DECL, occurs)
+
+
+class _Typer:
+    def __init__(self, module, input_schema):
+        self.module = module
+        self.input_schema = input_schema
+        self._function_stack = []
+
+    # -- core -------------------------------------------------------------
+
+    def type_expr(self, expr, env, occurs=ONE):
+        """Particles the expression's result contributes."""
+        if isinstance(expr, xq.DirectElementConstructor):
+            return [Particle(self._type_constructor(expr, env), occurs)]
+        if isinstance(expr, xq.ComputedTextConstructor):
+            return [_text_particle(occurs)]
+        if isinstance(expr, (xp.Literal, xp.NumberLiteral)):
+            return [_text_particle(occurs)]
+        if isinstance(expr, xq.EmptySequence):
+            return []
+        if isinstance(expr, xq.SequenceExpr):
+            out = []
+            for item in expr.items:
+                out.extend(self.type_expr(item, env, occurs))
+            return out
+        if isinstance(expr, xq.FlworExpr):
+            return self._type_flwor(expr, env, occurs)
+        if isinstance(expr, xq.IfExpr):
+            then_particles = self.type_expr(expr.then_expr, env, occurs)
+            else_particles = self.type_expr(expr.else_expr, env, occurs)
+            return [
+                Particle(p.decl, _optionalize(p.occurs))
+                for p in then_particles + else_particles
+            ]
+        if isinstance(expr, xp.FunctionCall):
+            # all library functions produce atomics in our subset
+            return [_text_particle(occurs)]
+        if isinstance(expr, xq.UserFunctionCall):
+            return self._type_function_call(expr, env, occurs)
+        if isinstance(expr, (xp.PathExpr, xp.VariableRef, xp.ContextItem,
+                             xp.FilterExpr, xp.UnionExpr)):
+            return self._type_path_value(expr, env, occurs)
+        if isinstance(expr, (xp.BinaryOp, xp.UnaryMinus, xq.RangeExpr,
+                             xq.QuantifiedExpr, xq.InstanceOfExpr)):
+            return [_text_particle(occurs)]
+        raise RewriteError(
+            "cannot statically type %s" % type(expr).__name__
+        )
+
+    def _type_constructor(self, expr, env):
+        particles = []
+        has_text = False
+        for item in expr.content:
+            if isinstance(item, str):
+                has_text = True
+                continue
+            for particle in self.type_expr(item, env):
+                if particle.decl.name == "#text":
+                    has_text = True
+                else:
+                    particles.append(particle)
+        particles = _merge_particles(particles)
+        return ElementDecl(
+            expr.name.local,
+            group=SEQUENCE if particles else None,
+            particles=particles,
+            has_text=has_text,
+            attributes=[a.name.local for a in expr.attributes],
+        )
+
+    def _type_flwor(self, expr, env, occurs):
+        env = dict(env)
+        loop = False
+        for clause in expr.clauses:
+            if isinstance(clause, xq.LetClause):
+                env[clause.variable] = self._bind_value(clause.expr, env)
+            elif isinstance(clause, xq.ForClause):
+                binding, repeating = self._bind_iteration(clause.expr, env)
+                env[clause.variable] = binding
+                loop = loop or repeating
+                if clause.position_variable:
+                    env[clause.position_variable] = _ResultBinding(
+                        [_text_particle()]
+                    )
+            elif isinstance(clause, xq.WhereClause):
+                loop = loop  # a filter may drop tuples: handled below
+            elif isinstance(clause, xq.OrderByClause):
+                pass
+        inner_occurs = MANY if loop else occurs
+        has_where = any(
+            isinstance(clause, xq.WhereClause) for clause in expr.clauses
+        )
+        particles = self.type_expr(expr.return_expr, env, inner_occurs)
+        if has_where and not loop:
+            particles = [
+                Particle(p.decl, _optionalize(p.occurs)) for p in particles
+            ]
+        return particles
+
+    def _type_function_call(self, expr, env, occurs):
+        declaration = None
+        for candidate in self.module.functions:
+            if candidate.name == expr.name and len(candidate.params) == len(
+                expr.args
+            ):
+                declaration = candidate
+                break
+        if declaration is None:
+            raise RewriteError("unknown function %s()" % expr.name)
+        if declaration.name in self._function_stack:
+            # recursive function: its output repeats unboundedly; report
+            # the constructors syntactically reachable in its body, many.
+            return [
+                Particle(self._type_constructor(node, env), MANY)
+                for node in _reachable_constructors(declaration.body)
+            ]
+        self._function_stack.append(declaration.name)
+        try:
+            inner_env = dict(env)
+            for param, arg in zip(declaration.params, expr.args):
+                inner_env[param] = self._bind_value(arg, env)
+            return self.type_expr(declaration.body, inner_env, occurs)
+        finally:
+            self._function_stack.pop()
+
+    # -- input-schema navigation ----------------------------------------------
+
+    def _bind_value(self, expr, env):
+        if isinstance(expr, (xp.PathExpr, xp.VariableRef, xp.ContextItem)):
+            resolved = self._resolve_input(expr, env)
+            if resolved is not None:
+                decl, _ = resolved
+                if decl is self._DOC:
+                    decl = None
+                return _ContextBinding(self.input_schema, decl)
+        try:
+            return _ResultBinding(self.type_expr(expr, env))
+        except RewriteError:
+            return _ResultBinding([_text_particle()])
+
+    def _bind_iteration(self, expr, env):
+        """Binding for a FOR variable plus whether it iterates (>1)."""
+        resolved = self._resolve_input(expr, env)
+        if resolved is not None:
+            decl, many = resolved
+            if decl is self._DOC:
+                decl = None
+            return _ContextBinding(self.input_schema, decl), many
+        particles = self.type_expr(expr, env)
+        repeating = len(particles) != 1 or particles[0].occurs != ONE
+        return _ResultBinding(particles), repeating
+
+    _DOC = "#document"
+
+    def _resolve_input(self, expr, env):
+        """(decl_or_DOC, crosses_many) when the expression navigates the
+        input document; None when it is constructed output or untypeable.
+        ``decl`` may be the _DOC sentinel (the document node) or None
+        (somewhere unknown below a descendant step)."""
+        if isinstance(expr, xp.ContextItem):
+            binding = env.get(".")
+            if isinstance(binding, _ContextBinding):
+                return (binding.decl or self._DOC), False
+            return None
+        if isinstance(expr, xp.VariableRef):
+            binding = env.get(expr.name)
+            if isinstance(binding, _ContextBinding):
+                return (binding.decl or self._DOC), False
+            return None
+        if isinstance(expr, xp.FilterExpr):
+            return self._resolve_input(expr.primary, env)
+        if not isinstance(expr, xp.PathExpr):
+            return None
+        if expr.start is not None:
+            base = self._resolve_input(expr.start, env)
+        else:
+            binding = env.get(".")
+            if not isinstance(binding, _ContextBinding):
+                return None
+            if expr.absolute:
+                base = (self._DOC, False)
+            else:
+                base = (binding.decl or self._DOC), False
+        if base is None or self.input_schema is None:
+            return None
+        decl, many = base
+        for step in expr.steps:
+            if step.axis == "self":
+                continue
+            if step.axis in ("descendant", "descendant-or-self"):
+                many = True
+                decl = None
+                continue
+            if step.axis != "child":
+                return None
+            if isinstance(step.test, xp.KindTest):
+                return None  # text()/node(): not element-valued
+            name = step.test.local
+            if name == "*":
+                return None
+            if decl is self._DOC:
+                if self.input_schema.root.name == "#fragment":
+                    particle = self.input_schema.root.particle_for(name)
+                    if particle is None:
+                        return None
+                    decl = particle.decl
+                    many = many or not particle.at_most_one
+                elif self.input_schema.root.name == name:
+                    decl = self.input_schema.root
+                else:
+                    return None
+                continue
+            if decl is None:
+                found = self.input_schema.find_decl(name)
+                if found is None:
+                    return None
+                decl = found
+                many = True
+                continue
+            particle = decl.particle_for(name)
+            if particle is None:
+                return None
+            decl = particle.decl
+            many = many or not particle.at_most_one
+        if decl is self._DOC:
+            return self._DOC, many
+        return decl, many
+
+    def _type_path_value(self, expr, env, occurs):
+        """A bare path/variable in content copies nodes from somewhere."""
+        if isinstance(expr, xp.VariableRef):
+            binding = env.get(expr.name)
+            if isinstance(binding, _ResultBinding):
+                return [
+                    Particle(p.decl, p.occurs if occurs == ONE else MANY)
+                    for p in binding.particles
+                ]
+            if isinstance(binding, _ContextBinding):
+                if binding.decl is None:
+                    if self.input_schema is None:
+                        raise RewriteError("untyped context item copied")
+                    return [Particle(self.input_schema.root, occurs)]
+                return [Particle(binding.decl, occurs)]
+            raise RewriteError("unbound variable $%s" % expr.name)
+        if isinstance(expr, xp.UnionExpr):
+            out = []
+            for part in expr.parts:
+                out.extend(self._type_path_value(part, env, occurs))
+            return out
+        resolved = self._resolve_input(expr, env)
+        if resolved is None or resolved[0] is None:
+            raise RewriteError(
+                "cannot statically type the copied path %r" % expr.to_text()
+            )
+        decl, many = resolved
+        if decl is self._DOC:
+            decl = self.input_schema.root
+        return [Particle(decl, MANY if many or occurs != ONE else occurs)]
+
+
+def _merge_particles(particles):
+    """Conservatively merge same-named particles: two slots that may both
+    produce <x> collapse into one repeating <x> whose children are the
+    union of both declarations' children."""
+    merged = []
+    by_name = {}
+    for particle in particles:
+        name = particle.decl.name
+        if name not in by_name:
+            by_name[name] = particle
+            merged.append(particle)
+            continue
+        existing = by_name[name]
+        decl = existing.decl
+        extra = particle.decl
+        children = list(decl.particles)
+        known = {child.decl.name for child in children}
+        for child in extra.particles:
+            if child.decl.name not in known:
+                children.append(child)
+        union = ElementDecl(
+            name,
+            group=SEQUENCE if children else None,
+            particles=children,
+            has_text=decl.has_text or extra.has_text,
+            attributes=sorted(set(decl.attributes) | set(extra.attributes)),
+        )
+        replacement = Particle(union, MANY)
+        index = merged.index(existing)
+        merged[index] = replacement
+        by_name[name] = replacement
+    return merged
+
+
+def _optionalize(occurs):
+    if occurs in (ONE, OPTIONAL):
+        return OPTIONAL
+    return MANY
+
+
+def _reachable_constructors(expr):
+    return [
+        node
+        for node in expr.iter_tree()
+        if isinstance(node, xq.DirectElementConstructor)
+    ]

@@ -1,0 +1,451 @@
+"""Compiled XSLT instruction tree — the VM's "bytecode".
+
+Every instruction implements ``execute(vm, context, output)`` where ``vm``
+is the :class:`~repro.xslt.vm.XsltVM`, ``context`` an
+:class:`~repro.xpath.context.XPathContext` and ``output`` a
+:class:`~repro.xmlmodel.builder.TreeBuilder`.
+
+Each instruction carries a ``site_id`` (assigned by the compiler), which is
+how the partial evaluator's trace-table keys ``apply-templates`` and
+``call-template`` sites (paper §4.3), and how the XQuery generator maps
+instructions back to stylesheet constructs.
+"""
+
+from __future__ import annotations
+
+from repro.errors import XsltRuntimeError
+from repro.xmlmodel.builder import TreeBuilder
+from repro.xmlmodel.nodes import NodeKind, QName
+from repro.xpath.datamodel import to_boolean, to_node_set, to_number, to_string
+
+
+class Instruction:
+    """Base class; ``site_id`` is stamped by the compiler."""
+
+    site_id = -1
+
+    def execute(self, vm, context, output):
+        raise NotImplementedError
+
+    def child_bodies(self):
+        """Nested instruction lists, for generic tree walks."""
+        return ()
+
+    def iter_tree(self):
+        yield self
+        for body in self.child_bodies():
+            for instruction in body:
+                for nested in instruction.iter_tree():
+                    yield nested
+
+
+class SortSpec:
+    """One ``<xsl:sort>`` specification."""
+
+    __slots__ = ("select", "data_type", "order")
+
+    def __init__(self, select, data_type="text", order="ascending"):
+        self.select = select
+        self.data_type = data_type
+        self.order = order
+
+
+class WithParam:
+    """One ``<xsl:with-param>``: a name plus a select expr or a body."""
+
+    __slots__ = ("name", "select", "body")
+
+    def __init__(self, name, select=None, body=None):
+        self.name = name
+        self.select = select
+        self.body = body or []
+
+    def value(self, vm, context):
+        if self.select is not None:
+            return self.select.evaluate(context)
+        return vm.build_fragment(self.body, context)
+
+
+class TextInstr(Instruction):
+    """Literal character data (from literal text or ``<xsl:text>``)."""
+
+    def __init__(self, value):
+        self.value = value
+
+    def execute(self, vm, context, output):
+        output.text(self.value)
+
+
+class LiteralElementInstr(Instruction):
+    """A literal result element with AVT attributes."""
+
+    def __init__(self, name, attributes, namespaces, body):
+        self.name = name                  # QName
+        self.attributes = attributes      # list of (QName, Avt)
+        self.namespaces = namespaces      # prefix -> uri to re-declare
+        self.body = body
+
+    def child_bodies(self):
+        return (self.body,)
+
+    def execute(self, vm, context, output):
+        output.start_element(self.name, namespaces=self.namespaces)
+        for attr_name, avt in self.attributes:
+            output.attribute(attr_name, avt.evaluate(context))
+        vm.execute_body(self.body, context, output)
+        output.end_element()
+
+
+class ValueOfInstr(Instruction):
+    """``<xsl:value-of select=...>``."""
+
+    def __init__(self, select):
+        self.select = select
+
+    def execute(self, vm, context, output):
+        output.text(to_string(self.select.evaluate(context)))
+
+
+class ApplyTemplatesInstr(Instruction):
+    """``<xsl:apply-templates>`` — the dynamic dispatch site."""
+
+    def __init__(self, select=None, mode=None, sorts=None, with_params=None):
+        self.select = select
+        self.mode = mode
+        self.sorts = sorts or []
+        self.with_params = with_params or []
+
+    def execute(self, vm, context, output):
+        if self.select is not None:
+            value = vm.eval_select(self.select, context)
+            nodes = to_node_set(value, "apply-templates select")
+        else:
+            nodes = list(context.node.children)
+        if self.sorts:
+            nodes = vm.sort_nodes(nodes, self.sorts, context)
+        params = {
+            with_param.name: with_param.value(vm, context)
+            for with_param in self.with_params
+        }
+        vm.apply_templates(nodes, self.mode, params, context, output, site=self)
+
+
+class CallTemplateInstr(Instruction):
+    """``<xsl:call-template name=...>``."""
+
+    def __init__(self, name, with_params=None):
+        self.name = name
+        self.with_params = with_params or []
+
+    def execute(self, vm, context, output):
+        params = {
+            with_param.name: with_param.value(vm, context)
+            for with_param in self.with_params
+        }
+        vm.call_template(self.name, params, context, output, site=self)
+
+
+class ForEachInstr(Instruction):
+    """``<xsl:for-each select=...>``."""
+
+    def __init__(self, select, sorts=None, body=None):
+        self.select = select
+        self.sorts = sorts or []
+        self.body = body or []
+
+    def child_bodies(self):
+        return (self.body,)
+
+    def execute(self, vm, context, output):
+        nodes = to_node_set(
+            vm.eval_select(self.select, context), "for-each select"
+        )
+        if self.sorts:
+            nodes = vm.sort_nodes(nodes, self.sorts, context)
+        size = len(nodes)
+        for position, node in enumerate(nodes, start=1):
+            sub = context.with_node(node, position=position, size=size)
+            sub.current = node
+            vm.execute_body(self.body, sub, output)
+
+
+class IfInstr(Instruction):
+    """``<xsl:if test=...>``."""
+
+    def __init__(self, test, body):
+        self.test = test
+        self.body = body
+
+    def child_bodies(self):
+        return (self.body,)
+
+    def execute(self, vm, context, output):
+        if vm.explore:
+            # Partial evaluation explores every branch: the test depends on
+            # content values the sample document does not carry.
+            vm.execute_body(self.body, context, output)
+            return
+        if to_boolean(self.test.evaluate(context)):
+            vm.execute_body(self.body, context, output)
+
+
+class ChooseInstr(Instruction):
+    """``<xsl:choose>`` with ``when`` branches and optional ``otherwise``."""
+
+    def __init__(self, whens, otherwise):
+        self.whens = whens            # list of (test expr, body)
+        self.otherwise = otherwise    # body or []
+
+    def child_bodies(self):
+        return tuple(body for _, body in self.whens) + (self.otherwise,)
+
+    def execute(self, vm, context, output):
+        if vm.explore:
+            for _, body in self.whens:
+                vm.execute_body(body, context, output)
+            vm.execute_body(self.otherwise, context, output)
+            return
+        for test, body in self.whens:
+            if to_boolean(test.evaluate(context)):
+                vm.execute_body(body, context, output)
+                return
+        vm.execute_body(self.otherwise, context, output)
+
+
+class VariableInstr(Instruction):
+    """``<xsl:variable>`` — handled specially by the body executor, which
+    threads the new binding into subsequent siblings."""
+
+    def __init__(self, name, select=None, body=None):
+        self.name = name
+        self.select = select
+        self.body = body or []
+
+    def child_bodies(self):
+        return (self.body,)
+
+    def compute(self, vm, context):
+        if self.select is not None:
+            return self.select.evaluate(context)
+        return vm.build_fragment(self.body, context)
+
+    def execute(self, vm, context, output):  # pragma: no cover - see executor
+        raise XsltRuntimeError("xsl:variable must be handled by the executor")
+
+
+class ParamInstr(VariableInstr):
+    """``<xsl:param>`` — like a variable, but the caller may override."""
+
+
+class CopyInstr(Instruction):
+    """``<xsl:copy>`` — shallow copy of the context node."""
+
+    def __init__(self, body):
+        self.body = body
+
+    def child_bodies(self):
+        return (self.body,)
+
+    def execute(self, vm, context, output):
+        node = context.node
+        kind = node.kind
+        if kind == NodeKind.ELEMENT:
+            output.start_element(
+                QName(node.name.local, node.name.uri, node.name.prefix),
+                namespaces=dict(node.namespaces),
+            )
+            vm.execute_body(self.body, context, output)
+            output.end_element()
+        elif kind == NodeKind.DOCUMENT:
+            vm.execute_body(self.body, context, output)
+        elif kind == NodeKind.TEXT:
+            output.text(node.value)
+        elif kind == NodeKind.ATTRIBUTE:
+            output.attribute(
+                QName(node.name.local, node.name.uri, node.name.prefix),
+                node.value,
+            )
+        elif kind == NodeKind.COMMENT:
+            output.comment(node.value)
+        elif kind == NodeKind.PI:
+            output.processing_instruction(node.target, node.value)
+
+
+class CopyOfInstr(Instruction):
+    """``<xsl:copy-of select=...>`` — deep copy of the selected value."""
+
+    def __init__(self, select):
+        self.select = select
+
+    def execute(self, vm, context, output):
+        value = self.select.evaluate(context)
+        vm.copy_value(value, output)
+
+
+class ElementInstr(Instruction):
+    """``<xsl:element name={...}>``."""
+
+    def __init__(self, name_avt, body):
+        self.name_avt = name_avt
+        self.body = body
+
+    def child_bodies(self):
+        return (self.body,)
+
+    def execute(self, vm, context, output):
+        name = self.name_avt.evaluate(context)
+        output.start_element(QName(name))
+        vm.execute_body(self.body, context, output)
+        output.end_element()
+
+
+class AttributeInstr(Instruction):
+    """``<xsl:attribute name={...}>``."""
+
+    def __init__(self, name_avt, body):
+        self.name_avt = name_avt
+        self.body = body
+
+    def child_bodies(self):
+        return (self.body,)
+
+    def execute(self, vm, context, output):
+        name = self.name_avt.evaluate(context)
+        value = vm.body_to_string(self.body, context)
+        output.attribute(QName(name), value)
+
+
+class CommentInstr(Instruction):
+    """``<xsl:comment>``."""
+
+    def __init__(self, body):
+        self.body = body
+
+    def child_bodies(self):
+        return (self.body,)
+
+    def execute(self, vm, context, output):
+        output.comment(vm.body_to_string(self.body, context))
+
+
+class PiInstr(Instruction):
+    """``<xsl:processing-instruction name={...}>``."""
+
+    def __init__(self, name_avt, body):
+        self.name_avt = name_avt
+        self.body = body
+
+    def child_bodies(self):
+        return (self.body,)
+
+    def execute(self, vm, context, output):
+        target = self.name_avt.evaluate(context)
+        output.processing_instruction(target, vm.body_to_string(self.body, context))
+
+
+class ApplyImportsInstr(Instruction):
+    """``<xsl:apply-imports/>`` — re-match the current node using only
+    rules of lower import precedence than the current template's."""
+
+    def execute(self, vm, context, output):
+        vm.apply_imports(context, output, site=self)
+
+
+class FallbackInstr(Instruction):
+    """``<xsl:fallback>`` — inert in a plain XSLT 1.0 processor (its body
+    only runs inside an unsupported extension element, which this
+    processor rejects at compile time anyway)."""
+
+    def __init__(self, body):
+        self.body = body
+
+    def child_bodies(self):
+        return (self.body,)
+
+    def execute(self, vm, context, output):
+        return None
+
+
+class NumberInstr(Instruction):
+    """``<xsl:number>`` — level="single"/"any", formats 1 a A i I."""
+
+    def __init__(self, level="single", count=None, from_=None, value=None,
+                 format_avt=None):
+        self.level = level
+        self.count = count        # Pattern or None (defaults to node's name)
+        self.from_ = from_        # Pattern or None
+        self.value = value        # Expr or None
+        self.format_avt = format_avt
+
+    def execute(self, vm, context, output):
+        if self.value is not None:
+            number = int(to_number(self.value.evaluate(context)))
+        else:
+            number = vm.count_number(
+                context.node, self.level, self.count, self.from_, context
+            )
+        format_spec = (
+            self.format_avt.evaluate(context) if self.format_avt else "1"
+        )
+        output.text(format_number_token(number, format_spec))
+
+
+def format_number_token(number, format_spec):
+    """Format one number per the xsl:number format tokens 1/a/A/i/I."""
+    token = format_spec or "1"
+    suffix = ""
+    if len(token) > 1 and token[-1] in ".)]":
+        token, suffix = token[:-1], token[-1]
+    if token == "a":
+        return _alphabetic(number).lower() + suffix
+    if token == "A":
+        return _alphabetic(number) + suffix
+    if token == "i":
+        return _roman(number).lower() + suffix
+    if token == "I":
+        return _roman(number) + suffix
+    # '1', '01', ... zero padding to the token's width
+    return str(number).zfill(len(token)) + suffix
+
+
+def _alphabetic(number):
+    out = []
+    while number > 0:
+        number, remainder = divmod(number - 1, 26)
+        out.append(chr(ord("A") + remainder))
+    return "".join(reversed(out)) or "A"
+
+
+_ROMAN = [
+    (1000, "M"), (900, "CM"), (500, "D"), (400, "CD"), (100, "C"),
+    (90, "XC"), (50, "L"), (40, "XL"), (10, "X"), (9, "IX"),
+    (5, "V"), (4, "IV"), (1, "I"),
+]
+
+
+def _roman(number):
+    if number <= 0:
+        return str(number)
+    out = []
+    for value, glyph in _ROMAN:
+        while number >= value:
+            out.append(glyph)
+            number -= value
+    return "".join(out)
+
+
+class MessageInstr(Instruction):
+    """``<xsl:message>`` — collected on the VM; may terminate."""
+
+    def __init__(self, body, terminate=False):
+        self.body = body
+        self.terminate = terminate
+
+    def child_bodies(self):
+        return (self.body,)
+
+    def execute(self, vm, context, output):
+        message = vm.body_to_string(self.body, context)
+        vm.messages.append(message)
+        if self.terminate:
+            raise XsltRuntimeError("xsl:message terminate: %s" % message)

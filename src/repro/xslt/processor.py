@@ -1,0 +1,47 @@
+"""One-shot XSLT transformation front end (functional evaluation).
+
+This is the paper's "XSLT no rewrite" path: the input is a DOM and the VM
+walks it directly.  The rewrite path lives in :mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+from repro.xmlmodel.nodes import NodeKind
+from repro.xmlmodel.parser import parse_document
+from repro.xmlmodel.serializer import serialize_children
+from repro.xslt.stylesheet import Stylesheet, compile_stylesheet
+from repro.xslt.vm import XsltVM
+
+
+def transform(stylesheet, source, params=None, trace=None):
+    """Apply ``stylesheet`` to ``source``; both may be markup or parsed.
+
+    Returns the result tree :class:`~repro.xmlmodel.nodes.Document`.
+    """
+    if not isinstance(stylesheet, Stylesheet):
+        stylesheet = compile_stylesheet(stylesheet)
+    if isinstance(source, str):
+        source = parse_document(source)
+    vm = XsltVM(stylesheet, trace=trace)
+    return vm.transform_document(source, params=params)
+
+
+def transform_to_string(stylesheet, source, params=None):
+    """Transform and serialize using the stylesheet's output method."""
+    if not isinstance(stylesheet, Stylesheet):
+        stylesheet = compile_stylesheet(stylesheet)
+    result = transform(stylesheet, source, params=params)
+    method = output_method(stylesheet, result)
+    return serialize_children(result, method=method, indent=stylesheet.output_indent)
+
+
+def output_method(stylesheet, result):
+    """The effective output method (xsl:output or the HTML sniffing rule)."""
+    if stylesheet.output_method is not None:
+        return stylesheet.output_method
+    for child in result.children:
+        if child.kind == NodeKind.ELEMENT:
+            if child.name.local.lower() == "html" and child.name.uri is None:
+                return "html"
+            break
+    return "xml"

@@ -1,0 +1,102 @@
+"""Trace instrumentation for the XSLT VM — the paper's "trace instructions".
+
+During partial evaluation (§4.3) the stylesheet is executed over a sample
+document with tracing enabled.  The recorder captures, per
+``apply-templates``/``call-template`` site, which template was instantiated
+for which context node — exactly the trace-table / trace-call-list the
+paper describes.  The template execution graph is built from these events
+by :mod:`repro.core.partial_eval`.
+"""
+
+from __future__ import annotations
+
+
+# Sentinels for built-in template behaviour (no user template matched).
+BUILTIN_RECURSE = "builtin-recurse"   # element/document: apply to children
+BUILTIN_TEXT = "builtin-text"         # text/attribute: copy string value
+BUILTIN_SKIP = "builtin-skip"         # comment/PI: no output
+
+
+class ApplyEvent:
+    """One node dispatched at one ``apply-templates`` site.
+
+    ``site`` is the :class:`ApplyTemplatesInstr` (or ``None`` for the
+    initial root dispatch); ``caller`` the template whose body contains the
+    site (``None`` for root/built-in callers); ``resolved`` is the chosen
+    :class:`~repro.xslt.stylesheet.Template` or one of the BUILTIN_*
+    sentinels.
+    """
+
+    __slots__ = ("site", "caller", "context_node", "selected_node", "resolved",
+                 "mode")
+
+    def __init__(self, site, caller, context_node, selected_node, resolved,
+                 mode):
+        self.site = site
+        self.caller = caller
+        self.context_node = context_node
+        self.selected_node = selected_node
+        self.resolved = resolved
+        self.mode = mode
+
+    def __repr__(self):
+        return "ApplyEvent(site=%s, node=%r, resolved=%r)" % (
+            getattr(self.site, "site_id", None),
+            self.selected_node,
+            self.resolved,
+        )
+
+
+class CallEvent:
+    """One ``call-template`` invocation."""
+
+    __slots__ = ("site", "caller", "context_node", "template")
+
+    def __init__(self, site, caller, context_node, template):
+        self.site = site
+        self.caller = caller
+        self.context_node = context_node
+        self.template = template
+
+
+class InstantiationEvent:
+    """One template activation (user template or built-in sentinel)."""
+
+    __slots__ = ("template", "node", "site", "caller")
+
+    def __init__(self, template, node, site, caller):
+        self.template = template
+        self.node = node
+        self.site = site
+        self.caller = caller
+
+
+class TraceRecorder:
+    """Collects VM events; consumed by the partial evaluator."""
+
+    def __init__(self):
+        self.apply_events = []
+        self.call_events = []
+        self.instantiations = []
+
+    def record_apply(self, site, caller, context_node, selected_node, resolved,
+                     mode):
+        self.apply_events.append(
+            ApplyEvent(site, caller, context_node, selected_node, resolved, mode)
+        )
+
+    def record_call(self, site, caller, context_node, template):
+        self.call_events.append(CallEvent(site, caller, context_node, template))
+
+    def record_instantiation(self, template, node, site, caller):
+        self.instantiations.append(
+            InstantiationEvent(template, node, site, caller)
+        )
+
+    def instantiated_templates(self):
+        """The set of user templates that actually fired (paper §3.7)."""
+        return {
+            event.template
+            for event in self.instantiations
+            if not isinstance(event.template, str)
+        }

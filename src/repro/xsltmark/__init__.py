@@ -1,0 +1,31 @@
+"""An XSLTMark-style benchmark suite (paper §5).
+
+The paper evaluates with DataPower's XSLTMark: "forty test cases designed
+to assess important functional areas of an XSLT processor".  The original
+distribution is not redistributable, so this package re-implements forty
+cases by name and functional area from the published case list — each a
+genuine stylesheet plus a scalable synthetic document generator, stored
+object-relationally with value indexes, exactly the §5 setup.
+
+* :mod:`.generator` — synthetic document generators (the db-style record
+  table most cases use, plus sales, tree and text documents);
+* :mod:`.cases` — the forty :class:`~repro.xsltmark.cases.BenchmarkCase`
+  definitions;
+* :mod:`.runner` — loads a case into storage, runs it with and without
+  XSLT rewrite, checks both strategies agree, and reports timings,
+  execution statistics and the rewrite classification (inline /
+  non-inline / fallback) that reproduces the paper's "23 of 40 inline"
+  measurement.
+"""
+
+from repro.xsltmark.cases import ALL_CASES, BenchmarkCase, get_case
+from repro.xsltmark.runner import CaseRun, classify_case, run_case
+
+__all__ = [
+    "ALL_CASES",
+    "BenchmarkCase",
+    "CaseRun",
+    "classify_case",
+    "get_case",
+    "run_case",
+]

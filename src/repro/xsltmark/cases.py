@@ -1,0 +1,485 @@
+"""The forty benchmark cases.
+
+Each case is modelled on the published XSLTMark case list: same name, same
+functional area, equivalent workload.  Stylesheets use only XSLT 1.0; the
+mix of features mirrors the original suite — value predicates, AVTs,
+aggregation, sorting, multi-step patterns, modes, computed constructors,
+recursion (named-template recursion → the paper's non-inline mode), axes,
+keys, ``xsl:number``, positional access and recursive document structures
+(the last groups cannot be rewritten and exercise the functional fallback,
+exactly as in the paper, where 23 of 40 cases compiled fully inline).
+"""
+
+from __future__ import annotations
+
+from repro.xsltmark import generator as gen
+
+_XSL = 'xmlns:xsl="http://www.w3.org/1999/XSL/Transform"'
+
+
+def _sheet(body):
+    return (
+        '<?xml version="1.0"?><xsl:stylesheet version="1.0" %s>%s'
+        "</xsl:stylesheet>" % (_XSL, body)
+    )
+
+
+class BenchmarkCase:
+    """One benchmark case definition."""
+
+    __slots__ = (
+        "name", "area", "dtd", "column_types", "stylesheet",
+        "make_document", "indexed_elements", "notes",
+    )
+
+    def __init__(self, name, area, dtd, column_types, stylesheet,
+                 make_document, indexed_elements=(), notes=""):
+        self.name = name
+        self.area = area
+        self.dtd = dtd
+        self.column_types = column_types
+        self.stylesheet = stylesheet
+        self.make_document = make_document
+        self.indexed_elements = list(indexed_elements)
+        self.notes = notes
+
+    def __repr__(self):
+        return "<BenchmarkCase %s (%s)>" % (self.name, self.area)
+
+
+def _db_case(name, area, body, indexed=(), notes=""):
+    return BenchmarkCase(
+        name, area, gen.DB_DTD, gen.DB_COLUMN_TYPES, _sheet(body),
+        gen.make_db_document, indexed, notes,
+    )
+
+
+def _sales_case(name, area, body, indexed=(), notes=""):
+    return BenchmarkCase(
+        name, area, gen.SALES_DTD, gen.SALES_COLUMN_TYPES, _sheet(body),
+        gen.make_sales_document, indexed, notes,
+    )
+
+
+def _items_case(name, area, body, indexed=(), notes=""):
+    return BenchmarkCase(
+        name, area, gen.ITEMS_DTD, gen.ITEMS_COLUMN_TYPES, _sheet(body),
+        gen.make_items_document, indexed, notes,
+    )
+
+
+def _groups_case(name, area, body, indexed=(), notes=""):
+    return BenchmarkCase(
+        name, area, gen.GROUPS_DTD, gen.GROUPS_COLUMN_TYPES, _sheet(body),
+        lambda size: gen.make_groups_document(max(size // 10, 1), 10),
+        indexed, notes,
+    )
+
+
+ALL_CASES = [
+    # -- database access ---------------------------------------------------
+    _db_case(
+        "dbonerow", "db",
+        '<xsl:template match="table"><out>'
+        '<xsl:apply-templates select="row[id = 37]"/></out></xsl:template>'
+        '<xsl:template match="row"><hit>'
+        '<xsl:value-of select="firstname"/><xsl:text> </xsl:text>'
+        '<xsl:value-of select="lastname"/></hit></xsl:template>',
+        indexed=["id"],
+        notes="Figure 2 workload: a value predicate selecting one row",
+    ),
+    _db_case(
+        "dbaccess", "db",
+        '<xsl:template match="table"><out>'
+        '<xsl:apply-templates select="row[zip &gt; 95000]"/></out>'
+        "</xsl:template>"
+        '<xsl:template match="row"><r><xsl:value-of select="lastname"/>'
+        "</r></xsl:template>",
+        indexed=["zip"],
+    ),
+    _db_case(
+        "dbtail", "db",
+        '<xsl:template match="table"><tail>'
+        '<xsl:apply-templates select="row[id &gt;= 95]"/></tail>'
+        "</xsl:template>"
+        '<xsl:template match="row"><r><xsl:value-of select="id"/>'
+        "</r></xsl:template>",
+        indexed=["id"],
+    ),
+    _db_case(
+        "decoy", "db",
+        '<xsl:template match="table"><out>'
+        '<xsl:apply-templates select="row[id = 11]"/></out></xsl:template>'
+        '<xsl:template match="row"><r><xsl:value-of select="city"/></r>'
+        "</xsl:template>"
+        + "".join(
+            '<xsl:template match="ghost%d"><g%d/></xsl:template>' % (i, i)
+            for i in range(12)
+        ),
+        indexed=["id"],
+        notes="§3.7: the twelve decoy templates are pruned",
+    ),
+    _db_case(
+        "oddtemplates", "db",
+        '<xsl:template match="table/row/firstname"><f>'
+        '<xsl:value-of select="."/></f></xsl:template>'
+        '<xsl:template match="city/row"><never/></xsl:template>'
+        '<xsl:template match="zip/table"><never/></xsl:template>'
+        '<xsl:template match="state"><s><xsl:value-of select="."/></s>'
+        "</xsl:template>",
+    ),
+    # -- output generation ---------------------------------------------------
+    _db_case(
+        "avts", "output",
+        '<xsl:template match="table"><html>'
+        '<xsl:apply-templates select="row"/></html></xsl:template>'
+        '<xsl:template match="row">'
+        '<div id="row{id}" class="{state}">'
+        '<span title="{city}"><xsl:value-of select="lastname"/></span>'
+        "</div></xsl:template>",
+        notes="Figure 3 workload: attribute value templates",
+    ),
+    _db_case(
+        "creation", "output",
+        '<xsl:template match="row">'
+        '<xsl:element name="person"><xsl:attribute name="key">'
+        '<xsl:value-of select="id"/></xsl:attribute>'
+        '<xsl:value-of select="lastname"/></xsl:element></xsl:template>'
+        '<xsl:template match="table"><people>'
+        '<xsl:apply-templates select="row"/></people></xsl:template>',
+    ),
+    _db_case(
+        "attsets", "output",
+        '<xsl:template match="table"><out>'
+        '<xsl:apply-templates select="row"/></out></xsl:template>'
+        '<xsl:template match="row"><cell>'
+        '<xsl:attribute name="id"><xsl:value-of select="id"/></xsl:attribute>'
+        '<xsl:attribute name="zip"><xsl:value-of select="zip"/></xsl:attribute>'
+        '<xsl:value-of select="city"/></cell></xsl:template>',
+    ),
+    _db_case(
+        "output", "output",
+        '<xsl:output method="text"/>'
+        '<xsl:template match="table"><xsl:apply-templates select="row"/>'
+        "</xsl:template>"
+        '<xsl:template match="row"><xsl:value-of select="lastname"/>'
+        "<xsl:text>, </xsl:text><xsl:value-of select='firstname'/>"
+        "<xsl:text>&#10;</xsl:text></xsl:template>",
+    ),
+    _items_case(
+        "vocab", "output",
+        '<xsl:template match="list"><words>'
+        '<xsl:for-each select="item"><xsl:value-of select="word"/>'
+        "<xsl:text> </xsl:text></xsl:for-each></words></xsl:template>",
+    ),
+    # -- aggregation / arithmetic ------------------------------------------------
+    _sales_case(
+        "chart", "compute",
+        '<xsl:template match="sales"><chart>'
+        "<bars><xsl:apply-templates select='product[quantity &gt; 50]'/></bars>"
+        '<count><xsl:value-of select="count(product)"/></count>'
+        "</chart></xsl:template>"
+        '<xsl:template match="product">'
+        '<bar name="{name}" height="{quantity}"/></xsl:template>',
+        notes="Figure 3 workload: count() aggregate",
+    ),
+    _sales_case(
+        "total", "compute",
+        '<xsl:template match="sales"><totals>'
+        '<revenue><xsl:value-of select="sum(product/price)"/></revenue>'
+        '<units><xsl:value-of select="sum(product/quantity)"/></units>'
+        '<lines><xsl:value-of select="count(product)"/></lines>'
+        "</totals></xsl:template>",
+        notes="Figure 3 workload: sum() aggregates",
+    ),
+    _sales_case(
+        "metric", "compute",
+        '<xsl:template match="sales"><priced>'
+        '<xsl:apply-templates select="product"/></priced></xsl:template>'
+        '<xsl:template match="product"><m>'
+        '<xsl:choose><xsl:when test="price &gt; 250">expensive</xsl:when>'
+        '<xsl:when test="price &gt; 100">moderate</xsl:when>'
+        "<xsl:otherwise>cheap</xsl:otherwise></xsl:choose>"
+        "</m></xsl:template>",
+        notes="Figure 3 workload: conditional construction",
+    ),
+    _db_case(
+        "summarize", "compute",
+        '<xsl:template match="table"><summary>'
+        '<north><xsl:value-of select="count(row[zip &gt; 55000])"/></north>'
+        '<south><xsl:value-of select="count(row[zip &lt;= 55000])"/></south>'
+        "</summary></xsl:template>",
+        indexed=["zip"],
+    ),
+    _sales_case(
+        "product", "compute",
+        '<xsl:template match="sales"><report>'
+        '<xsl:for-each select="product"><line>'
+        '<xsl:value-of select="quantity * price"/></line></xsl:for-each>'
+        "</report></xsl:template>",
+    ),
+    # -- selection / patterns ---------------------------------------------------
+    _db_case(
+        "patterns", "select",
+        '<xsl:template match="row/firstname"><f><xsl:value-of select="."/>'
+        "</f></xsl:template>"
+        '<xsl:template match="row[zip &gt; 70000]/lastname"><vip>'
+        '<xsl:value-of select="."/></vip></xsl:template>'
+        '<xsl:template match="lastname"><l><xsl:value-of select="."/></l>'
+        "</xsl:template>"
+        '<xsl:template match="street | city | state | zip | id"/>',
+        notes="§3.5 multi-step patterns with and without predicates",
+    ),
+    _db_case(
+        "priority", "select",
+        '<xsl:template match="*" priority="-2"/>'
+        '<xsl:template match="row" priority="3"><p3>'
+        '<xsl:value-of select="id"/></p3></xsl:template>'
+        '<xsl:template match="row" priority="1"><p1/></xsl:template>'
+        '<xsl:template match="table" priority="2"><t>'
+        '<xsl:apply-templates select="row"/></t></xsl:template>',
+    ),
+    _db_case(
+        "union", "select",
+        '<xsl:template match="table"><u>'
+        '<xsl:apply-templates select="row[id = 5]"/></u></xsl:template>'
+        '<xsl:template match="row">'
+        '<xsl:apply-templates select="firstname | lastname"/></xsl:template>'
+        '<xsl:template match="firstname"><f><xsl:value-of select="."/></f>'
+        "</xsl:template>"
+        '<xsl:template match="lastname"><l><xsl:value-of select="."/></l>'
+        "</xsl:template>",
+        indexed=["id"],
+    ),
+    _sales_case(
+        "current", "select",
+        '<xsl:template match="sales"><out>'
+        '<xsl:apply-templates select="product[quantity &gt; 90]"/></out>'
+        "</xsl:template>"
+        '<xsl:template match="product"><peer>'
+        '<xsl:value-of select="count(../product[name = current()/name])"/>'
+        "</peer></xsl:template>",
+        notes="current() in predicates; rewrites to XQuery, SQL merge falls back",
+    ),
+    _groups_case(
+        "inventory", "select",
+        '<xsl:template match="catalog"><inv>'
+        '<xsl:apply-templates select="group"/></inv></xsl:template>'
+        '<xsl:template match="group"><g name="{gname}">'
+        '<xsl:apply-templates select="entry[amount &gt; 200]"/></g>'
+        "</xsl:template>"
+        '<xsl:template match="entry"><e><xsl:value-of select="code"/></e>'
+        "</xsl:template>",
+        indexed=["amount"],
+    ),
+    _groups_case(
+        "games", "select",
+        '<xsl:template match="catalog">'
+        '<first><xsl:apply-templates select="group" mode="names"/></first>'
+        '<second><xsl:apply-templates select="group" mode="sizes"/></second>'
+        "</xsl:template>"
+        '<xsl:template match="group" mode="names"><n ref="{generate-id()}">'
+        '<xsl:value-of select="gname"/></n></xsl:template>'
+        '<xsl:template match="group" mode="sizes"><s>'
+        '<xsl:value-of select="count(entry)"/></s></xsl:template>',
+        notes="generate-id() cross references: functional fallback",
+    ),
+    # -- string processing -------------------------------------------------------
+    _items_case(
+        "functions", "string",
+        '<xsl:template match="item"><t>'
+        "<xsl:value-of select=\"concat(word, ':', string-length(word))\"/>"
+        "<xsl:text>/</xsl:text>"
+        "<xsl:value-of select=\"format-number(value, '#,##0')\"/>"
+        "</t></xsl:template>"
+        '<xsl:template match="list"><out>'
+        '<xsl:apply-templates select="item"/></out></xsl:template>',
+        notes="format-number() has no XQuery counterpart: fallback",
+    ),
+    _items_case(
+        "encrypt", "string",
+        '<xsl:template match="item"><x><xsl:value-of select='
+        "\"translate(word, 'abcdefghijklmnopqrstuvwxyz',"
+        " 'nopqrstuvwxyzabcdefghijklm')\"/></x></xsl:template>"
+        '<xsl:template match="list"><enc>'
+        '<xsl:apply-templates select="item"/></enc></xsl:template>',
+    ),
+    # -- sorting ------------------------------------------------------------------
+    _items_case(
+        "stringsort", "sort",
+        '<xsl:template match="list"><sorted>'
+        '<xsl:for-each select="item"><xsl:sort select="word"/>'
+        '<w><xsl:value-of select="word"/></w></xsl:for-each>'
+        "</sorted></xsl:template>",
+    ),
+    _items_case(
+        "numsort", "sort",
+        '<xsl:template match="list"><sorted>'
+        '<xsl:apply-templates select="item">'
+        '<xsl:sort select="value" data-type="number" order="descending"/>'
+        "</xsl:apply-templates></sorted></xsl:template>"
+        '<xsl:template match="item"><v><xsl:value-of select="value"/></v>'
+        "</xsl:template>",
+    ),
+    _items_case(
+        "alphabetize", "sort",
+        '<xsl:template match="list"><alpha>'
+        '<xsl:for-each select="item">'
+        '<xsl:sort select="substring(word, 1, 1)"/>'
+        '<xsl:sort select="value" data-type="number"/>'
+        '<a><xsl:value-of select="word"/></a></xsl:for-each>'
+        "</alpha></xsl:template>",
+    ),
+    # -- recursion (non-inline mode) ------------------------------------------------
+    _items_case(
+        "reverser", "recurse",
+        '<xsl:template match="list">'
+        '<xsl:call-template name="rev"><xsl:with-param name="s"'
+        ' select="string(item[1]/word)"/></xsl:call-template></xsl:template>'
+        '<xsl:template name="rev"><xsl:param name="s"/>'
+        '<xsl:if test="string-length($s) &gt; 0">'
+        '<xsl:call-template name="rev"><xsl:with-param name="s"'
+        ' select="substring($s, 2)"/></xsl:call-template>'
+        '<xsl:value-of select="substring($s, 1, 1)"/></xsl:if>'
+        "</xsl:template>",
+        notes="named-template recursion: §4.4 non-inline mode",
+    ),
+    _items_case(
+        "bottles", "recurse",
+        '<xsl:template match="list">'
+        '<xsl:call-template name="verse"><xsl:with-param name="n"'
+        ' select="9"/></xsl:call-template></xsl:template>'
+        '<xsl:template name="verse"><xsl:param name="n"/>'
+        '<xsl:if test="$n &gt; 0">'
+        "<verse><xsl:value-of select='$n'/> bottles</verse>"
+        '<xsl:call-template name="verse"><xsl:with-param name="n"'
+        ' select="$n - 1"/></xsl:call-template></xsl:if></xsl:template>',
+    ),
+    _items_case(
+        "tower", "recurse",
+        '<xsl:template match="list">'
+        '<xsl:call-template name="hanoi">'
+        '<xsl:with-param name="n" select="4"/>'
+        '<xsl:with-param name="from" select="\'A\'"/>'
+        '<xsl:with-param name="to" select="\'C\'"/>'
+        '<xsl:with-param name="via" select="\'B\'"/>'
+        "</xsl:call-template></xsl:template>"
+        '<xsl:template name="hanoi">'
+        '<xsl:param name="n"/><xsl:param name="from"/>'
+        '<xsl:param name="to"/><xsl:param name="via"/>'
+        '<xsl:if test="$n &gt; 0">'
+        '<xsl:call-template name="hanoi">'
+        '<xsl:with-param name="n" select="$n - 1"/>'
+        '<xsl:with-param name="from" select="$from"/>'
+        '<xsl:with-param name="to" select="$via"/>'
+        '<xsl:with-param name="via" select="$to"/>'
+        "</xsl:call-template>"
+        '<move disc="{$n}"><xsl:value-of select="$from"/>-'
+        "<xsl:value-of select='$to'/></move>"
+        '<xsl:call-template name="hanoi">'
+        '<xsl:with-param name="n" select="$n - 1"/>'
+        '<xsl:with-param name="from" select="$via"/>'
+        '<xsl:with-param name="to" select="$to"/>'
+        '<xsl:with-param name="via" select="$from"/>'
+        "</xsl:call-template></xsl:if></xsl:template>",
+    ),
+    _items_case(
+        "queens", "recurse",
+        '<xsl:template match="list">'
+        '<xsl:call-template name="fib"><xsl:with-param name="n"'
+        ' select="10"/></xsl:call-template></xsl:template>'
+        '<xsl:template name="fib"><xsl:param name="n"/>'
+        "<xsl:choose>"
+        '<xsl:when test="$n &lt; 2"><xsl:value-of select="$n"/></xsl:when>'
+        "<xsl:otherwise><f>"
+        '<xsl:call-template name="fib"><xsl:with-param name="n"'
+        ' select="$n - 1"/></xsl:call-template>'
+        "</f></xsl:otherwise></xsl:choose></xsl:template>",
+        notes="search-style recursion (simplified from the original)",
+    ),
+    # -- features the rewrite cannot handle (functional fallback) --------------------
+    _db_case(
+        "identity", "copy",
+        '<xsl:template match="@* | node()"><xsl:copy>'
+        '<xsl:apply-templates select="@* | node()"/></xsl:copy>'
+        "</xsl:template>",
+        notes="attribute-axis dispatch: falls back to functional evaluation",
+    ),
+    _db_case(
+        "axis", "axes",
+        '<xsl:template match="table"><out>'
+        '<xsl:apply-templates select="row[id = 3]"/></out></xsl:template>'
+        '<xsl:template match="row"><r>'
+        '<xsl:value-of select="count(ancestor::*)"/></r></xsl:template>',
+        notes="ancestor axis: not merged into the view",
+    ),
+    _db_case(
+        "backwards", "axes",
+        '<xsl:template match="table"><out>'
+        '<xsl:apply-templates select="row[id = 7]"/></out></xsl:template>'
+        '<xsl:template match="row"><prev><xsl:value-of select='
+        '"preceding-sibling::row[1]/id"/></prev></xsl:template>',
+    ),
+    _db_case(
+        "position", "axes",
+        '<xsl:template match="table"><out>'
+        '<xsl:apply-templates select="row"/></out></xsl:template>'
+        '<xsl:template match="row"><i><xsl:value-of select="position()"/>'
+        "</i></xsl:template>",
+        notes="position() outside predicates cannot be rewritten",
+    ),
+    _db_case(
+        "number", "axes",
+        '<xsl:template match="table"><out>'
+        '<xsl:apply-templates select="row[id &lt; 4]"/></out></xsl:template>'
+        '<xsl:template match="row"><n><xsl:number/></n></xsl:template>',
+    ),
+    _db_case(
+        "keys", "keys",
+        '<xsl:key name="by-state" match="row" use="state"/>'
+        '<xsl:template match="table"><ca>'
+        "<xsl:value-of select=\"count(key('by-state', 'CA'))\"/>"
+        "</ca></xsl:template>",
+    ),
+    _sales_case(
+        "trend", "axes",
+        '<xsl:template match="sales"><out>'
+        '<xsl:apply-templates select="product[quantity &gt; 90]"/></out>'
+        "</xsl:template>"
+        '<xsl:template match="product"><delta><xsl:value-of select='
+        '"quantity - preceding-sibling::product[1]/quantity"/></delta>'
+        "</xsl:template>",
+    ),
+    # -- document structure ------------------------------------------------------------
+    BenchmarkCase(
+        "depth", "structure", gen.TREE_DTD, {},
+        _sheet(
+            '<xsl:template match="node"><d>'
+            '<xsl:apply-templates select="node"/></d></xsl:template>'
+            '<xsl:template match="tree"><t>'
+            '<xsl:apply-templates select="node"/></t></xsl:template>'
+        ),
+        lambda size: gen.make_tree_document(max(2, size.bit_length()), 2),
+        notes="recursive document structure: §7.2, no sample document",
+    ),
+    _db_case(
+        "breadth", "structure",
+        "",  # empty stylesheet: built-in templates only (Table 20)
+        notes="§3.6 built-in-only compaction",
+    ),
+    _groups_case(
+        "workbook", "structure",
+        '<xsl:template match="catalog"><book>'
+        '<xsl:for-each select="group"><sheet name="{gname}">'
+        '<xsl:for-each select="entry"><cell><xsl:value-of select="amount"/>'
+        "</cell></xsl:for-each></sheet></xsl:for-each></book>"
+        "</xsl:template>",
+    ),
+]
+
+
+def get_case(name):
+    for case in ALL_CASES:
+        if case.name == name:
+            return case
+    raise KeyError("no benchmark case named %r" % name)

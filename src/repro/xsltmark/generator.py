@@ -1,0 +1,177 @@
+"""Synthetic document generators for the benchmark cases.
+
+All generators are deterministic (index-arithmetic "randomness", no RNG
+state) so benchmark runs are exactly reproducible.  Documents are built
+through :class:`~repro.xmlmodel.builder.TreeBuilder`, whitespace-free, the
+shape data-oriented XMLType instances have in the database.
+"""
+
+from __future__ import annotations
+
+from repro.rdb.types import INT
+from repro.xmlmodel.builder import TreeBuilder
+
+_FIRST_NAMES = [
+    "Al", "Bea", "Carl", "Dina", "Ed", "Fay", "Gus", "Hana", "Ian", "Joy",
+    "Kim", "Leo", "Mia", "Ned", "Ona", "Pat", "Quin", "Rae", "Sol", "Tia",
+]
+_LAST_NAMES = [
+    "Adams", "Baker", "Chen", "Diaz", "Evans", "Fox", "Gray", "Hill",
+    "Irwin", "Jones", "Kane", "Lee", "Moore", "Nash", "Owens", "Price",
+    "Quist", "Reed", "Stone", "Tran",
+]
+_STREETS = ["Oak St", "Elm Ave", "Main Rd", "Pine Ln", "Lake Dr"]
+_CITIES = ["Springfield", "Riverton", "Lakeside", "Hilltop", "Marble"]
+_STATES = ["CA", "NY", "TX", "WA", "OR", "MA", "IL", "GA"]
+_PRODUCTS = ["widget", "gadget", "sprocket", "gizmo", "doohickey", "cog"]
+_WORDS = [
+    "alpha", "bravo", "charlie", "delta", "echo", "foxtrot", "golf",
+    "hotel", "india", "juliet", "kilo", "lima",
+]
+
+
+DB_DTD = """
+<!ELEMENT table (row*)>
+<!ELEMENT row (id, firstname, lastname, street, city, state, zip)>
+<!ELEMENT id (#PCDATA)>
+<!ELEMENT firstname (#PCDATA)>
+<!ELEMENT lastname (#PCDATA)>
+<!ELEMENT street (#PCDATA)>
+<!ELEMENT city (#PCDATA)>
+<!ELEMENT state (#PCDATA)>
+<!ELEMENT zip (#PCDATA)>
+"""
+
+DB_COLUMN_TYPES = {"id": INT, "zip": INT}
+
+
+def make_db_document(rows):
+    """The XSLTMark db-style record table with ``rows`` rows."""
+    builder = TreeBuilder()
+    builder.start_element("table")
+    for index in range(rows):
+        builder.start_element("row")
+        _leaf(builder, "id", str(index + 1))
+        _leaf(builder, "firstname", _FIRST_NAMES[index % len(_FIRST_NAMES)])
+        _leaf(builder, "lastname", _LAST_NAMES[(index * 7) % len(_LAST_NAMES)])
+        _leaf(builder, "street",
+              "%d %s" % (100 + index % 900, _STREETS[index % len(_STREETS)]))
+        _leaf(builder, "city", _CITIES[(index * 3) % len(_CITIES)])
+        _leaf(builder, "state", _STATES[(index * 5) % len(_STATES)])
+        _leaf(builder, "zip", str(10000 + (index * 37) % 90000))
+        builder.end_element()
+    builder.end_element()
+    return builder.finish()
+
+
+SALES_DTD = """
+<!ELEMENT sales (product*)>
+<!ELEMENT product (name, quantity, price, region)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT quantity (#PCDATA)>
+<!ELEMENT price (#PCDATA)>
+<!ELEMENT region (#PCDATA)>
+"""
+
+SALES_COLUMN_TYPES = {"quantity": INT, "price": INT}
+
+
+def make_sales_document(rows):
+    """Product sales records (the chart/total workload)."""
+    builder = TreeBuilder()
+    builder.start_element("sales")
+    for index in range(rows):
+        builder.start_element("product")
+        _leaf(builder, "name", _PRODUCTS[index % len(_PRODUCTS)])
+        _leaf(builder, "quantity", str(1 + (index * 13) % 97))
+        _leaf(builder, "price", str(5 + (index * 11) % 500))
+        _leaf(builder, "region", _STATES[(index * 3) % 4])
+        builder.end_element()
+    builder.end_element()
+    return builder.finish()
+
+
+ITEMS_DTD = """
+<!ELEMENT list (item*)>
+<!ELEMENT item (word, value)>
+<!ELEMENT word (#PCDATA)>
+<!ELEMENT value (#PCDATA)>
+"""
+
+ITEMS_COLUMN_TYPES = {"value": INT}
+
+
+def make_items_document(rows):
+    """A flat word/value list (sorting and string-function workloads)."""
+    builder = TreeBuilder()
+    builder.start_element("list")
+    for index in range(rows):
+        builder.start_element("item")
+        word = "%s%02d" % (_WORDS[(index * 5) % len(_WORDS)], index % 89)
+        _leaf(builder, "word", word)
+        _leaf(builder, "value", str((index * 17) % 1000))
+        builder.end_element()
+    builder.end_element()
+    return builder.finish()
+
+
+TREE_DTD = """
+<!ELEMENT tree (node*)>
+<!ELEMENT node (label, node*)>
+<!ELEMENT label (#PCDATA)>
+"""
+
+
+def make_tree_document(depth, fanout=2):
+    """A recursive tree (depth-oriented workloads; recursive schema)."""
+    builder = TreeBuilder()
+    builder.start_element("tree")
+
+    def emit(level, path):
+        builder.start_element("node")
+        _leaf(builder, "label", "n%s" % path)
+        if level < depth:
+            for branch in range(fanout):
+                emit(level + 1, "%s.%d" % (path, branch))
+        builder.end_element()
+
+    emit(1, "0")
+    builder.end_element()
+    return builder.finish()
+
+
+GROUPS_DTD = """
+<!ELEMENT catalog (group*)>
+<!ELEMENT group (gname, entry*)>
+<!ELEMENT gname (#PCDATA)>
+<!ELEMENT entry (code, amount)>
+<!ELEMENT code (#PCDATA)>
+<!ELEMENT amount (#PCDATA)>
+"""
+
+GROUPS_COLUMN_TYPES = {"amount": INT}
+
+
+def make_groups_document(groups, entries_per_group):
+    """Two-level master/detail data (nested-iteration workloads)."""
+    builder = TreeBuilder()
+    builder.start_element("catalog")
+    for group_index in range(groups):
+        builder.start_element("group")
+        _leaf(builder, "gname", "group-%02d" % group_index)
+        for entry_index in range(entries_per_group):
+            builder.start_element("entry")
+            _leaf(builder, "code",
+                  "c%d-%d" % (group_index, entry_index))
+            _leaf(builder, "amount",
+                  str((group_index * 31 + entry_index * 7) % 400))
+            builder.end_element()
+        builder.end_element()
+    builder.end_element()
+    return builder.finish()
+
+
+def _leaf(builder, name, value):
+    builder.start_element(name)
+    builder.text(value)
+    builder.end_element()

@@ -1,0 +1,126 @@
+"""The paper's running example (Tables 1–8) as shared test fixtures."""
+
+from repro.rdb import Database, Filter, INT, Query, Scan, TEXT
+from repro.rdb.expressions import ScalarSubquery, col, eq
+from repro.rdb.sqlxml import XMLAgg, XMLElement
+
+DEPT_DTD = """
+<!ELEMENT dept (dname, loc, employees)>
+<!ELEMENT dname (#PCDATA)>
+<!ELEMENT loc (#PCDATA)>
+<!ELEMENT employees (emp*)>
+<!ELEMENT emp (empno, ename, sal)>
+<!ELEMENT empno (#PCDATA)>
+<!ELEMENT ename (#PCDATA)>
+<!ELEMENT sal (#PCDATA)>
+"""
+
+# Table 5 — the XSLT stylesheet of example 1.
+EXAMPLE1_STYLESHEET = """<?xml version="1.0"?><xsl:stylesheet version="1.0"
+ xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+<xsl:template match="dept">
+<H1>HIGHLY PAID DEPT EMPLOYEES</H1>
+<xsl:apply-templates/>
+</xsl:template>
+<xsl:template match="dname">
+<H2>Department name: <xsl:value-of select="."/></H2>
+</xsl:template>
+<xsl:template match="loc">
+<H2>Department location: <xsl:value-of select="."/></H2>
+</xsl:template>
+<xsl:template match="employees">
+<H2>Employees Table</H2>
+<table border="2">
+<td><b>EmpNo</b></td>
+<td><b>Name</b></td>
+<td><b>Weekly Salary</b></td>
+<xsl:apply-templates select="emp[sal &gt; 2000]"/>
+</table>
+</xsl:template>
+<xsl:template match="emp">
+<tr>
+<td><xsl:value-of select="empno"/></td>
+<td><xsl:value-of select="ename"/></td>
+<td><xsl:value-of select="sal"/></td>
+</tr>
+</xsl:template>
+<xsl:template match="text()">
+<xsl:value-of select="."/>
+</xsl:template>
+</xsl:stylesheet>"""
+
+# Table 4 — the two XMLType instances the dept_emp view produces.
+DEPT_DOC_1 = (
+    "<dept><dname>ACCOUNTING</dname><loc>NEW YORK</loc><employees>"
+    "<emp><empno>7782</empno><ename>CLARK</ename><sal>2450</sal></emp>"
+    "<emp><empno>7934</empno><ename>MILLER</ename><sal>1300</sal></emp>"
+    "</employees></dept>"
+)
+DEPT_DOC_2 = (
+    "<dept><dname>OPERATIONS</dname><loc>BOSTON</loc><employees>"
+    "<emp><empno>7954</empno><ename>SMITH</ename><sal>4900</sal></emp>"
+    "</employees></dept>"
+)
+
+# Table 6 — the expected transformation result for the first dept row.
+EXPECTED_ROW1 = (
+    "<H1>HIGHLY PAID DEPT EMPLOYEES</H1>"
+    "<H2>Department name: ACCOUNTING</H2>"
+    "<H2>Department location: NEW YORK</H2>"
+    "<H2>Employees Table</H2>"
+    '<table border="2">'
+    "<td><b>EmpNo</b></td><td><b>Name</b></td><td><b>Weekly Salary</b></td>"
+    "<tr><td>7782</td><td>CLARK</td><td>2450</td></tr>"
+    "</table>"
+)
+EXPECTED_ROW2 = (
+    "<H1>HIGHLY PAID DEPT EMPLOYEES</H1>"
+    "<H2>Department name: OPERATIONS</H2>"
+    "<H2>Department location: BOSTON</H2>"
+    "<H2>Employees Table</H2>"
+    '<table border="2">'
+    "<td><b>EmpNo</b></td><td><b>Name</b></td><td><b>Weekly Salary</b></td>"
+    "<tr><td>7954</td><td>SMITH</td><td>4900</td></tr>"
+    "</table>"
+)
+
+
+def make_database():
+    """Tables 1 and 2: dept and emp."""
+    db = Database()
+    db.create_table("dept", [("deptno", INT), ("dname", TEXT), ("loc", TEXT)])
+    db.create_table(
+        "emp",
+        [("empno", INT), ("ename", TEXT), ("job", TEXT), ("sal", INT),
+         ("deptno", INT)],
+    )
+    db.insert(
+        "dept", (10, "ACCOUNTING", "NEW YORK"), (40, "OPERATIONS", "BOSTON")
+    )
+    db.insert(
+        "emp",
+        (7782, "CLARK", "MANAGER", 2450, 10),
+        (7934, "MILLER", "CLERK", 1300, 10),
+        (7954, "SMITH", "VP", 4900, 40),
+    )
+    return db
+
+
+def dept_emp_view_query():
+    """Table 3: the dept_emp XMLType view over dept and emp."""
+    emp_agg = Query(
+        Filter(Scan("emp"), eq(col("deptno", "emp"), col("deptno", "dept"))),
+        [(None, XMLAgg(XMLElement(
+            "emp",
+            XMLElement("empno", col("empno", "emp")),
+            XMLElement("ename", col("ename", "emp")),
+            XMLElement("sal", col("sal", "emp")),
+        )))],
+    )
+    dept_content = XMLElement(
+        "dept",
+        XMLElement("dname", col("dname", "dept")),
+        XMLElement("loc", col("loc", "dept")),
+        XMLElement("employees", ScalarSubquery(emp_agg)),
+    )
+    return Query(Scan("dept"), [("dept_content", dept_content)])

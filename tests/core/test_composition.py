@@ -1,0 +1,179 @@
+"""Tests for module composition: XSLT over XQuery-defined XMLType."""
+
+import pytest
+
+from repro.errors import RewriteError
+from repro.schema import schema_from_dtd
+from repro.xmlmodel import parse_document, serialize_children
+from repro.xquery import evaluate_xquery, parse_xquery, xquery_to_text
+from repro.xquery.evaluator import evaluate_module, sequence_to_document
+from repro.xquery.rename import prefix_module
+from repro.core.combined import compose_modules, rewrite_xslt_over_xquery
+from repro.xslt import compile_stylesheet, transform
+
+DEPT_DTD = """
+<!ELEMENT dept (dname, loc, employees)>
+<!ELEMENT dname (#PCDATA)>
+<!ELEMENT loc (#PCDATA)>
+<!ELEMENT employees (emp*)>
+<!ELEMENT emp (empno, ename, sal)>
+<!ELEMENT empno (#PCDATA)>
+<!ELEMENT ename (#PCDATA)>
+<!ELEMENT sal (#PCDATA)>
+"""
+
+DOC = (
+    "<dept><dname>A</dname><loc>L</loc><employees>"
+    "<emp><empno>1</empno><ename>X</ename><sal>10</sal></emp>"
+    "<emp><empno>2</empno><ename>Y</ename><sal>2500</sal></emp>"
+    "</employees></dept>"
+)
+
+INNER = (
+    "declare variable $d := .;\n"
+    "<roster>{for $e in $d/dept/employees/emp return"
+    " <member><who>{fn:string($e/ename)}</who>"
+    "<pay>{fn:string($e/sal)}</pay></member>}</roster>"
+)
+
+SHEET = (
+    '<xsl:stylesheet version="1.0"'
+    ' xmlns:xsl="http://www.w3.org/1999/XSL/Transform">'
+    '<xsl:template match="roster"><ul>'
+    '<xsl:apply-templates select="member[pay &gt; 100]"/></ul>'
+    "</xsl:template>"
+    '<xsl:template match="member"><li><xsl:value-of select="who"/></li>'
+    "</xsl:template></xsl:stylesheet>"
+)
+
+
+def two_step_reference(inner_text, sheet_text, source):
+    inner_result = sequence_to_document(
+        evaluate_xquery(inner_text, parse_document(source))
+    )
+    return serialize_children(
+        transform(compile_stylesheet(sheet_text), inner_result)
+    )
+
+
+class TestRename:
+    def test_variables_prefixed(self):
+        module = parse_xquery("declare variable $x := 1;\n$x + 1")
+        renamed = prefix_module(module, "p_")
+        text = xquery_to_text(renamed)
+        assert "$p_x" in text
+        assert "$x +" not in text
+        assert evaluate_xquery(text) == [2.0]
+
+    def test_functions_prefixed(self):
+        module = parse_xquery(
+            "declare function local:f($a) { $a * 2 };\nlocal:f(21)"
+        )
+        renamed = prefix_module(module, "p_")
+        text = xquery_to_text(renamed)
+        assert "local:p_f" in text
+        assert evaluate_xquery(text) == [42.0]
+
+    def test_flwor_binders_prefixed(self):
+        module = parse_xquery("for $i in (1, 2) let $j := $i return $j")
+        renamed = prefix_module(module, "p_")
+        assert evaluate_xquery(xquery_to_text(renamed)) == [1.0, 2.0]
+
+    def test_semantics_preserved_on_constructors(self):
+        module = parse_xquery(
+            'declare variable $v := 3;\n<a n="{$v}">{$v + 1}</a>'
+        )
+        renamed = prefix_module(module, "q_")
+        result = sequence_to_document(
+            evaluate_module(renamed, parse_document("<x/>"))
+        )
+        assert serialize_children(result) == '<a n="3">4</a>'
+
+
+class TestDocumentConstructor:
+    def test_wraps_sequence(self):
+        result = evaluate_xquery("document {(<a/>, <b/>)}")
+        assert len(result) == 1
+        document = result[0]
+        assert document.kind == "document"
+        assert [c.name.local for c in document.children] == ["a", "b"]
+
+    def test_child_steps_work_from_document(self):
+        assert evaluate_xquery(
+            "count((document {(<a/>, <a/>)})/a)"
+        ) == [2.0]
+
+    def test_serializes_and_reparses(self):
+        text = xquery_to_text(parse_xquery("document {<a>x</a>}"))
+        assert "document {" in text
+        result = evaluate_xquery(text)
+        assert result[0].kind == "document"
+
+
+class TestComposition:
+    def test_composed_equals_two_step(self):
+        composed, outcome = rewrite_xslt_over_xquery(
+            SHEET, parse_xquery(INNER), schema_from_dtd(DEPT_DTD)
+        )
+        got = serialize_children(
+            sequence_to_document(
+                evaluate_module(composed, parse_document(DOC))
+            )
+        )
+        assert got == two_step_reference(INNER, SHEET, DOC)
+        assert got == "<ul><li>Y</li></ul>"  # only sal 2500 > 100
+
+    def test_composed_text_roundtrip(self):
+        composed, _ = rewrite_xslt_over_xquery(
+            SHEET, parse_xquery(INNER), schema_from_dtd(DEPT_DTD)
+        )
+        text = xquery_to_text(composed)
+        got = serialize_children(
+            sequence_to_document(
+                evaluate_xquery(text, parse_document(DOC))
+            )
+        )
+        assert got == "<ul><li>Y</li></ul>"
+
+    def test_outcome_reports_inline(self):
+        _, outcome = rewrite_xslt_over_xquery(
+            SHEET, parse_xquery(INNER), schema_from_dtd(DEPT_DTD)
+        )
+        assert outcome.inline_mode
+
+    def test_inner_with_functions_composes(self):
+        inner = (
+            "declare variable $d := .;\n"
+            "declare function local:wrap($s) { <member><who>{$s}</who>"
+            "<pay>200</pay></member> };\n"
+            "<roster>{for $e in $d/dept/employees/emp"
+            " return local:wrap(fn:string($e/ename))}</roster>"
+        )
+        composed, _ = rewrite_xslt_over_xquery(
+            SHEET, parse_xquery(inner), schema_from_dtd(DEPT_DTD)
+        )
+        got = serialize_children(
+            sequence_to_document(
+                evaluate_module(composed, parse_document(DOC))
+            )
+        )
+        assert got == two_step_reference(inner, SHEET, DOC)
+
+    def test_compose_rejects_headless_outer(self):
+        inner = parse_xquery("<a/>")
+        outer = parse_xquery("<b/>")  # no context-item binding
+        with pytest.raises(RewriteError):
+            compose_modules(inner, outer)
+
+    def test_unsupported_inner_shape_falls_out(self):
+        # a stylesheet feature the rewrite rejects still raises cleanly
+        bad_sheet = (
+            '<xsl:stylesheet version="1.0"'
+            ' xmlns:xsl="http://www.w3.org/1999/XSL/Transform">'
+            '<xsl:template match="roster"><xsl:number/></xsl:template>'
+            "</xsl:stylesheet>"
+        )
+        with pytest.raises(RewriteError):
+            rewrite_xslt_over_xquery(
+                bad_sheet, parse_xquery(INNER), schema_from_dtd(DEPT_DTD)
+            )

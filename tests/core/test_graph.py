@@ -1,0 +1,125 @@
+"""Tests for the template execution graph (paper §4.3)."""
+
+from repro.schema import schema_from_dtd
+from repro.xslt import compile_stylesheet
+from repro.core.graph import ExecutionGraph, GraphState
+from repro.core.partial_eval import partially_evaluate
+
+from .paper_example import DEPT_DTD, EXAMPLE1_STYLESHEET
+
+XSL = 'xmlns:xsl="http://www.w3.org/1999/XSL/Transform"'
+
+
+def sheet(body):
+    return '<xsl:stylesheet version="1.0" %s>%s</xsl:stylesheet>' % (XSL, body)
+
+
+def build(body_or_sheet, dtd=DEPT_DTD):
+    text = body_or_sheet
+    if "<xsl:stylesheet" not in text:
+        text = sheet(text)
+    return partially_evaluate(compile_stylesheet(text), schema_from_dtd(dtd))
+
+
+class TestGraphStructure:
+    def test_states_unique_per_template_and_decl(self):
+        graph = ExecutionGraph()
+        state_a = graph.state("builtin-recurse", None)
+        state_b = graph.state("builtin-recurse", None)
+        assert state_a is state_b
+        assert len(graph.states()) == 1
+
+    def test_edges_deduplicated(self):
+        graph = ExecutionGraph()
+        source = graph.state("t1", None)
+        target = graph.state("t2", None)
+        graph.add_edge(source, 7, target)
+        graph.add_edge(source, 7, target)
+        assert len(graph.successors(source)) == 1
+
+    def test_acyclic_graph(self):
+        graph = ExecutionGraph()
+        a = graph.state("a", None)
+        b = graph.state("b", None)
+        graph.add_edge(a, 1, b)
+        assert not graph.is_recursive()
+
+    def test_self_loop_is_recursive(self):
+        graph = ExecutionGraph()
+        a = graph.state("a", None)
+        graph.add_edge(a, 1, a)
+        assert graph.is_recursive()
+
+    def test_longer_cycle_detected(self):
+        graph = ExecutionGraph()
+        a = graph.state("a", None)
+        b = graph.state("b", None)
+        c = graph.state("c", None)
+        graph.add_edge(a, 1, b)
+        graph.add_edge(b, 2, c)
+        graph.add_edge(c, 3, a)
+        assert graph.is_recursive()
+
+    def test_state_labels(self):
+        state = GraphState("builtin-recurse", None)
+        assert "#document" in state.label()
+
+
+class TestGraphFromTrace:
+    def test_example1_graph_shape(self):
+        result = build(EXAMPLE1_STYLESHEET)
+        graph = result.graph
+        labels = [state.label() for state in graph.states()]
+        # one state per (template, element type) that fired
+        assert any("dept" in label and "match=\"dept\"" in label
+                   for label in labels)
+        assert any("emp" in label and "match=\"emp\"" in label
+                   for label in labels)
+        assert not graph.is_recursive()
+
+    def test_to_text_renders_transitions(self):
+        result = build(EXAMPLE1_STYLESHEET)
+        text = result.graph.to_text()
+        assert "--site" in text
+
+    def test_call_template_edges(self):
+        result = build(
+            '<xsl:template match="dept">'
+            '<xsl:call-template name="aux"/></xsl:template>'
+            '<xsl:template name="aux"><x/></xsl:template>'
+        )
+        labels = [state.label() for state in result.graph.states()]
+        assert any('name="aux"' in label for label in labels)
+
+    def test_recursive_named_template_cycles(self):
+        result = build(
+            '<xsl:template match="/"><xsl:call-template name="r"/></xsl:template>'
+            '<xsl:template name="r">'
+            '<xsl:if test="true()"><xsl:call-template name="r"/></xsl:if>'
+            "</xsl:template>"
+        )
+        assert result.graph.is_recursive()
+
+    def test_mutual_recursion_cycles(self):
+        result = build(
+            '<xsl:template match="/"><xsl:call-template name="ping"/></xsl:template>'
+            '<xsl:template name="ping">'
+            '<xsl:if test="true()"><xsl:call-template name="pong"/></xsl:if>'
+            "</xsl:template>"
+            '<xsl:template name="pong">'
+            '<xsl:if test="true()"><xsl:call-template name="ping"/></xsl:if>'
+            "</xsl:template>"
+        )
+        assert result.graph.is_recursive()
+
+    def test_same_template_two_decls_two_states(self):
+        # one template matching both dname and loc fires in two states
+        result = build(
+            '<xsl:template match="dname | loc"><x/></xsl:template>'
+        )
+        labels = [
+            state.label()
+            for state in result.graph.states()
+            if "dname | loc" in state.label()
+        ]
+        assert len(labels) == 2

@@ -1,0 +1,150 @@
+"""Condition-shape coverage for the SQL merge: the boolean forms xsl:if /
+xsl:choose / pattern predicates can produce."""
+
+import pytest
+
+from repro.core.pipeline import XsltRewriter
+from repro.xmlmodel import serialize
+from repro.xmlmodel.nodes import Node
+
+from .paper_example import dept_emp_view_query, make_database
+
+XSL = 'xmlns:xsl="http://www.w3.org/1999/XSL/Transform"'
+
+
+def sheet(body):
+    return '<xsl:stylesheet version="1.0" %s>%s</xsl:stylesheet>' % (XSL, body)
+
+
+def markup(value):
+    if isinstance(value, list):
+        return "".join(
+            serialize(item) if isinstance(item, Node) else str(item)
+            for item in value
+        )
+    if isinstance(value, Node):
+        return serialize(value)
+    return "" if value is None else str(value)
+
+
+def run(body):
+    db = make_database()
+    outcome = XsltRewriter().rewrite_view(sheet(body), dept_emp_view_query())
+    rows, stats = db.execute(outcome.sql_query)
+    return [markup(row[0]) for row in rows], outcome, stats
+
+
+class TestConditions:
+    def test_string_equality(self):
+        rows, _, _ = run(
+            '<xsl:template match="dept">'
+            '<xsl:if test="dname = \'ACCOUNTING\'"><acc/></xsl:if>'
+            "</xsl:template>"
+        )
+        assert rows == ["<acc/>", ""]
+
+    def test_conjunction(self):
+        rows, _, _ = run(
+            '<xsl:template match="dept">'
+            '<xsl:if test="dname = \'ACCOUNTING\' and'
+            ' count(employees/emp) &gt; 1"><hit/></xsl:if>'
+            "</xsl:template>"
+        )
+        assert rows == ["<hit/>", ""]
+
+    def test_disjunction(self):
+        rows, _, _ = run(
+            '<xsl:template match="dept">'
+            '<xsl:if test="loc = \'BOSTON\' or loc = \'NEW YORK\'"><y/></xsl:if>'
+            "</xsl:template>"
+        )
+        assert rows == ["<y/>", "<y/>"]
+
+    def test_negation(self):
+        rows, _, _ = run(
+            '<xsl:template match="dept">'
+            '<xsl:if test="not(loc = \'BOSTON\')"><n/></xsl:if>'
+            "</xsl:template>"
+        )
+        assert rows == ["<n/>", ""]
+
+    def test_existence_of_repeating_path(self):
+        rows, _, _ = run(
+            '<xsl:template match="dept">'
+            '<xsl:if test="employees/emp[sal &gt; 4000]"><rich-dept/></xsl:if>'
+            "</xsl:template>"
+        )
+        assert rows == ["", "<rich-dept/>"]
+
+    def test_numeric_comparison_between_aggregates(self):
+        rows, _, _ = run(
+            '<xsl:template match="dept">'
+            '<xsl:if test="sum(employees/emp/sal) &gt; 4000"><big/></xsl:if>'
+            "</xsl:template>"
+        )
+        assert rows == ["", "<big/>"]
+
+    def test_nested_choose_becomes_nested_case(self):
+        rows, outcome, _ = run(
+            '<xsl:template match="dept"><xsl:choose>'
+            '<xsl:when test="count(employees/emp) &gt; 1">'
+            '<xsl:choose><xsl:when test="dname = \'ACCOUNTING\'"><a2/></xsl:when>'
+            "<xsl:otherwise><o2/></xsl:otherwise></xsl:choose></xsl:when>"
+            "<xsl:otherwise><single/></xsl:otherwise></xsl:choose>"
+            "</xsl:template>"
+        )
+        assert rows == ["<a2/>", "<single/>"]
+        assert outcome.sql_text().count("CASE WHEN") == 2
+
+    def test_condition_inside_iteration(self):
+        rows, _, _ = run(
+            '<xsl:template match="dept">'
+            '<xsl:for-each select="employees/emp">'
+            '<xsl:if test="sal &gt; 2000"><h><xsl:value-of select="ename"/>'
+            "</h></xsl:if></xsl:for-each></xsl:template>"
+        )
+        assert rows == ["<h>CLARK</h>", "<h>SMITH</h>"]
+
+    def test_arithmetic_in_condition(self):
+        rows, _, _ = run(
+            '<xsl:template match="emp">'
+            '<xsl:if test="sal * 2 &gt; 4000"><d/></xsl:if></xsl:template>'
+        )
+        # dname/loc text flows through the built-in rules; CLARK
+        # (2450*2 > 4000) and SMITH qualify, MILLER (2600) does not.
+        assert rows == ["ACCOUNTINGNEW YORK<d/>", "OPERATIONSBOSTON<d/>"]
+
+
+class TestRenderingPaths:
+    def test_explain_of_rewritten_query(self):
+        from repro.rdb.plan import explain
+
+        db = make_database()
+        db.create_index("emp", "sal")
+        outcome = XsltRewriter().rewrite_view(
+            sheet('<xsl:template match="emp/sal[. &gt; 2000]"><s/></xsl:template>'
+                  '<xsl:template match="emp/sal"><l/></xsl:template>'),
+            dept_emp_view_query(),
+        )
+        optimized = db.optimize(outcome.sql_query)
+        text = explain(optimized)
+        assert "QUERY" in text and "Scan" in text
+
+    def test_sql_text_is_single_statement(self):
+        _, outcome, _ = run(
+            '<xsl:template match="dept"><d><xsl:value-of select="dname"/>'
+            "</d></xsl:template>"
+        )
+        sql = outcome.sql_text()
+        assert sql.startswith("SELECT ")
+        assert sql.count("FROM DEPT") == 1
+
+
+class TestStaticNames:
+    def test_name_function_folds_to_constant(self):
+        rows, outcome, _ = run(
+            '<xsl:template match="dept">'
+            '<t><xsl:value-of select="name(dname)"/></t></xsl:template>'
+        )
+        assert rows == ["<t>dname</t>", "<t>dname</t>"]
+        assert "'dname'" in outcome.sql_text()

@@ -1,0 +1,135 @@
+"""Tests for the XMLTransform() front door: strategies and fallback."""
+
+import pytest
+
+from repro.core import (
+    STRATEGY_FUNCTIONAL,
+    STRATEGY_SQL,
+    xml_transform,
+)
+from repro.rdb import Database, INT
+from repro.rdb.storage import ClobStorage, ObjectRelationalStorage
+from repro.schema import schema_from_dtd
+from repro.xmlmodel import parse_document
+
+from .paper_example import (
+    DEPT_DTD,
+    DEPT_DOC_1,
+    DEPT_DOC_2,
+    EXAMPLE1_STYLESHEET,
+    EXPECTED_ROW1,
+    EXPECTED_ROW2,
+    dept_emp_view_query,
+    make_database,
+)
+
+XSL = 'xmlns:xsl="http://www.w3.org/1999/XSL/Transform"'
+
+
+def sheet(body):
+    return '<xsl:stylesheet version="1.0" %s>%s</xsl:stylesheet>' % (XSL, body)
+
+
+class TestViewTransform:
+    def test_rewrite_strategy(self):
+        db = make_database()
+        result = xml_transform(db, dept_emp_view_query(), EXAMPLE1_STYLESHEET)
+        assert result.strategy == STRATEGY_SQL
+        assert result.serialized_rows() == [EXPECTED_ROW1, EXPECTED_ROW2]
+
+    def test_functional_strategy(self):
+        db = make_database()
+        result = xml_transform(
+            db, dept_emp_view_query(), EXAMPLE1_STYLESHEET, rewrite=False
+        )
+        assert result.strategy == STRATEGY_FUNCTIONAL
+        assert result.serialized_rows() == [EXPECTED_ROW1, EXPECTED_ROW2]
+
+    def test_strategies_agree(self):
+        db = make_database()
+        with_rewrite = xml_transform(
+            db, dept_emp_view_query(), EXAMPLE1_STYLESHEET
+        )
+        without = xml_transform(
+            db, dept_emp_view_query(), EXAMPLE1_STYLESHEET, rewrite=False
+        )
+        assert with_rewrite.serialized_rows() == without.serialized_rows()
+
+    def test_outcome_attached_on_rewrite(self):
+        db = make_database()
+        result = xml_transform(db, dept_emp_view_query(), EXAMPLE1_STYLESHEET)
+        assert result.outcome is not None
+        assert result.outcome.inline_mode
+        assert "XMLElement" in result.outcome.sql_text()
+        assert "declare variable" in result.outcome.xquery_text()
+
+    def test_fallback_on_unsupported_construct(self):
+        db = make_database()
+        # xsl:number cannot be rewritten: must fall back, still correct.
+        body = (
+            '<xsl:template match="emp"><i><xsl:number value="42"/></i>'
+            "</xsl:template>"
+        )
+        result = xml_transform(db, dept_emp_view_query(), sheet(body))
+        assert result.strategy == STRATEGY_FUNCTIONAL
+        assert result.fallback_reason
+        assert "<i>42</i>" in result.serialized_rows()[0]
+
+    def test_params_force_functional(self):
+        db = make_database()
+        body = (
+            '<xsl:param name="p"/>'
+            '<xsl:template match="dept"><xsl:value-of select="$p"/></xsl:template>'
+        )
+        result = xml_transform(
+            db, dept_emp_view_query(), sheet(body), params={"p": "X"}
+        )
+        assert result.strategy == STRATEGY_FUNCTIONAL
+        assert result.serialized_rows() == ["X", "X"]
+
+
+class TestStorageTransform:
+    def make_storage(self):
+        db = Database()
+        storage = ObjectRelationalStorage(
+            db, schema_from_dtd(DEPT_DTD), "xd",
+            column_types={"sal": INT, "empno": INT},
+        )
+        storage.load(parse_document(DEPT_DOC_1))
+        storage.load(parse_document(DEPT_DOC_2))
+        return db, storage
+
+    def test_rewrite_over_storage(self):
+        db, storage = self.make_storage()
+        result = xml_transform(db, storage, EXAMPLE1_STYLESHEET)
+        assert result.strategy == STRATEGY_SQL
+        assert result.serialized_rows() == [EXPECTED_ROW1, EXPECTED_ROW2]
+
+    def test_functional_over_storage(self):
+        db, storage = self.make_storage()
+        result = xml_transform(db, storage, EXAMPLE1_STYLESHEET, rewrite=False)
+        assert result.strategy == STRATEGY_FUNCTIONAL
+        assert result.serialized_rows() == [EXPECTED_ROW1, EXPECTED_ROW2]
+
+    def test_functional_scans_everything(self):
+        db, storage = self.make_storage()
+        storage.create_value_index("sal")
+        rewritten = xml_transform(db, storage, EXAMPLE1_STYLESHEET)
+        functional = xml_transform(
+            db, storage, EXAMPLE1_STYLESHEET, rewrite=False
+        )
+        # the rewrite probes the value index and fetches only qualifying
+        # rows; functional materialisation reads every row of the document
+        # (it may use the parent-key index to find them, but it cannot
+        # skip any).
+        assert rewritten.stats.index_probes > 0
+        assert functional.stats.rows_scanned > rewritten.stats.rows_scanned
+
+    def test_clob_storage_always_functional(self):
+        db = Database()
+        storage = ClobStorage(db, "c")
+        storage.load(parse_document(DEPT_DOC_1))
+        result = xml_transform(db, storage, EXAMPLE1_STYLESHEET)
+        assert result.strategy == STRATEGY_FUNCTIONAL
+        assert result.fallback_reason
+        assert result.serialized_rows() == [EXPECTED_ROW1]

@@ -1,0 +1,141 @@
+"""Property-based tests (hypothesis) for the XML substrate."""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.xmlmodel import (
+    doc,
+    elem,
+    parse_document,
+    serialize,
+    text,
+)
+from repro.xmlmodel.nodes import NodeKind
+
+names = st.text(
+    alphabet=string.ascii_lowercase, min_size=1, max_size=8
+).map(lambda s: "e" + s)
+
+attr_values = st.text(
+    alphabet=string.printable.replace("\x0b", "").replace("\x0c", "")
+    .replace("\r", ""),
+    max_size=20,
+)
+
+text_values = st.text(
+    alphabet=st.characters(
+        codec="utf-8", exclude_characters="\r\x0b\x0c",
+        min_codepoint=9, max_codepoint=0x2FF,
+    ),
+    min_size=1,
+    max_size=20,
+)
+
+
+@st.composite
+def element_trees(draw, depth=3):
+    name = draw(names)
+    element = elem(name)
+    for attr_name in draw(st.lists(names, max_size=3, unique=True)):
+        element.set_attribute("a" + attr_name, draw(attr_values))
+    if depth > 0:
+        children = draw(st.lists(st.integers(0, 1), max_size=4))
+        for kind in children:
+            if kind == 0:
+                element.append(text(draw(text_values)))
+            else:
+                element.append(draw(element_trees(depth=depth - 1)))
+    # merge adjacent text children (the parser always merges them)
+    merged = []
+    for child in element.children:
+        if (
+            merged
+            and child.kind == NodeKind.TEXT
+            and merged[-1].kind == NodeKind.TEXT
+        ):
+            merged[-1].value += child.value
+        else:
+            merged.append(child)
+    element._children = merged
+    return element
+
+
+class TestRoundTrip:
+    @given(element_trees())
+    @settings(max_examples=60, deadline=None)
+    def test_serialize_parse_roundtrip(self, tree):
+        document = doc(tree)
+        reparsed = parse_document(serialize(document))
+        assert serialize(reparsed) == serialize(document)
+
+    @given(element_trees())
+    @settings(max_examples=60, deadline=None)
+    def test_string_value_preserved(self, tree):
+        document = doc(tree)
+        reparsed = parse_document(serialize(document))
+        assert reparsed.string_value() == document.string_value()
+
+    @given(element_trees())
+    @settings(max_examples=40, deadline=None)
+    def test_document_order_total_and_monotonic(self, tree):
+        document = doc(tree)
+        orders = [node.order for node in document.iter_descendants()]
+        assert orders == sorted(orders)
+        assert len(set(orders)) == len(orders)
+
+    @given(element_trees())
+    @settings(max_examples=40, deadline=None)
+    def test_parent_pointers_consistent(self, tree):
+        document = doc(tree)
+        for node in document.iter_descendants():
+            assert any(child is node for child in node.parent.children)
+
+
+class TestXPathAgainstModel:
+    @given(element_trees())
+    @settings(max_examples=40, deadline=None)
+    def test_descendant_count_matches_iteration(self, tree):
+        from repro.xpath import evaluate_xpath
+
+        document = doc(tree)
+        via_xpath = evaluate_xpath("count(//*)", document)
+        via_model = sum(
+            1 for node in document.iter_descendants()
+            if node.kind == NodeKind.ELEMENT
+        )
+        assert via_xpath == float(via_model)
+
+    @given(element_trees())
+    @settings(max_examples=40, deadline=None)
+    def test_string_function_equals_string_value(self, tree):
+        from repro.xpath import evaluate_xpath
+
+        document = doc(tree)
+        assert evaluate_xpath("string(/*)", document) == tree.string_value()
+
+    @given(element_trees())
+    @settings(max_examples=30, deadline=None)
+    def test_union_with_self_is_identity(self, tree):
+        from repro.xpath import evaluate_xpath
+
+        document = doc(tree)
+        once = evaluate_xpath("//*", document)
+        doubled = evaluate_xpath("//* | //*", document)
+        assert [id(node) for node in once] == [id(node) for node in doubled]
+
+    @given(element_trees())
+    @settings(max_examples=30, deadline=None)
+    def test_identity_stylesheet_roundtrips(self, tree):
+        from repro.xslt import transform
+
+        identity = (
+            '<xsl:stylesheet version="1.0"'
+            ' xmlns:xsl="http://www.w3.org/1999/XSL/Transform">'
+            '<xsl:template match="@* | node()"><xsl:copy>'
+            '<xsl:apply-templates select="@* | node()"/></xsl:copy>'
+            "</xsl:template></xsl:stylesheet>"
+        )
+        document = doc(tree)
+        result = transform(identity, document)
+        assert serialize(result) == serialize(document)

@@ -1,0 +1,32 @@
+"""Shared fixtures: the paper's dept/emp database (Tables 1 and 2)."""
+
+import pytest
+
+from repro.rdb import Database, INT, TEXT
+
+DEPT_ROWS = [
+    (10, "ACCOUNTING", "NEW YORK"),
+    (40, "OPERATIONS", "BOSTON"),
+]
+
+EMP_ROWS = [
+    (7782, "CLARK", "MANAGER", 2450, 10),
+    (7934, "MILLER", "CLERK", 1300, 10),
+    (7954, "SMITH", "VP", 4900, 40),
+]
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.create_table(
+        "dept", [("deptno", INT), ("dname", TEXT), ("loc", TEXT)]
+    )
+    database.create_table(
+        "emp",
+        [("empno", INT), ("ename", TEXT), ("job", TEXT), ("sal", INT),
+         ("deptno", INT)],
+    )
+    database.insert("dept", *DEPT_ROWS)
+    database.insert("emp", *EMP_ROWS)
+    return database

@@ -1,0 +1,366 @@
+"""Tests for tables, indexes, expressions, plans and the planner."""
+
+import pytest
+
+from repro.errors import CatalogError, DatabaseError
+from repro.rdb import (
+    Aggregate,
+    Database,
+    Filter,
+    IndexScan,
+    Limit,
+    NestedLoopJoin,
+    Query,
+    Scan,
+    Sort,
+    INT,
+    TEXT,
+)
+from repro.rdb.btree import BTreeIndex
+from repro.rdb.expressions import (
+    BinOp,
+    CaseWhen,
+    Const,
+    FuncCall,
+    IsNull,
+    Not,
+    ScalarSubquery,
+    and_,
+    col,
+    concat,
+    const,
+    eq,
+    gt,
+)
+from repro.rdb.plan import explain
+from repro.rdb.sqlxml import AggCall
+
+
+def run(db, query, **kwargs):
+    rows, stats = db.execute(query, **kwargs)
+    return rows, stats
+
+
+class TestCatalog:
+    def test_create_and_scan(self, db):
+        rows, stats = run(db, Query(Scan("dept"), [(None, col("dname"))]))
+        assert [row[0] for row in rows] == ["ACCOUNTING", "OPERATIONS"]
+        assert stats.rows_scanned == 2
+
+    def test_duplicate_table_rejected(self, db):
+        with pytest.raises(CatalogError):
+            db.create_table("dept", [("x", INT)])
+
+    def test_unknown_table(self, db):
+        with pytest.raises(CatalogError):
+            db.table("nope")
+
+    def test_type_coercion(self):
+        database = Database()
+        database.create_table("t", [("n", INT), ("s", TEXT)])
+        database.insert("t", ("42", 7))
+        table = database.table("t")
+        assert table.fetch(0) == (42, "7")
+
+    def test_wrong_arity_insert(self, db):
+        with pytest.raises(DatabaseError):
+            db.insert("dept", (1,))
+
+    def test_drop_table_removes_indexes(self, db):
+        db.create_index("emp", "sal")
+        db.drop_table("emp")
+        assert db.find_index("emp", "sal") is None
+
+
+class TestBTree:
+    def make_index(self):
+        index = BTreeIndex("i", "t", "c")
+        index.build([(5, 0), (1, 1), (3, 2), (3, 3), (9, 4)])
+        return index
+
+    def test_eq_lookup(self):
+        assert sorted(self.make_index().lookup_eq(3)) == [2, 3]
+
+    def test_eq_missing(self):
+        assert self.make_index().lookup_eq(4) == []
+
+    def test_range_lookups(self):
+        index = self.make_index()
+        assert sorted(index.lookup_op(">", 3)) == [0, 4]
+        assert sorted(index.lookup_op(">=", 3)) == [0, 2, 3, 4]
+        assert sorted(index.lookup_op("<", 3)) == [1]
+        assert sorted(index.lookup_op("<=", 3)) == [1, 2, 3]
+
+    def test_incremental_insert(self):
+        index = self.make_index()
+        index.insert(4, 5)
+        assert sorted(index.lookup_op(">", 3)) == [0, 4, 5]
+
+    def test_nulls_not_indexed(self):
+        index = BTreeIndex("i", "t", "c")
+        index.insert(None, 0)
+        assert len(index) == 0
+
+    def test_probe_stats(self):
+        from repro.rdb.plan import ExecutionStats
+
+        stats = ExecutionStats()
+        self.make_index().lookup_eq(3, stats=stats)
+        assert stats.index_probes == 1
+        assert stats.index_entries == 2
+
+
+class TestExpressions:
+    def test_column_ref_qualified(self, db):
+        rows, _ = run(db, Query(Scan("emp", "e"), [(None, col("ename", "e"))]))
+        assert rows[0][0] == "CLARK"
+
+    def test_unknown_column(self, db):
+        with pytest.raises(DatabaseError):
+            run(db, Query(Scan("emp"), [(None, col("bogus"))]))
+
+    def test_arithmetic_and_comparison(self, db):
+        query = Query(
+            Filter(Scan("emp"), gt(BinOp("*", col("sal"), const(2)), const(4000))),
+            [(None, col("ename"))],
+        )
+        rows, _ = run(db, query)
+        assert [row[0] for row in rows] == ["CLARK", "SMITH"]
+
+    def test_concat_operator(self, db):
+        query = Query(
+            Scan("dept"),
+            [(None, concat(col("dname"), const("/"), col("loc")))],
+        )
+        rows, _ = run(db, query)
+        assert rows[0][0] == "ACCOUNTING/NEW YORK"
+
+    def test_case_when(self, db):
+        query = Query(
+            Scan("emp"),
+            [(None, CaseWhen(
+                [(gt(col("sal"), const(2000)), Const("high"))],
+                Const("low"),
+            ))],
+        )
+        rows, _ = run(db, query)
+        assert [row[0] for row in rows] == ["high", "low", "high"]
+
+    def test_func_calls(self, db):
+        query = Query(
+            Scan("dept"),
+            [(None, FuncCall("LOWER", [col("dname")])),
+             (None, FuncCall("LENGTH", [col("loc")]))],
+        )
+        rows, _ = run(db, query)
+        assert rows[0] == ("accounting", 8.0)
+
+    def test_is_null_and_not(self, db):
+        query = Query(
+            Scan("dept"),
+            [(None, IsNull(col("dname"))), (None, Not(Const(False)))],
+        )
+        rows, _ = run(db, query)
+        assert rows[0] == (False, True)
+
+    def test_to_sql_rendering(self):
+        expr = and_(gt(col("sal", "emp"), const(2000)),
+                    eq(col("deptno", "emp"), col("deptno", "dept")))
+        assert expr.to_sql() == (
+            '"EMP"."SAL" > 2000 AND "EMP"."DEPTNO" = "DEPT"."DEPTNO"'
+        )
+
+
+class TestPlans:
+    def test_filter(self, db):
+        query = Query(
+            Filter(Scan("emp"), gt(col("sal"), const(2000))),
+            [(None, col("ename"))],
+        )
+        rows, stats = run(db, query, optimize=False)
+        assert [row[0] for row in rows] == ["CLARK", "SMITH"]
+        assert stats.rows_scanned == 3
+
+    def test_index_scan(self, db):
+        db.create_index("emp", "sal")
+        query = Query(
+            IndexScan("emp", "idx_emp_sal", ">", const(2000)),
+            [(None, col("ename"))],
+        )
+        rows, stats = run(db, query, optimize=False)
+        assert sorted(row[0] for row in rows) == ["CLARK", "SMITH"]
+        assert stats.index_probes == 1
+        assert stats.rows_scanned == 2  # only matching rows fetched
+
+    def test_nested_loop_join(self, db):
+        query = Query(
+            NestedLoopJoin(
+                Scan("dept", "d"), Scan("emp", "e"),
+                eq(col("deptno", "d"), col("deptno", "e")),
+            ),
+            [(None, col("dname", "d")), (None, col("ename", "e"))],
+        )
+        rows, _ = run(db, query)
+        assert ("ACCOUNTING", "CLARK") in rows
+        assert ("OPERATIONS", "SMITH") in rows
+        assert len(rows) == 3
+
+    def test_sort(self, db):
+        query = Query(
+            Sort(Scan("emp"), [(col("sal"), False)]),
+            [(None, col("sal"))],
+        )
+        rows, _ = run(db, query)
+        assert [row[0] for row in rows] == [1300, 2450, 4900]
+
+    def test_sort_descending(self, db):
+        query = Query(
+            Sort(Scan("emp"), [(col("sal"), True)]),
+            [(None, col("ename"))],
+        )
+        rows, _ = run(db, query)
+        assert rows[0][0] == "SMITH"
+
+    def test_limit(self, db):
+        query = Query(Limit(Scan("emp"), 2), [(None, col("empno"))])
+        rows, _ = run(db, query)
+        assert len(rows) == 2
+
+    def test_aggregate_group_by(self, db):
+        query = Query(
+            Aggregate(
+                Scan("emp"),
+                group_by=[("deptno", col("deptno"))],
+                outputs=[("total", AggCall("SUM", col("sal"))),
+                         ("headcount", AggCall("COUNT"))],
+            ),
+            [(None, col("deptno", "agg")), (None, col("total", "agg")),
+             (None, col("headcount", "agg"))],
+        )
+        rows, _ = run(db, query)
+        assert (10, 3750.0, 2.0) in rows
+        assert (40, 4900.0, 1.0) in rows
+
+    def test_scalar_aggregate_query(self, db):
+        query = Query(Scan("emp"), [(None, AggCall("MAX", col("sal")))])
+        rows, _ = run(db, query)
+        assert rows == [(4900,)]
+
+    def test_scalar_subquery_correlated(self, db):
+        headcount = Query(
+            Filter(Scan("emp", "e"), eq(col("deptno", "e"), col("deptno", "d"))),
+            [(None, AggCall("COUNT"))],
+        )
+        query = Query(
+            Scan("dept", "d"),
+            [(None, col("dname", "d")), (None, ScalarSubquery(headcount))],
+        )
+        rows, stats = run(db, query)
+        assert rows == [("ACCOUNTING", 2.0), ("OPERATIONS", 1.0)]
+        assert stats.subquery_executions == 2
+
+    def test_scalar_subquery_multiple_rows_rejected(self, db):
+        bad = Query(Scan("emp"), [(None, col("empno"))])
+        query = Query(Scan("dept"), [(None, ScalarSubquery(bad))])
+        with pytest.raises(DatabaseError):
+            run(db, query)
+
+    def test_empty_scalar_subquery_is_null(self, db):
+        none = Query(
+            Filter(Scan("emp"), gt(col("sal"), const(99999))),
+            [(None, col("empno"))],
+        )
+        query = Query(Scan("dept"), [(None, ScalarSubquery(none))])
+        rows, _ = run(db, query)
+        assert rows[0][0] is None
+
+
+class TestPlanner:
+    def test_filter_becomes_index_scan(self, db):
+        db.create_index("emp", "sal")
+        query = Query(
+            Filter(Scan("emp"), gt(col("sal", "emp"), const(2000))),
+            [(None, col("ename"))],
+        )
+        optimized = db.optimize(query)
+        assert isinstance(optimized.plan, IndexScan)
+        rows, stats = optimized.execute(db)
+        assert stats.index_probes == 1
+
+    def test_flipped_comparison(self, db):
+        db.create_index("emp", "sal")
+        query = Query(
+            Filter(Scan("emp"), BinOp("<", const(2000), col("sal", "emp"))),
+            [(None, col("ename"))],
+        )
+        optimized = db.optimize(query)
+        assert isinstance(optimized.plan, IndexScan)
+        assert optimized.plan.op == ">"
+
+    def test_residual_predicate_kept(self, db):
+        db.create_index("emp", "sal")
+        predicate = and_(
+            gt(col("sal", "emp"), const(2000)),
+            eq(col("job", "emp"), const("VP")),
+        )
+        query = Query(Filter(Scan("emp"), predicate), [(None, col("ename"))])
+        optimized = db.optimize(query)
+        assert isinstance(optimized.plan, Filter)
+        assert isinstance(optimized.plan.child, IndexScan)
+        rows, _ = optimized.execute(db)
+        assert [row[0] for row in rows] == ["SMITH"]
+
+    def test_no_index_no_change(self, db):
+        query = Query(
+            Filter(Scan("emp"), gt(col("sal", "emp"), const(2000))),
+            [(None, col("ename"))],
+        )
+        optimized = db.optimize(query)
+        assert isinstance(optimized.plan, Filter)
+
+    def test_correlated_subquery_optimized(self, db):
+        db.create_index("emp", "deptno")
+        subquery = Query(
+            Filter(Scan("emp", "e"), eq(col("deptno", "e"), col("deptno", "d"))),
+            [(None, AggCall("COUNT"))],
+        )
+        query = Query(
+            Scan("dept", "d"), [(None, ScalarSubquery(subquery))]
+        )
+        optimized = db.optimize(query)
+        inner = optimized.outputs[0][1].query.plan
+        assert isinstance(inner, IndexScan)
+        rows, stats = optimized.execute(db)
+        assert [row[0] for row in rows] == [2.0, 1.0]
+        assert stats.index_probes == 2
+
+    def test_results_identical_with_and_without_index(self, db):
+        query = Query(
+            Filter(Scan("emp"), gt(col("sal", "emp"), const(2000))),
+            [(None, col("empno"))],
+        )
+        before, _ = db.execute(query, optimize=False)
+        db.create_index("emp", "sal")
+        after, _ = db.execute(query)
+        assert sorted(before) == sorted(after)
+
+
+class TestRendering:
+    def test_query_to_sql(self, db):
+        query = Query(
+            Filter(Scan("emp"), gt(col("sal", "emp"), const(2000))),
+            [(None, col("ename", "emp"))],
+        )
+        assert query.to_sql() == (
+            'SELECT "EMP"."ENAME" FROM EMP WHERE "EMP"."SAL" > 2000'
+        )
+
+    def test_explain_shows_index(self, db):
+        db.create_index("emp", "sal")
+        query = Query(
+            Filter(Scan("emp"), gt(col("sal", "emp"), const(2000))),
+            [(None, col("ename"))],
+        )
+        text = explain(db.optimize(query))
+        assert "IndexScan" in text
+        assert "idx_emp_sal" in text

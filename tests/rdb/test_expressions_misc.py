@@ -1,0 +1,118 @@
+"""Remaining expression-layer corners: SQL rendering, scalar functions,
+NULL handling."""
+
+import pytest
+
+from repro.errors import DatabaseError
+from repro.rdb.expressions import (
+    BinOp,
+    CaseWhen,
+    ColumnRef,
+    Const,
+    FuncCall,
+    IsNull,
+    Not,
+    col,
+    const,
+)
+
+
+def ev(expr, env=None):
+    return expr.evaluate(env or {}, None, None)
+
+
+class TestConstRendering:
+    def test_string_quoting(self):
+        assert Const("o'brien").to_sql() == "'o''brien'"
+
+    def test_null(self):
+        assert Const(None).to_sql() == "NULL"
+
+    def test_booleans(self):
+        assert Const(True).to_sql() == "TRUE"
+        assert Const(False).to_sql() == "FALSE"
+
+    def test_integral_float(self):
+        assert Const(4.0).to_sql() == "4"
+
+    def test_fractional(self):
+        assert Const(4.5).to_sql() == "4.5"
+
+
+class TestNullSemantics:
+    def test_arithmetic_with_null_is_null(self):
+        assert ev(BinOp("+", Const(None), Const(1))) is None
+
+    def test_comparison_with_null_is_false(self):
+        assert ev(BinOp("=", Const(None), Const(1))) is False
+
+    def test_concat_treats_null_as_empty(self):
+        assert ev(BinOp("||", Const(None), Const("x"))) == "x"
+
+    def test_division_by_zero(self):
+        with pytest.raises(DatabaseError):
+            ev(BinOp("/", Const(1), Const(0)))
+
+    def test_is_null(self):
+        assert ev(IsNull(Const(None))) is True
+        assert ev(IsNull(Const(1), negated=True)) is True
+
+
+class TestScalarFunctions:
+    def test_coalesce(self):
+        assert ev(FuncCall("COALESCE", [Const(None), Const(None), Const(3)])) == 3
+        assert ev(FuncCall("COALESCE", [Const(None)])) is None
+
+    def test_mod(self):
+        assert ev(FuncCall("MOD", [Const(7), Const(3)])) == 1
+
+    def test_to_char(self):
+        assert ev(FuncCall("TO_CHAR", [Const(42)])) == "42"
+
+    def test_substr_without_length(self):
+        assert ev(FuncCall("SUBSTR", [Const("hello"), Const(3)])) == "llo"
+
+    def test_round_with_digits(self):
+        assert ev(FuncCall("ROUND", [Const(3.14159), Const(2)])) == 3.14
+
+    def test_unknown_function(self):
+        with pytest.raises(DatabaseError):
+            ev(FuncCall("FROBNICATE", [Const(1)]))
+
+
+class TestCaseWhen:
+    def test_no_match_no_else_is_null(self):
+        expr = CaseWhen([(Const(False), Const(1))])
+        assert ev(expr) is None
+
+    def test_first_matching_branch(self):
+        expr = CaseWhen(
+            [(Const(False), Const(1)), (Const(True), Const(2)),
+             (Const(True), Const(3))],
+            Const(9),
+        )
+        assert ev(expr) == 2
+
+    def test_to_sql(self):
+        expr = CaseWhen([(IsNull(col("a")), Const(0))], col("a"))
+        assert expr.to_sql() == (
+            'CASE WHEN "A" IS NULL THEN 0 ELSE "A" END'
+        )
+
+
+class TestColumnRefErrors:
+    def test_ambiguous_unqualified(self):
+        env = {"t1": {"x": 1}, "t2": {"x": 2}}
+        with pytest.raises(DatabaseError):
+            ColumnRef("x").evaluate(env, None, None)
+
+    def test_unknown_alias(self):
+        with pytest.raises(DatabaseError):
+            ColumnRef("x", "missing").evaluate({}, None, None)
+
+    def test_unknown_column_in_alias(self):
+        with pytest.raises(DatabaseError):
+            ColumnRef("nope", "t").evaluate({"t": {"x": 1}}, None, None)
+
+    def test_not_negation(self):
+        assert ev(Not(Const(False))) is True

@@ -1,0 +1,110 @@
+"""Tests for schema-less tree storage (Figure 1's third storage model)."""
+
+import pytest
+
+from repro.errors import DatabaseError
+from repro.rdb import Database
+from repro.rdb.treestorage import TreeStorage
+from repro.xmlmodel import parse_document, serialize
+
+
+def make_storage(path_index=True):
+    return TreeStorage(Database(), "t", path_index=path_index)
+
+
+DOCS = [
+    '<memo pri="2">Call <b>Ann</b> today<!--urgent--><?mark x?></memo>',
+    "<memo><to>Bob</to><body>Lunch?</body></memo>",
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("source", DOCS)
+    def test_roundtrip(self, source):
+        storage = make_storage()
+        doc_id = storage.load(parse_document(source))
+        assert serialize(storage.materialize(doc_id)) == source
+
+    def test_mixed_content_supported(self):
+        # the capability OR shredding lacks
+        storage = make_storage()
+        source = "<p>one <em>two</em> three</p>"
+        doc_id = storage.load(parse_document(source))
+        assert serialize(storage.materialize(doc_id)) == source
+
+    def test_multiple_documents_isolated(self):
+        storage = make_storage()
+        ids = storage.load_many([parse_document(doc) for doc in DOCS])
+        assert storage.document_ids() == ids
+        assert serialize(storage.materialize(ids[1])) == DOCS[1]
+
+    def test_missing_document(self):
+        storage = make_storage()
+        with pytest.raises(DatabaseError):
+            storage.materialize(9)
+
+    def test_deep_nesting(self):
+        source = "<a><b><c><d><e>deep</e></d></c></b></a>"
+        storage = make_storage()
+        doc_id = storage.load(parse_document(source))
+        assert serialize(storage.materialize(doc_id)) == source
+
+
+class TestNodeTable:
+    def test_rows_per_node(self):
+        storage = make_storage()
+        storage.load(parse_document("<a x='1'><b>t</b></a>"))
+        # a, @x, b, text = 4 rows
+        assert len(storage.db.table("t_nodes")) == 4
+
+    def test_doc_id_indexed(self):
+        storage = make_storage()
+        assert storage.db.find_index("t_nodes", "doc_id") is not None
+
+    def test_materialize_reads_only_one_document(self):
+        from repro.rdb.plan import ExecutionStats
+
+        storage = make_storage()
+        ids = storage.load_many([parse_document(doc) for doc in DOCS])
+        stats = ExecutionStats()
+        storage.materialize(ids[0], stats=stats)
+        total_rows = len(storage.db.table("t_nodes"))
+        assert stats.rows_scanned < total_rows
+
+
+class TestPathFiltering:
+    def test_find_by_leaf_value(self):
+        storage = make_storage()
+        storage.load_many([parse_document(doc) for doc in DOCS])
+        assert storage.find_documents("/memo/to", "=", "Bob") == [2]
+
+    def test_find_by_attribute(self):
+        storage = make_storage()
+        storage.load_many([parse_document(doc) for doc in DOCS])
+        assert storage.find_documents("/memo/@pri", "=", "2") == [1]
+
+    def test_no_index_errors(self):
+        storage = make_storage(path_index=False)
+        storage.load(parse_document(DOCS[0]))
+        with pytest.raises(DatabaseError):
+            storage.find_documents("/memo/to", "=", "Bob")
+
+
+class TestTransformOverTreeStorage:
+    def test_functional_transform(self):
+        """Tree storage feeds the functional path (no structure for the
+        rewrite), exactly like CLOB."""
+        from repro.xslt import transform
+        from repro.xmlmodel import serialize_children
+
+        sheet = (
+            '<xsl:stylesheet version="1.0"'
+            ' xmlns:xsl="http://www.w3.org/1999/XSL/Transform">'
+            '<xsl:template match="memo"><out>'
+            '<xsl:value-of select="to"/></out></xsl:template>'
+            "</xsl:stylesheet>"
+        )
+        storage = make_storage()
+        doc_id = storage.load(parse_document(DOCS[1]))
+        result = transform(sheet, storage.materialize(doc_id))
+        assert serialize_children(result) == "<out>Bob</out>"

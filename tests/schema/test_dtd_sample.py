@@ -1,0 +1,187 @@
+"""Tests for DTD-derived schemas and sample document generation."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.schema import (
+    ANNOTATION_NS,
+    CHOICE,
+    SEQUENCE,
+    generate_sample,
+    schema_from_dtd,
+)
+from repro.xmlmodel import parse_document, serialize
+
+DEPT_DTD = """
+<!ELEMENT dept (dname, loc, employees)>
+<!ELEMENT dname (#PCDATA)>
+<!ELEMENT loc (#PCDATA)>
+<!ELEMENT employees (emp*)>
+<!ELEMENT emp (empno, ename, sal)>
+<!ELEMENT empno (#PCDATA)>
+<!ELEMENT ename (#PCDATA)>
+<!ELEMENT sal (#PCDATA)>
+"""
+
+
+class TestDtdParsing:
+    def test_sequence_model(self):
+        schema = schema_from_dtd(DEPT_DTD)
+        assert schema.root.name == "dept"
+        assert schema.root.group == SEQUENCE
+        assert schema.root.child_names() == ["dname", "loc", "employees"]
+
+    def test_cardinality(self):
+        schema = schema_from_dtd(DEPT_DTD)
+        employees = schema.root.particle_for("employees").decl
+        assert employees.particle_for("emp").occurs == "*"
+        emp = employees.particle_for("emp").decl
+        assert emp.particle_for("sal").occurs == "1"
+
+    def test_pcdata_leaf(self):
+        schema = schema_from_dtd(DEPT_DTD)
+        dname = schema.root.particle_for("dname").decl
+        assert dname.is_leaf
+        assert dname.has_text
+
+    def test_choice_model(self):
+        schema = schema_from_dtd(
+            "<!ELEMENT r (a | b | c)><!ELEMENT a (#PCDATA)>"
+            "<!ELEMENT b (#PCDATA)><!ELEMENT c (#PCDATA)>"
+        )
+        assert schema.root.group == CHOICE
+
+    def test_mixed_content(self):
+        schema = schema_from_dtd(
+            "<!ELEMENT p (#PCDATA | em)*><!ELEMENT em (#PCDATA)>"
+        )
+        assert schema.root.has_text
+        assert schema.root.group == CHOICE
+        assert schema.root.particle_for("em").occurs == "*"
+
+    def test_empty_element(self):
+        schema = schema_from_dtd("<!ELEMENT br EMPTY>")
+        assert schema.root.is_leaf
+        assert not schema.root.has_text
+
+    def test_optional_and_plus(self):
+        schema = schema_from_dtd(
+            "<!ELEMENT r (a?, b+)><!ELEMENT a (#PCDATA)><!ELEMENT b (#PCDATA)>"
+        )
+        assert schema.root.particle_for("a").occurs == "?"
+        assert schema.root.particle_for("b").occurs == "+"
+
+    def test_nested_group_flattened_conservatively(self):
+        schema = schema_from_dtd(
+            "<!ELEMENT r (a, (b | c)*)><!ELEMENT a (#PCDATA)>"
+            "<!ELEMENT b (#PCDATA)><!ELEMENT c (#PCDATA)>"
+        )
+        assert schema.root.particle_for("a").occurs == "1"
+        assert schema.root.particle_for("b").occurs == "*"
+        assert schema.root.particle_for("c").occurs == "*"
+
+    def test_attlist(self):
+        schema = schema_from_dtd(
+            '<!ELEMENT r (#PCDATA)><!ATTLIST r id CDATA #REQUIRED '
+            'lang CDATA #IMPLIED>'
+        )
+        assert schema.root.attributes == ["id", "lang"]
+
+    def test_undeclared_child_becomes_leaf(self):
+        schema = schema_from_dtd("<!ELEMENT r (mystery)>")
+        assert schema.root.particle_for("mystery").decl.has_text
+
+    def test_any_rejected(self):
+        with pytest.raises(SchemaError):
+            schema_from_dtd("<!ELEMENT r ANY>")
+
+    def test_no_elements_rejected(self):
+        with pytest.raises(SchemaError):
+            schema_from_dtd("<!ATTLIST r a CDATA #IMPLIED>")
+
+    def test_explicit_root(self):
+        schema = schema_from_dtd(DEPT_DTD, root_name="emp")
+        assert schema.root.name == "emp"
+
+    def test_unknown_root_rejected(self):
+        with pytest.raises(SchemaError):
+            schema_from_dtd(DEPT_DTD, root_name="zzz")
+
+    def test_from_parsed_internal_subset(self):
+        document = parse_document(
+            "<!DOCTYPE dept [%s]><dept><dname>A</dname><loc>L</loc>"
+            "<employees/></dept>" % DEPT_DTD
+        )
+        schema = schema_from_dtd(document.internal_subset)
+        assert schema.root.name == "dept"
+
+
+class TestSampleGeneration:
+    def test_sample_structure(self):
+        sample = generate_sample(schema_from_dtd(DEPT_DTD))
+        root = sample.document.document_element
+        assert root.name.local == "dept"
+        assert [c.name.local for c in root.child_elements()] == [
+            "dname", "loc", "employees",
+        ]
+        employees = root.find("employees")
+        assert [c.name.local for c in employees.child_elements()] == ["emp"]
+
+    def test_sample_annotations(self):
+        sample = generate_sample(schema_from_dtd(DEPT_DTD))
+        root = sample.document.document_element
+        assert root.get_attribute("group", uri=ANNOTATION_NS) == "sequence"
+        emp = root.find("employees").find("emp")
+        assert emp.get_attribute("occurs", uri=ANNOTATION_NS) == "*"
+
+    def test_decl_mapping(self):
+        schema = schema_from_dtd(DEPT_DTD)
+        sample = generate_sample(schema)
+        root = sample.document.document_element
+        assert sample.decl_for(root) is schema.root
+        sal = root.find("employees").find("emp").find("sal")
+        assert sample.decl_for(sal).name == "sal"
+
+    def test_particle_mapping(self):
+        schema = schema_from_dtd(DEPT_DTD)
+        sample = generate_sample(schema)
+        emp = sample.document.document_element.find("employees").find("emp")
+        assert sample.particle_for(emp).occurs == "*"
+        root = sample.document.document_element
+        assert sample.particle_for(root) is None
+
+    def test_choice_emits_all_alternatives(self):
+        schema = schema_from_dtd(
+            "<!ELEMENT r (a | b)><!ELEMENT a (#PCDATA)><!ELEMENT b (#PCDATA)>"
+        )
+        sample = generate_sample(schema)
+        root = sample.document.document_element
+        assert [c.name.local for c in root.child_elements()] == ["a", "b"]
+
+    def test_text_placeholder_in_leaves(self):
+        sample = generate_sample(schema_from_dtd(DEPT_DTD))
+        dname = sample.document.document_element.find("dname")
+        assert dname.string_value() == "sample"
+
+    def test_attributes_materialised(self):
+        schema = schema_from_dtd(
+            '<!ELEMENT r (#PCDATA)><!ATTLIST r id CDATA #REQUIRED>'
+        )
+        sample = generate_sample(schema)
+        assert sample.document.document_element.get_attribute("id") == "sample"
+
+    def test_recursive_schema_rejected(self):
+        schema = schema_from_dtd("<!ELEMENT tree (leaf, tree?)><!ELEMENT leaf (#PCDATA)>")
+        with pytest.raises(SchemaError):
+            generate_sample(schema)
+
+    def test_sample_is_well_formed(self):
+        sample = generate_sample(schema_from_dtd(DEPT_DTD))
+        # serialises and reparses cleanly
+        text = serialize(sample.document)
+        assert parse_document(text).document_element.name.local == "dept"
+
+    def test_sample_validates_against_schema(self):
+        schema = schema_from_dtd(DEPT_DTD)
+        sample = generate_sample(schema)
+        assert schema.validate(sample.document) == []

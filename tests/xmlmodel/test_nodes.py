@@ -1,0 +1,205 @@
+"""Unit tests for the DOM node classes."""
+
+import pytest
+
+from repro.xmlmodel import (
+    Attribute,
+    Comment,
+    Document,
+    Element,
+    NodeKind,
+    ProcessingInstruction,
+    QName,
+    Text,
+    doc,
+    document_order_key,
+    elem,
+    text,
+)
+
+
+class TestQName:
+    def test_equality_ignores_prefix(self):
+        assert QName("a", "urn:x", "p") == QName("a", "urn:x", "q")
+
+    def test_inequality_on_uri(self):
+        assert QName("a", "urn:x") != QName("a", "urn:y")
+
+    def test_inequality_on_local(self):
+        assert QName("a") != QName("b")
+
+    def test_hash_consistent_with_equality(self):
+        assert hash(QName("a", "u", "p")) == hash(QName("a", "u"))
+
+    def test_lexical_with_prefix(self):
+        assert QName("template", "urn:xsl", "xsl").lexical == "xsl:template"
+
+    def test_lexical_without_prefix(self):
+        assert QName("dept").lexical == "dept"
+
+    def test_compare_with_non_qname(self):
+        assert QName("a") != "a"
+
+
+class TestTreeStructure:
+    def make_tree(self):
+        root = elem(
+            "dept",
+            elem("dname", "ACCOUNTING"),
+            elem("loc", "NEW YORK"),
+            elem("employees", elem("emp", elem("empno", "7782"))),
+        )
+        return doc(root), root
+
+    def test_children_order(self):
+        _, root = self.make_tree()
+        names = [c.name.local for c in root.child_elements()]
+        assert names == ["dname", "loc", "employees"]
+
+    def test_parent_pointers(self):
+        document, root = self.make_tree()
+        assert root.parent is document
+        for child in root.children:
+            assert child.parent is root
+
+    def test_root(self):
+        document, root = self.make_tree()
+        empno = root.find("employees").find("emp").find("empno")
+        assert empno.root() is document
+
+    def test_ancestors(self):
+        _, root = self.make_tree()
+        empno = root.find("employees").find("emp").find("empno")
+        names = [a.name.local for a in empno.ancestors() if a.kind == NodeKind.ELEMENT]
+        assert names == ["emp", "employees", "dept"]
+
+    def test_iter_descendants_document_order(self):
+        document, _ = self.make_tree()
+        element_names = [
+            n.name.local
+            for n in document.iter_descendants()
+            if n.kind == NodeKind.ELEMENT
+        ]
+        assert element_names == [
+            "dept", "dname", "loc", "employees", "emp", "empno",
+        ]
+
+    def test_document_order_monotonic(self):
+        document, _ = self.make_tree()
+        orders = [n.order for n in document.iter_descendants()]
+        assert orders == sorted(orders)
+        assert len(set(orders)) == len(orders)
+
+    def test_following_siblings(self):
+        _, root = self.make_tree()
+        dname = root.find("dname")
+        names = [s.name.local for s in dname.following_siblings()]
+        assert names == ["loc", "employees"]
+
+    def test_preceding_siblings_reverse_order(self):
+        _, root = self.make_tree()
+        employees = root.find("employees")
+        names = [s.name.local for s in employees.preceding_siblings()]
+        assert names == ["loc", "dname"]
+
+    def test_document_element(self):
+        document, root = self.make_tree()
+        assert document.document_element is root
+
+    def test_renumber_after_surgery(self):
+        document, root = self.make_tree()
+        # Move "loc" to the end, out of order, then renumber.
+        loc = root.find("loc")
+        root.children.remove(loc)
+        root.children.append(loc)
+        document.renumber()
+        orders = [n.order for n in document.iter_descendants()]
+        assert orders == sorted(orders)
+
+
+class TestStringValue:
+    def test_element_concatenates_descendant_text(self):
+        root = elem("a", elem("b", "one"), text("two"), elem("c", elem("d", "three")))
+        assert root.string_value() == "onetwothree"
+
+    def test_text(self):
+        assert Text("hello").string_value() == "hello"
+
+    def test_attribute(self):
+        assert Attribute("x", "v").string_value() == "v"
+
+    def test_comment_and_pi(self):
+        assert Comment("c").string_value() == "c"
+        assert ProcessingInstruction("t", "d").string_value() == "d"
+
+    def test_document(self):
+        document = doc(elem("a", "x"))
+        assert document.string_value() == "x"
+
+
+class TestAttributes:
+    def test_set_and_get(self):
+        element = elem("e")
+        element.set_attribute("k", "v")
+        assert element.get_attribute("k") == "v"
+
+    def test_get_missing_returns_default(self):
+        assert elem("e").get_attribute("nope", default="d") == "d"
+
+    def test_set_replaces_existing(self):
+        element = elem("e")
+        element.set_attribute("k", "v1")
+        element.set_attribute("k", "v2")
+        assert element.get_attribute("k") == "v2"
+        assert len(element.attributes) == 1
+
+    def test_attribute_parent_is_element(self):
+        element = elem("e")
+        attribute = element.set_attribute("k", "v")
+        assert attribute.parent is element
+
+    def test_attribute_order_key_after_element(self):
+        document = doc(elem("e", elem("child")))
+        element = document.document_element
+        attribute = element.set_attribute("k", "v")
+        child = element.children[0]
+        assert document_order_key(element) < document_order_key(attribute)
+        assert document_order_key(attribute) < document_order_key(child)
+
+
+class TestNamespaces:
+    def test_lookup_prefix_walks_ancestors(self):
+        inner = Element(QName("b"))
+        outer = Element(QName("a"), namespaces={"p": "urn:p"})
+        outer.append(inner)
+        assert inner.lookup_prefix("p") == "urn:p"
+
+    def test_lookup_prefix_shadowing(self):
+        inner = Element(QName("b"), namespaces={"p": "urn:inner"})
+        outer = Element(QName("a"), namespaces={"p": "urn:outer"})
+        outer.append(inner)
+        assert inner.lookup_prefix("p") == "urn:inner"
+
+    def test_lookup_prefix_missing(self):
+        assert Element(QName("a")).lookup_prefix("nope") is None
+
+
+class TestFind:
+    def test_find_first_match(self):
+        root = elem("r", elem("x", "1"), elem("x", "2"))
+        assert root.find("x").string_value() == "1"
+
+    def test_findall(self):
+        root = elem("r", elem("x"), elem("y"), elem("x"))
+        assert len(root.findall("x")) == 2
+
+    def test_find_respects_namespace(self):
+        root = Element("r")
+        root.append(Element(QName("x", "urn:one")))
+        assert root.find("x") is None
+        assert root.find("x", uri="urn:one") is not None
+
+    def test_sibling_of_detached_node(self):
+        detached = elem("alone")
+        assert list(detached.following_siblings()) == []
+        assert list(detached.preceding_siblings()) == []

@@ -1,0 +1,193 @@
+"""Unit tests for the XPath lexer, including §3.7 disambiguation."""
+
+import pytest
+
+from repro.errors import XPathSyntaxError
+from repro.xpath import lexer as lex
+from repro.xpath.lexer import Lexer, tokenize
+
+
+def types(source, **kwargs):
+    return [t.type for t in tokenize(source, **kwargs)[:-1]]
+
+
+def values(source, **kwargs):
+    return [t.value for t in tokenize(source, **kwargs)[:-1]]
+
+
+class TestBasicTokens:
+    def test_name(self):
+        assert types("dept") == [lex.NAME]
+
+    def test_qname(self):
+        tokens = tokenize("xsl:template")
+        assert tokens[0].type == lex.NAME
+        assert tokens[0].value == "xsl:template"
+
+    def test_number(self):
+        tokens = tokenize("2000")
+        assert tokens[0].type == lex.NUMBER
+        assert tokens[0].value == 2000.0
+
+    def test_decimal_number(self):
+        assert tokenize("3.14")[0].value == 3.14
+
+    def test_leading_dot_number(self):
+        assert tokenize(".5")[0].value == 0.5
+
+    def test_string_literals(self):
+        assert tokenize('"hello"')[0].value == "hello"
+        assert tokenize("'world'")[0].value == "world"
+
+    def test_variable(self):
+        token = tokenize("$var002")[0]
+        assert token.type == lex.VARIABLE
+        assert token.value == "var002"
+
+    def test_slashes(self):
+        assert types("/a//b") == [lex.SLASH, lex.NAME, lex.DSLASH, lex.NAME]
+
+    def test_dots(self):
+        assert types(". ..") == [lex.DOT, lex.DOTDOT]
+
+    def test_at(self):
+        assert types("@id") == [lex.AT, lex.NAME]
+
+    def test_parens_and_brackets(self):
+        assert types("(a)[1]") == [
+            lex.LPAREN, lex.NAME, lex.RPAREN, lex.LBRACK, lex.NUMBER, lex.RBRACK,
+        ]
+
+    def test_comparison_operators(self):
+        assert values("a != b <= c >= d") == ["a", "!=", "b", "<=", "c", ">=", "d"]
+
+    def test_whitespace_ignored(self):
+        assert types("  a  /  b  ") == [lex.NAME, lex.SLASH, lex.NAME]
+
+
+class TestDisambiguation:
+    def test_star_after_slash_is_wildcard(self):
+        assert types("/*") == [lex.SLASH, lex.STAR]
+
+    def test_star_after_name_is_operator(self):
+        tokens = tokenize("a * b")
+        assert tokens[1].type == lex.OPERATOR
+        assert tokens[1].value == "*"
+
+    def test_star_after_number_is_operator(self):
+        assert tokenize("2 * 3")[1].type == lex.OPERATOR
+
+    def test_star_after_rparen_is_operator(self):
+        assert tokenize("(a) * 2")[3].type == lex.OPERATOR
+
+    def test_star_at_start_is_wildcard(self):
+        assert tokenize("*")[0].type == lex.STAR
+
+    def test_star_after_bracket_is_wildcard(self):
+        assert tokenize("a[*]")[2].type == lex.STAR
+
+    def test_and_after_name_is_operator(self):
+        tokens = tokenize("a and b")
+        assert tokens[1].type == lex.OPERATOR
+        assert tokens[1].value == "and"
+
+    def test_and_at_start_is_name(self):
+        assert tokenize("and")[0].type == lex.NAME
+
+    def test_div_as_element_name_after_slash(self):
+        tokens = tokenize("body/div")
+        assert tokens[2].type == lex.NAME
+        assert tokens[2].value == "div"
+
+    def test_div_as_operator(self):
+        assert tokenize("4 div 2")[1].type == lex.OPERATOR
+
+    def test_mod_as_operator(self):
+        assert tokenize("5 mod 2")[1].type == lex.OPERATOR
+
+    def test_ncname_wildcard(self):
+        token = tokenize("xsl:*")[0]
+        assert token.type == lex.NCWILD
+        assert token.value == "xsl"
+
+
+class TestAxesAndNodeTypes:
+    def test_axis_token(self):
+        tokens = tokenize("ancestor::dept")
+        assert tokens[0].type == lex.AXIS
+        assert tokens[0].value == "ancestor"
+        assert tokens[1].value == "dept"
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(XPathSyntaxError):
+            tokenize("sideways::x")
+
+    def test_node_type(self):
+        tokens = tokenize("text()")
+        assert tokens[0].type == lex.NODETYPE
+        assert tokens[0].value == "text"
+
+    def test_node_name_without_parens_is_name(self):
+        assert tokenize("text")[0].type == lex.NAME
+
+    def test_processing_instruction_type(self):
+        assert tokenize("processing-instruction()")[0].type == lex.NODETYPE
+
+    def test_name_that_prefixes_axis_name(self):
+        # 'ancestors' is a valid element name, not an axis
+        assert tokenize("ancestors")[0].type == lex.NAME
+
+
+class TestXQueryMode:
+    def test_assign_operator(self):
+        tokens = tokenize("$x := 1", xquery_mode=True)
+        assert tokens[1].value == ":="
+
+    def test_braces(self):
+        assert types("{ 1 }", xquery_mode=True) == [lex.LBRACE, lex.NUMBER, lex.RBRACE]
+
+    def test_comment_skipped(self):
+        assert values("1 (: note :) 2", xquery_mode=True) == [1.0, 2.0]
+
+    def test_nested_comment(self):
+        assert values("(: a (: b :) c :) 7", xquery_mode=True) == [7.0]
+
+    def test_unterminated_comment_rejected(self):
+        with pytest.raises(XPathSyntaxError):
+            tokenize("(: oops", xquery_mode=True)
+
+    def test_braces_not_tokens_in_xpath_mode(self):
+        with pytest.raises(XPathSyntaxError):
+            tokenize("{1}")
+
+
+class TestIncrementalLexer:
+    def test_peek_does_not_consume(self):
+        lexer = Lexer("a/b")
+        assert lexer.peek().value == "a"
+        assert lexer.peek().value == "a"
+        assert lexer.advance().value == "a"
+
+    def test_lookahead(self):
+        lexer = Lexer("a(b)")
+        assert lexer.peek(0).value == "a"
+        assert lexer.peek(1).type == lex.LPAREN
+
+    def test_reset(self):
+        lexer = Lexer("abc def")
+        first = lexer.advance()
+        lexer.reset(first.end)
+        assert lexer.advance().value == "def"
+
+    def test_token_spans(self):
+        lexer = Lexer("  abc ")
+        token = lexer.advance()
+        assert (token.pos, token.end) == (2, 5)
+
+    def test_errors(self):
+        with pytest.raises(XPathSyntaxError):
+            tokenize("#")
+        with pytest.raises(XPathSyntaxError):
+            tokenize('"unterminated')
+        with pytest.raises(XPathSyntaxError):
+            tokenize("1.2.3")

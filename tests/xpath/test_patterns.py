@@ -1,0 +1,153 @@
+"""Tests for XSLT match patterns and default priorities."""
+
+import pytest
+
+from repro.errors import XPathSyntaxError
+from repro.xmlmodel import parse_document
+from repro.xpath import XPathContext, compile_pattern
+from repro.xpath.patterns import parse_pattern
+
+DOC = parse_document(
+    "<dept>"
+    "<dname>ACCOUNTING</dname>"
+    "<employees>"
+    "<emp><empno>7782</empno><sal>2450</sal></emp>"
+    "<emp><empno>3456</empno><sal>1300</sal></emp>"
+    "</employees>"
+    "</dept>"
+)
+
+
+def matches(pattern, node):
+    return compile_pattern(pattern).matches(node, XPathContext(node))
+
+
+def node(xpath_like):
+    from repro.xpath import evaluate_xpath
+
+    return evaluate_xpath(xpath_like, DOC)[0]
+
+
+class TestBasicMatching:
+    def test_name_pattern(self):
+        assert matches("dname", node("//dname"))
+        assert not matches("dname", node("//sal[1]"))
+
+    def test_wildcard_pattern(self):
+        assert matches("*", node("//dname"))
+        assert not matches("*", node("//dname/text()"))
+
+    def test_text_pattern(self):
+        assert matches("text()", node("//dname/text()"))
+
+    def test_node_pattern(self):
+        assert matches("node()", node("//dname"))
+        assert matches("node()", node("//dname/text()"))
+
+    def test_root_pattern(self):
+        assert matches("/", DOC)
+        assert not matches("/", node("//dname"))
+
+    def test_attribute_pattern(self):
+        doc = parse_document('<a id="1"/>')
+        attribute = doc.document_element.attributes[0]
+        assert compile_pattern("@id").matches(attribute, XPathContext(attribute))
+        assert not compile_pattern("a").matches(attribute, XPathContext(attribute))
+
+
+class TestMultiStepMatching:
+    def test_child_connector(self):
+        assert matches("emp/empno", node("//empno[1]"))
+        assert not matches("dept/empno", node("//empno[1]"))
+
+    def test_paper_table16_pattern(self):
+        # <xsl:template match="emp/empno"> from the paper §3.5
+        assert matches("emp/empno", node("//emp[1]/empno"))
+
+    def test_three_step_chain(self):
+        assert matches("employees/emp/sal", node("//sal[1]"))
+
+    def test_ancestor_connector(self):
+        assert matches("dept//sal", node("//sal[1]"))
+        assert matches("employees//sal", node("//sal[1]"))
+        assert not matches("dname//sal", node("//sal[1]"))
+
+    def test_anchored_pattern(self):
+        assert matches("/dept/dname", node("//dname"))
+        assert not matches("/dname", node("//dname"))
+
+    def test_anchored_descendant(self):
+        assert matches("/dept//empno", node("//empno[1]"))
+
+
+class TestPatternPredicates:
+    def test_value_predicate(self):
+        # Paper Table 18: match="emp/empno[. = 3456]"
+        assert matches("emp/empno[. = 3456]", node("//emp[2]/empno"))
+        assert not matches("emp/empno[. = 3456]", node("//emp[1]/empno"))
+
+    def test_positional_predicate(self):
+        assert matches("emp[1]", node("//emp[1]"))
+        assert not matches("emp[1]", node("//emp[2]"))
+        assert matches("emp[2]", node("//emp[2]"))
+
+    def test_last_predicate(self):
+        assert matches("emp[last()]", node("//emp[2]"))
+        assert not matches("emp[last()]", node("//emp[1]"))
+
+    def test_child_existence_predicate(self):
+        assert matches("emp[empno]", node("//emp[1]"))
+        assert not matches("emp[bonus]", node("//emp[1]"))
+
+    def test_predicate_in_inner_step(self):
+        assert matches("emp[sal > 2000]/empno", node("//emp[1]/empno"))
+        assert not matches("emp[sal > 2000]/empno", node("//emp[2]/empno"))
+
+
+class TestUnionPatterns:
+    def test_union_matches_either(self):
+        assert matches("dname | sal", node("//dname"))
+        assert matches("dname | sal", node("//sal[1]"))
+        assert not matches("dname | sal", node("//empno[1]"))
+
+
+class TestDefaultPriority:
+    @pytest.mark.parametrize(
+        "pattern, priority",
+        [
+            ("dname", 0.0),
+            ("xsl:template", 0.0),
+            ("processing-instruction('t')", 0.0),
+            ("xsl:*", -0.25),
+            ("*", -0.5),
+            ("node()", -0.5),
+            ("text()", -0.5),
+            ("emp/empno", 0.5),
+            ("emp[sal > 2000]", 0.5),
+            ("/dept", 0.5),
+        ],
+    )
+    def test_priorities(self, pattern, priority):
+        parsed = parse_pattern(pattern)
+        assert parsed.alternatives[0].default_priority() == priority
+
+    def test_union_alternatives_have_own_priorities(self):
+        parsed = parse_pattern("dname | emp/empno")
+        priorities = [alt.default_priority() for alt in parsed.alternatives]
+        assert priorities == [0.0, 0.5]
+
+
+class TestPatternErrors:
+    def test_disallowed_axis(self):
+        with pytest.raises(XPathSyntaxError):
+            parse_pattern("ancestor::dept")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(XPathSyntaxError):
+            parse_pattern("dept dname")
+
+    def test_to_text_roundtrip(self):
+        for source in ["emp/empno[. = 3456]", "/dept//emp", "a | b/c"]:
+            parsed = parse_pattern(source)
+            again = parse_pattern(parsed.to_text())
+            assert again.to_text() == parsed.to_text()

@@ -1,0 +1,195 @@
+"""Tests for XQuery static structural typing (paper §3.2, third bullet)."""
+
+import pytest
+
+from repro.errors import RewriteError
+from repro.schema import schema_from_dtd
+from repro.xquery import parse_xquery
+from repro.xquery.static_type import infer_result_schema
+
+DEPT_DTD = """
+<!ELEMENT dept (dname, loc, employees)>
+<!ELEMENT dname (#PCDATA)>
+<!ELEMENT loc (#PCDATA)>
+<!ELEMENT employees (emp*)>
+<!ELEMENT emp (empno, ename, sal)>
+<!ELEMENT empno (#PCDATA)>
+<!ELEMENT ename (#PCDATA)>
+<!ELEMENT sal (#PCDATA)>
+"""
+
+
+def infer(query, dtd=DEPT_DTD):
+    schema = schema_from_dtd(dtd) if dtd else None
+    return infer_result_schema(parse_xquery(query), schema)
+
+
+def shape(decl):
+    return [(p.decl.name, p.occurs) for p in decl.particles]
+
+
+class TestConstructors:
+    def test_single_element(self):
+        schema = infer("<out/>")
+        assert schema.root.name == "out"
+        assert schema.root.is_leaf
+
+    def test_nested_elements(self):
+        schema = infer("<a><b/><c>x</c></a>")
+        assert shape(schema.root) == [("b", "1"), ("c", "1")]
+        assert schema.root.particle_for("c").decl.has_text
+
+    def test_text_content(self):
+        schema = infer("<a>{1 + 1}</a>")
+        assert schema.root.has_text
+        assert schema.root.is_leaf
+
+    def test_attributes_recorded(self):
+        schema = infer('<a id="{1}" k="v"/>')
+        assert schema.root.attributes == ["id", "k"]
+
+    def test_sequence_result_becomes_fragment(self):
+        schema = infer("(<a/>, <b/>)")
+        assert schema.root.name == "#fragment"
+        assert shape(schema.root) == [("a", "1"), ("b", "1")]
+
+
+class TestFlwor:
+    def test_for_over_input_many(self):
+        schema = infer(
+            "declare variable $d := .;\n"
+            "<r>{for $e in $d/dept/employees/emp return <m/>}</r>"
+        )
+        assert shape(schema.root) == [("m", "*")]
+
+    def test_for_over_single_child_stays_single(self):
+        schema = infer(
+            "declare variable $d := .;\n"
+            "<r>{for $n in $d/dept/dname return <m/>}</r>"
+        )
+        assert shape(schema.root) == [("m", "1")]
+
+    def test_let_does_not_repeat(self):
+        schema = infer(
+            "declare variable $d := .;\n"
+            "<r>{let $n := $d/dept/dname return <m/>}</r>"
+        )
+        assert shape(schema.root) == [("m", "1")]
+
+    def test_where_makes_optional(self):
+        schema = infer(
+            "declare variable $d := .;\n"
+            "<r>{let $n := $d/dept/dname where 1 = 1 return <m/>}</r>"
+        )
+        assert shape(schema.root) == [("m", "?")]
+
+    def test_for_over_literals(self):
+        schema = infer("<r>{for $i in (1, 2, 3) return <m/>}</r>")
+        assert shape(schema.root) == [("m", "*")]
+
+
+class TestConditionals:
+    def test_if_makes_both_branches_optional(self):
+        schema = infer("<r>{if (1 = 1) then <a/> else <b/>}</r>")
+        assert shape(schema.root) == [("a", "?"), ("b", "?")]
+
+    def test_if_with_empty_else(self):
+        schema = infer("<r>{if (1 = 1) then <a/> else ()}</r>")
+        assert shape(schema.root) == [("a", "?")]
+
+
+class TestCopiedInput:
+    def test_copied_leaf(self):
+        schema = infer(
+            "declare variable $d := .;\n<w>{$d/dept/dname}</w>"
+        )
+        assert shape(schema.root) == [("dname", "1")]
+        dname = schema.root.particle_for("dname").decl
+        assert dname.has_text
+
+    def test_copied_repeating_subtree(self):
+        schema = infer(
+            "declare variable $d := .;\n<w>{$d/dept/employees/emp}</w>"
+        )
+        assert shape(schema.root) == [("emp", "*")]
+        emp = schema.root.particle_for("emp").decl
+        assert [p.decl.name for p in emp.particles] == [
+            "empno", "ename", "sal",
+        ]
+
+    def test_copy_without_schema_rejected(self):
+        with pytest.raises(RewriteError):
+            infer("declare variable $d := .;\n<w>{$d/dept}</w>", dtd=None)
+
+    def test_descendant_copy_is_many(self):
+        schema = infer(
+            "declare variable $d := .;\n<w>{$d//sal}</w>"
+        )
+        assert shape(schema.root) == [("sal", "*")]
+
+
+class TestFunctions:
+    def test_non_recursive_function_inlined(self):
+        schema = infer(
+            "declare function local:f($x) { <leaf/> };\n"
+            "<r>{local:f(1)}</r>"
+        )
+        assert shape(schema.root) == [("leaf", "1")]
+
+    def test_recursive_function_constructors_many(self):
+        schema = infer(
+            "declare function local:f($n) {"
+            " if ($n > 0) then (<leaf/>, local:f($n - 1)) else () };\n"
+            "<r>{local:f(3)}</r>"
+        )
+        particle = schema.root.particle_for("leaf")
+        assert particle is not None
+        assert particle.occurs == "*"
+
+
+class TestCrossValidation:
+    def test_matches_sql_construction_inference(self):
+        """The schema statically typed from the generated XQuery must agree
+        with the schema inferred from the merged SQL construction."""
+        from repro.core.pipeline import XsltRewriter
+        from repro.rdb.infer import infer_view_structure
+        from tests.core.paper_example import (
+            EXAMPLE1_STYLESHEET,
+            dept_emp_view_query,
+        )
+
+        outcome = XsltRewriter().rewrite_view(
+            EXAMPLE1_STYLESHEET, dept_emp_view_query()
+        )
+        via_xquery = infer_result_schema(
+            outcome.xquery_module, outcome.structure.schema
+        )
+        via_sql = infer_view_structure(outcome.sql_query, fragment_ok=True)
+        # static typing merges the repeated H2 slots into one repeating
+        # particle; the SQL inference keeps them positional — the *name
+        # sets* must agree.
+        xquery_names = {p.decl.name for p in via_xquery.root.particles}
+        sql_names = {p.decl.name for p in via_sql.schema.root.particles}
+        assert xquery_names == sql_names == {"H1", "H2", "table"}
+
+    def test_result_validates_against_inferred_schema(self):
+        from repro.xmlmodel import parse_document
+        from repro.xquery.evaluator import (
+            evaluate_xquery,
+            sequence_to_document,
+        )
+
+        query = (
+            "declare variable $d := .;\n"
+            "<roster>{for $e in $d/dept/employees/emp"
+            " return <m>{fn:string($e/ename)}</m>}</roster>"
+        )
+        schema = infer(query)
+        document = parse_document(
+            "<dept><dname>A</dname><loc>L</loc><employees>"
+            "<emp><empno>1</empno><ename>X</ename><sal>9</sal></emp>"
+            "<emp><empno>2</empno><ename>Y</ename><sal>8</sal></emp>"
+            "</employees></dept>"
+        )
+        result = sequence_to_document(evaluate_xquery(query, document))
+        assert schema.validate(result) == []

@@ -1,0 +1,307 @@
+"""Tests for the XQuery subset: FLWOR, constructors, prolog, operators."""
+
+import pytest
+
+from repro.errors import XQuerySyntaxError, XQueryEvaluationError
+from repro.xmlmodel import parse_document, serialize_children
+from repro.xquery import evaluate_xquery, parse_xquery, xquery_to_text
+from repro.xquery.evaluator import sequence_to_document
+
+DOC = parse_document(
+    "<dept><dname>ACCOUNTING</dname>"
+    "<employees>"
+    "<emp><empno>7782</empno><ename>CLARK</ename><sal>2450</sal></emp>"
+    "<emp><empno>7934</empno><ename>MILLER</ename><sal>1300</sal></emp>"
+    "<emp><empno>7954</empno><ename>SMITH</ename><sal>4900</sal></emp>"
+    "</employees></dept>"
+)
+
+
+def markup(sequence):
+    return serialize_children(sequence_to_document(sequence))
+
+
+def ev(query, node=DOC, **kwargs):
+    return evaluate_xquery(query, node, **kwargs)
+
+
+class TestFlwor:
+    def test_for_over_literals(self):
+        assert ev("for $x in (1, 2, 3) return $x + 1") == [2.0, 3.0, 4.0]
+
+    def test_for_over_nodes(self):
+        result = ev("for $e in /dept/employees/emp return $e/ename")
+        assert [n.string_value() for n in result] == ["CLARK", "MILLER", "SMITH"]
+
+    def test_let_binding(self):
+        assert ev("let $n := count(//emp) return $n * 2") == [6.0]
+
+    def test_where_clause(self):
+        result = ev(
+            "for $e in //emp where $e/sal > 2000 return fn:string($e/ename)"
+        )
+        assert result == ["CLARK", "SMITH"]
+
+    def test_nested_for(self):
+        assert ev(
+            "for $x in (1, 2) for $y in (10, 20) return $x * $y"
+        ) == [10.0, 20.0, 20.0, 40.0]
+
+    def test_for_at_position(self):
+        assert ev("for $x at $i in ('a','b') return $i") == [1.0, 2.0]
+
+    def test_order_by_text(self):
+        result = ev(
+            "for $e in //emp order by $e/ename return fn:string($e/ename)"
+        )
+        assert result == ["CLARK", "MILLER", "SMITH"]
+
+    def test_order_by_numeric_descending(self):
+        result = ev(
+            "for $e in //emp order by number($e/sal) descending "
+            "return fn:string($e/sal)"
+        )
+        assert result == ["4900", "2450", "1300"]
+
+    def test_multiple_clause_flwor(self):
+        result = ev(
+            "for $e in //emp let $s := $e/sal where $s > 1500 "
+            "order by number($s) return fn:string($e/empno)"
+        )
+        assert result == ["7782", "7954"]
+
+    def test_empty_for_input(self):
+        assert ev("for $x in //nothing return $x") == []
+
+
+class TestSequencesAndRanges:
+    def test_sequence_concatenation(self):
+        assert ev("(1, (2, 3), 4)") == [1.0, 2.0, 3.0, 4.0]
+
+    def test_empty_sequence(self):
+        assert ev("()") == []
+
+    def test_range(self):
+        assert ev("1 to 4") == [1.0, 2.0, 3.0, 4.0]
+
+    def test_empty_range(self):
+        assert ev("3 to 2") == []
+
+    def test_range_in_flwor(self):
+        assert ev("for $i in 1 to 3 return $i * $i") == [1.0, 4.0, 9.0]
+
+
+class TestConditionals:
+    def test_if_then_else(self):
+        assert ev('if (count(//emp) > 2) then "many" else "few"') == ["many"]
+
+    def test_else_branch(self):
+        assert ev('if (//missing) then 1 else 2') == [2.0]
+
+    def test_quantified_some(self):
+        assert ev("some $e in //emp satisfies $e/sal > 4000") == [True]
+
+    def test_quantified_every(self):
+        assert ev("every $e in //emp satisfies $e/sal > 4000") == [False]
+        assert ev("every $e in //emp satisfies $e/sal > 1000") == [True]
+
+
+class TestComparisons:
+    def test_value_comparison_words(self):
+        assert ev("1 lt 2") == [True]
+        assert ev("2 le 2") == [True]
+        assert ev("3 gt 2") == [True]
+        assert ev("3 ge 4") == [False]
+        assert ev("1 eq 1") == [True]
+        assert ev("1 ne 1") == [False]
+
+    def test_general_comparison_over_nodes(self):
+        assert ev("//sal > 4000") == [True]
+
+    def test_instance_of_element(self):
+        assert ev("for $e in //emp[1] return $e instance of element(emp)") == [True]
+        assert ev("for $e in //emp[1] return $e instance of element(dept)") == [False]
+
+    def test_instance_of_text(self):
+        assert ev("for $t in //dname/text() return $t instance of text()") == [True]
+
+    def test_instance_of_node(self):
+        assert ev("for $e in //emp[1] return $e instance of node()") == [True]
+
+    def test_instance_of_atomic_is_false(self):
+        assert ev('"x" instance of element()') == [False]
+
+
+class TestConstructors:
+    def test_empty_element(self):
+        assert markup(ev("<done/>")) == "<done/>"
+
+    def test_literal_content(self):
+        assert markup(ev("<h1>Title</h1>")) == "<h1>Title</h1>"
+
+    def test_literal_attributes(self):
+        assert markup(ev('<table border="2"/>')) == '<table border="2"/>'
+
+    def test_attribute_with_enclosed_expr(self):
+        assert markup(ev('<e n="{1 + 1}"/>')) == '<e n="2"/>'
+
+    def test_enclosed_expression_content(self):
+        assert markup(ev("<t>{1 + 2}</t>")) == "<t>3</t>"
+
+    def test_enclosed_node_copied(self):
+        assert markup(ev("<w>{/dept/dname}</w>")) == "<w><dname>ACCOUNTING</dname></w>"
+
+    def test_adjacent_atomics_space_joined(self):
+        assert markup(ev("<t>{(1, 2, 3)}</t>")) == "<t>1 2 3</t>"
+
+    def test_nested_constructors(self):
+        assert markup(ev("<a><b>x</b><c/></a>")) == "<a><b>x</b><c/></a>"
+
+    def test_boundary_whitespace_stripped(self):
+        assert markup(ev("<a>\n  <b/>\n</a>")) == "<a><b/></a>"
+
+    def test_significant_text_kept(self):
+        assert markup(ev("<a>keep <b/></a>")) == "<a>keep <b/></a>"
+
+    def test_entity_in_content(self):
+        assert markup(ev("<a>&lt;&amp;</a>")) == "<a>&lt;&amp;</a>"
+
+    def test_escaped_braces(self):
+        assert markup(ev("<a>{{x}}</a>")) == "<a>{x}</a>"
+
+    def test_constructor_in_flwor(self):
+        result = ev(
+            "for $e in //emp[sal > 2000] return <row>{fn:string($e/empno)}</row>"
+        )
+        assert markup(result) == "<row>7782</row><row>7954</row>"
+
+    def test_paper_table8_fragment(self):
+        query = (
+            "let $var003 := /dept/dname return "
+            '<H2>{fn:concat("Department name: ", fn:string($var003))}</H2>'
+        )
+        assert markup(ev(query)) == "<H2>Department name: ACCOUNTING</H2>"
+
+    def test_cdata_in_constructor(self):
+        assert markup(ev("<a><![CDATA[<raw>]]></a>")) == "<a>&lt;raw&gt;</a>"
+
+    def test_comment_in_constructor_dropped(self):
+        assert markup(ev("<a><!-- ignore -->x</a>")) == "<a>x</a>"
+
+    def test_mismatched_tags_rejected(self):
+        with pytest.raises(XQuerySyntaxError):
+            parse_xquery("<a></b>")
+
+
+class TestProlog:
+    def test_declare_variable(self):
+        assert ev("declare variable $n := 21;\n$n * 2") == [42.0]
+
+    def test_declare_variable_with_context(self):
+        assert ev(
+            "declare variable $d := .;\ncount($d//emp)"
+        ) == [3.0]
+
+    def test_variable_sees_earlier_variable(self):
+        query = (
+            "declare variable $a := 2;\n"
+            "declare variable $b := $a * 3;\n"
+            "$b"
+        )
+        assert ev(query) == [6.0]
+
+    def test_declare_function(self):
+        query = (
+            "declare function local:double($x) { $x * 2 };\n"
+            "local:double(4)"
+        )
+        assert ev(query) == [8.0]
+
+    def test_recursive_function(self):
+        query = (
+            "declare function local:fact($n) {"
+            " if ($n <= 1) then 1 else $n * local:fact($n - 1) };\n"
+            "local:fact(5)"
+        )
+        assert ev(query) == [120.0]
+
+    def test_mutually_recursive_functions(self):
+        query = (
+            "declare function local:is-even($n) {"
+            " if ($n = 0) then true() else local:is-odd($n - 1) };\n"
+            "declare function local:is-odd($n) {"
+            " if ($n = 0) then false() else local:is-even($n - 1) };\n"
+            "local:is-even(10)"
+        )
+        assert ev(query) == [True]
+
+    def test_function_over_nodes(self):
+        query = (
+            "declare function local:emp-row($e) {"
+            " <tr><td>{fn:string($e/ename)}</td></tr> };\n"
+            "for $e in //emp[sal > 2000] return local:emp-row($e)"
+        )
+        assert markup(ev(query)) == (
+            "<tr><td>CLARK</td></tr><tr><td>SMITH</td></tr>"
+        )
+
+    def test_unknown_function_errors(self):
+        with pytest.raises(XQueryEvaluationError):
+            ev("local:nope(1)")
+
+
+class TestSerialization:
+    @pytest.mark.parametrize(
+        "query",
+        [
+            "for $x in (1, 2) return $x",
+            "let $a := 1 return $a + 2",
+            'if (1 < 2) then "a" else "b"',
+            "<a b=\"{1}\"><c>{2 + 3}</c>text</a>",
+            "declare variable $v := .;\ncount($v//emp)",
+            "declare function local:f($x) { $x };\nlocal:f(1)",
+            "for $e in //emp where $e/sal > 2000 order by $e/ename return $e/empno",
+            "some $x in (1, 2) satisfies $x = 2",
+            "(1, 2, 3)",
+            "1 to 5",
+            "$x instance of element(emp)",
+        ],
+    )
+    def test_text_reparses_to_same_text(self, query):
+        first = xquery_to_text(parse_xquery(query))
+        second = xquery_to_text(parse_xquery(first))
+        assert first == second
+
+    def test_comment_attribute_rendered(self):
+        module = parse_xquery("1 + 1")
+        module.body.xq_comment = "the answer"
+        text = xquery_to_text(module)
+        assert "(: the answer :)" in text
+        # comments survive re-parsing (they're skipped by the lexer)
+        assert ev(text, DOC) == [2.0]
+
+    def test_serialized_query_evaluates_identically(self):
+        query = (
+            "for $e in //emp where $e/sal > 2000 "
+            "return <r>{fn:string($e/empno)}</r>"
+        )
+        text = xquery_to_text(parse_xquery(query))
+        assert markup(ev(text)) == markup(ev(query))
+
+
+class TestSyntaxErrors:
+    @pytest.mark.parametrize(
+        "query",
+        [
+            "for $x return $x",          # missing in
+            "let $x return $x",          # missing :=
+            "if (1) then 2",             # missing else
+            "<a>",                        # unterminated constructor
+            "declare variable $x := 1",  # missing ;
+            "for $x in (1,2)",           # missing return
+            "{ 1 }",                      # bare enclosed expr
+        ],
+    )
+    def test_rejected(self, query):
+        with pytest.raises(XQuerySyntaxError):
+            parse_xquery(query)

@@ -1,0 +1,237 @@
+"""Core XSLT behaviour: templates, dispatch, literal output, value-of."""
+
+import pytest
+
+from repro.errors import XsltCompileError, XsltRuntimeError
+from repro.xslt import compile_stylesheet, transform, transform_to_string
+
+XSL = 'xmlns:xsl="http://www.w3.org/1999/XSL/Transform"'
+
+
+def sheet(body):
+    return '<xsl:stylesheet version="1.0" %s>%s</xsl:stylesheet>' % (XSL, body)
+
+
+def run(body, source, **kwargs):
+    return transform_to_string(sheet(body), source, **kwargs)
+
+
+class TestTemplates:
+    def test_match_root(self):
+        result = run('<xsl:template match="/"><out/></xsl:template>', "<a/>")
+        assert result == "<out/>"
+
+    def test_match_element_name(self):
+        result = run(
+            '<xsl:template match="a"><found/></xsl:template>', "<a/>"
+        )
+        assert result == "<found/>"
+
+    def test_template_dispatch_by_name(self):
+        body = (
+            '<xsl:template match="a"><xsl:apply-templates/></xsl:template>'
+            '<xsl:template match="b"><B/></xsl:template>'
+            '<xsl:template match="c"><C/></xsl:template>'
+        )
+        assert run(body, "<a><c/><b/><c/></a>") == "<C/><B/><C/>"
+
+    def test_priority_attribute_wins(self):
+        body = (
+            '<xsl:template match="a" priority="2"><high/></xsl:template>'
+            '<xsl:template match="a" priority="1"><low/></xsl:template>'
+        )
+        assert run(body, "<a/>") == "<high/>"
+
+    def test_default_priority_specific_beats_wildcard(self):
+        body = (
+            '<xsl:template match="*"><wild/></xsl:template>'
+            '<xsl:template match="a"><named/></xsl:template>'
+        )
+        assert run(body, "<a/>") == "<named/>"
+
+    def test_multi_step_beats_single_name(self):
+        body = (
+            '<xsl:template match="b"><short/></xsl:template>'
+            '<xsl:template match="a/b"><long/></xsl:template>'
+        )
+        assert run(body, "<a><b/></a>") == "<long/>"
+
+    def test_same_priority_later_wins(self):
+        body = (
+            '<xsl:template match="a"><first/></xsl:template>'
+            '<xsl:template match="a"><second/></xsl:template>'
+        )
+        assert run(body, "<a/>") == "<second/>"
+
+    def test_union_pattern(self):
+        body = '<xsl:template match="b | c"><hit/></xsl:template>'
+        assert run(body, "<a><b/><c/><d/></a>") == "<hit/><hit/>"
+
+    def test_mode(self):
+        body = (
+            '<xsl:template match="a">'
+            '<xsl:apply-templates mode="m"/>|<xsl:apply-templates/>'
+            "</xsl:template>"
+            '<xsl:template match="b" mode="m"><modal/></xsl:template>'
+            '<xsl:template match="b"><plain/></xsl:template>'
+        )
+        assert run(body, "<a><b/></a>") == "<modal/>|<plain/>"
+
+
+class TestBuiltinTemplates:
+    def test_builtin_recurse_and_text_copy(self):
+        # Empty stylesheet: text content flows through (paper Table 20/21).
+        assert run("", "<a>one<b>two</b></a>") == "onetwo"
+
+    def test_builtin_respects_mode(self):
+        body = (
+            '<xsl:template match="/"><xsl:apply-templates mode="m"/></xsl:template>'
+            '<xsl:template match="c" mode="m"><hit/></xsl:template>'
+        )
+        # built-in rules keep the mode while descending
+        assert run(body, "<a><b><c/></b></a>") == "<hit/>"
+
+    def test_builtin_skips_comments_and_pis(self):
+        assert run("", "<a><!--x-->t<?p d?></a>") == "t"
+
+
+class TestLiteralsAndValueOf:
+    def test_literal_attributes(self):
+        body = '<xsl:template match="/"><e k="v"/></xsl:template>'
+        assert run(body, "<a/>") == '<e k="v"/>'
+
+    def test_attribute_value_template(self):
+        body = '<xsl:template match="a"><e size="{@n}-px"/></xsl:template>'
+        assert run(body, '<a n="4"/>') == '<e size="4-px"/>'
+
+    def test_avt_braces_escaped(self):
+        body = '<xsl:template match="/"><e k="{{literal}}"/></xsl:template>'
+        assert run(body, "<a/>") == '<e k="{literal}"/>'
+
+    def test_value_of_string_value(self):
+        body = '<xsl:template match="a"><xsl:value-of select="b"/></xsl:template>'
+        assert run(body, "<a><b>x<c>y</c></b></a>") == "xy"
+
+    def test_value_of_first_node_only(self):
+        body = '<xsl:template match="a"><xsl:value-of select="b"/></xsl:template>'
+        assert run(body, "<a><b>1</b><b>2</b></a>") == "1"
+
+    def test_value_of_number(self):
+        body = (
+            '<xsl:template match="a">'
+            '<xsl:value-of select="count(b)"/></xsl:template>'
+        )
+        assert run(body, "<a><b/><b/></a>") == "2"
+
+    def test_xsl_text_preserves_whitespace(self):
+        body = (
+            '<xsl:template match="/">'
+            "<xsl:text>  spaced  </xsl:text></xsl:template>"
+        )
+        assert run(body, "<a/>") == "  spaced  "
+
+    def test_whitespace_only_literal_text_dropped(self):
+        body = '<xsl:template match="/">\n  <e/>\n  </xsl:template>'
+        assert run(body, "<a/>") == "<e/>"
+
+    def test_mixed_literal_and_instructions(self):
+        body = (
+            '<xsl:template match="a">'
+            "<p>Name: <xsl:value-of select='@name'/>!</p>"
+            "</xsl:template>"
+        )
+        assert run(body, '<a name="X"/>') == "<p>Name: X!</p>"
+
+
+class TestApplyTemplatesSelect:
+    def test_select_restricts_nodes(self):
+        body = (
+            '<xsl:template match="a">'
+            '<xsl:apply-templates select="b[@keep]"/></xsl:template>'
+            '<xsl:template match="b"><hit/></xsl:template>'
+        )
+        assert run(body, '<a><b/><b keep="1"/><b/></a>') == "<hit/>"
+
+    def test_paper_predicate_select(self):
+        body = (
+            '<xsl:template match="employees">'
+            '<xsl:apply-templates select="emp[sal &gt; 2000]"/>'
+            "</xsl:template>"
+            '<xsl:template match="emp"><xsl:value-of select="ename"/>;</xsl:template>'
+        )
+        source = (
+            "<employees>"
+            "<emp><ename>CLARK</ename><sal>2450</sal></emp>"
+            "<emp><ename>MILLER</ename><sal>1300</sal></emp>"
+            "</employees>"
+        )
+        assert run(body, source) == "CLARK;"
+
+    def test_select_document_order(self):
+        body = (
+            '<xsl:template match="a">'
+            '<xsl:apply-templates select="c | b"/></xsl:template>'
+            '<xsl:template match="*"><xsl:value-of select="name()"/>,</xsl:template>'
+        )
+        assert run(body, "<a><b/><c/></a>") == "b,c,"
+
+
+class TestErrors:
+    def test_unknown_instruction(self):
+        with pytest.raises(XsltCompileError):
+            compile_stylesheet(sheet('<xsl:template match="/"><xsl:frob/></xsl:template>'))
+
+    def test_import_unsupported(self):
+        with pytest.raises(XsltCompileError):
+            compile_stylesheet(sheet('<xsl:import href="x.xsl"/>'))
+
+    def test_template_without_match_or_name(self):
+        with pytest.raises(XsltCompileError):
+            compile_stylesheet(sheet("<xsl:template><x/></xsl:template>"))
+
+    def test_missing_named_template(self):
+        body = '<xsl:template match="/"><xsl:call-template name="nope"/></xsl:template>'
+        with pytest.raises(XsltRuntimeError):
+            run(body, "<a/>")
+
+    def test_infinite_recursion_detected(self):
+        body = (
+            '<xsl:template match="/"><xsl:call-template name="loop"/></xsl:template>'
+            '<xsl:template name="loop"><xsl:call-template name="loop"/></xsl:template>'
+        )
+        with pytest.raises(XsltRuntimeError):
+            run(body, "<a/>")
+
+    def test_not_a_stylesheet(self):
+        with pytest.raises(XsltCompileError):
+            compile_stylesheet("<notxsl/>")
+
+
+class TestSimplifiedStylesheet:
+    def test_literal_result_element_as_stylesheet(self):
+        source = (
+            '<report xsl:version="1.0" %s>'
+            '<total><xsl:value-of select="count(//item)"/></total>'
+            "</report>" % XSL
+        )
+        assert (
+            transform_to_string(source, "<o><item/><item/></o>")
+            == "<report><total>2</total></report>"
+        )
+
+
+class TestOutputMethods:
+    def test_explicit_text_method(self):
+        body = (
+            '<xsl:output method="text"/>'
+            '<xsl:template match="/"><x>only text shows</x></xsl:template>'
+        )
+        assert run(body, "<a/>") == "only text shows"
+
+    def test_html_sniffing(self):
+        body = '<xsl:template match="/"><html><br/></html></xsl:template>'
+        assert run(body, "<a/>") == "<html><br></html>"
+
+    def test_xml_default(self):
+        body = '<xsl:template match="/"><r a="1"/></xsl:template>'
+        assert run(body, "<a/>") == '<r a="1"/>'

@@ -1,0 +1,142 @@
+"""Tests for the VM's XSLT function library corners."""
+
+import pytest
+
+from repro.errors import XsltRuntimeError
+from repro.xslt import transform_to_string
+
+XSL = 'xmlns:xsl="http://www.w3.org/1999/XSL/Transform"'
+
+
+def sheet(body):
+    return '<xsl:stylesheet version="1.0" %s>%s</xsl:stylesheet>' % (XSL, body)
+
+
+def run(expr, source="<a/>"):
+    body = (
+        '<xsl:template match="/"><xsl:value-of select="%s"/></xsl:template>'
+        % expr.replace('"', "&quot;")
+    )
+    return transform_to_string(sheet(body), source)
+
+
+class TestAvailabilityFunctions:
+    def test_element_available_known(self):
+        assert run("element-available('xsl:for-each')") == "true"
+
+    def test_element_available_unknown(self):
+        assert run("element-available('xsl:frobnicate')") == "false"
+
+    def test_function_available_core(self):
+        assert run("function-available('concat')") == "true"
+
+    def test_function_available_xslt(self):
+        assert run("function-available('key')") == "true"
+
+    def test_function_available_unknown(self):
+        assert run("function-available('made-up')") == "false"
+
+    def test_function_available_fn_prefix(self):
+        assert run("function-available('fn:string-join')") == "true"
+
+
+class TestSystemProperties:
+    def test_version(self):
+        assert run("system-property('xsl:version')") == "1.0"
+
+    def test_vendor(self):
+        assert "xsltvm" in run("system-property('xsl:vendor')")
+
+    def test_unknown_property_empty(self):
+        assert run("system-property('xsl:nope')") == ""
+
+    def test_unparsed_entity_uri_empty(self):
+        assert run("unparsed-entity-uri('pic')") == ""
+
+
+class TestGenerateId:
+    def test_empty_node_set_empty_string(self):
+        assert run("generate-id(//nothing)") == ""
+
+    def test_no_argument_uses_context(self):
+        assert run("generate-id()") != ""
+
+    def test_non_node_set_rejected(self):
+        with pytest.raises(XsltRuntimeError):
+            run("generate-id('text')")
+
+    def test_distinct_across_siblings(self):
+        body = (
+            '<xsl:template match="/">'
+            '<xsl:value-of select="generate-id(/r/a) != generate-id(/r/b)"/>'
+            "</xsl:template>"
+        )
+        assert transform_to_string(sheet(body), "<r><a/><b/></r>") == "true"
+
+
+class TestKeyFunction:
+    SOURCE = (
+        '<l><i k="x">1</i><i k="y">2</i><i k="x">3</i></l>'
+    )
+
+    def test_key_with_node_set_values(self):
+        # key() over a node-set argument unions the per-value lookups
+        body = (
+            '<xsl:key name="by" match="i" use="@k"/>'
+            '<xsl:template match="/">'
+            "<xsl:for-each select=\"key('by', /l/i/@k)\">"
+            '<xsl:value-of select="."/></xsl:for-each></xsl:template>'
+        )
+        assert transform_to_string(sheet(body), self.SOURCE) == "123"
+
+    def test_key_results_in_document_order(self):
+        body = (
+            '<xsl:key name="by" match="i" use="@k"/>'
+            '<xsl:template match="/">'
+            "<xsl:for-each select=\"key('by', 'x')\">"
+            '<xsl:value-of select="."/></xsl:for-each></xsl:template>'
+        )
+        assert transform_to_string(sheet(body), self.SOURCE) == "13"
+
+    def test_key_index_cached_per_document(self):
+        from repro.xslt import XsltVM, compile_stylesheet
+        from repro.xmlmodel import parse_document
+
+        compiled = compile_stylesheet(sheet(
+            '<xsl:key name="by" match="i" use="@k"/>'
+            '<xsl:template match="/">'
+            "<xsl:value-of select=\"count(key('by', 'x'))\"/>"
+            "<xsl:value-of select=\"count(key('by', 'y'))\"/>"
+            "</xsl:template>"
+        ))
+        vm = XsltVM(compiled)
+        vm.transform_document(parse_document(self.SOURCE))
+        assert len(vm._key_indexes) == 1
+
+
+class TestCurrentFunction:
+    def test_current_equals_context_at_top_level(self):
+        body = (
+            '<xsl:template match="r">'
+            '<xsl:value-of select="count(current()) = count(.)"/>'
+            "</xsl:template>"
+        )
+        assert transform_to_string(sheet(body), "<r/>") == "true"
+
+    def test_current_differs_inside_predicate(self):
+        # select items whose value equals the current row's @want
+        source = '<r want="b"><i>a</i><i>b</i></r>'
+        body = (
+            '<xsl:template match="r">'
+            '<xsl:value-of select="i[. = current()/@want]"/>'
+            "</xsl:template>"
+        )
+        assert transform_to_string(sheet(body), source) == "b"
+
+
+class TestFormatNumberEdge:
+    def test_third_argument_accepted(self):
+        assert run("format-number(5, '0', 'whatever')") == "5"
+
+    def test_large_grouping(self):
+        assert run("format-number(1234567.891, '#,##0.0')") == "1,234,567.9"
