@@ -4,6 +4,7 @@
 Usage::
 
     python benchmarks/run_figures.py [--sizes 500,1000,2000,4000] [--repeat 3]
+                                     [--obs-out BENCH_obs.json]
 
 Prints:
 
@@ -11,45 +12,68 @@ Prints:
 * Figure 3 — 'avts', 'chart', 'metric', 'total' rewrite vs no-rewrite;
 * the §5 inline statistic over all forty cases.
 
-The numbers land in EXPERIMENTS.md.
+Every individual timed run is recorded through a
+:class:`repro.obs.MetricsRegistry` (histograms keyed by figure, case and
+strategy), and the full registry snapshot is written to ``--obs-out``
+(default ``BENCH_obs.json``) so the numbers that land in EXPERIMENTS.md
+carry their distribution, not just a mean.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 import time
 
-sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, _ROOT)
+sys.path.insert(0, os.path.join(_ROOT, "src"))
 
 from benchmarks.helpers import PreparedBenchmark
+from repro.obs import MetricsRegistry
 from repro.xsltmark.runner import inline_statistics
 
 
-def timed(callable_, repeat):
-    start = time.perf_counter()
+def timed(callable_, repeat, histogram=None):
+    """Mean seconds per run; each run also lands in ``histogram``."""
+    total = 0.0
     for _ in range(repeat):
+        start = time.perf_counter()
         callable_()
-    return (time.perf_counter() - start) / repeat
+        elapsed = time.perf_counter() - start
+        total += elapsed
+        if histogram is not None:
+            histogram.record(elapsed)
+    return total / repeat
 
 
-def figure2(sizes, repeat):
+def figure2(sizes, repeat, registry):
     print("Figure 2 - dbonerow: rewrite vs no-rewrite (seconds per run)")
     print("%-10s %-12s %-12s %-8s" % ("rows", "rewrite", "no-rewrite", "ratio"))
     rows = []
     for size in sizes:
         bench = PreparedBenchmark("dbonerow", size)
-        rewrite_time = timed(bench.execute_rewrite, repeat)
-        functional_time = timed(bench.execute_functional, repeat)
+        rewrite_time = timed(
+            bench.execute_rewrite, repeat,
+            registry.histogram("fig2.seconds", case="dbonerow",
+                               strategy="rewrite", rows=size),
+        )
+        functional_time = timed(
+            bench.execute_functional, repeat,
+            registry.histogram("fig2.seconds", case="dbonerow",
+                               strategy="no-rewrite", rows=size),
+        )
         ratio = functional_time / rewrite_time
+        registry.counter("bench.runs", figure="fig2").inc(2 * repeat)
         rows.append((size, rewrite_time, functional_time, ratio))
         print("%-10d %-12.5f %-12.5f %-8.1fx"
               % (size, rewrite_time, functional_time, ratio))
     return rows
 
 
-def figure3(size, repeat):
+def figure3(size, repeat, registry):
     print()
     print("Figure 3 - no-value-predicate cases at %d rows (seconds per run)"
           % size)
@@ -57,16 +81,25 @@ def figure3(size, repeat):
     rows = []
     for name in ("avts", "chart", "metric", "total"):
         bench = PreparedBenchmark(name, size)
-        rewrite_time = timed(bench.execute_rewrite, repeat)
-        functional_time = timed(bench.execute_functional, repeat)
+        rewrite_time = timed(
+            bench.execute_rewrite, repeat,
+            registry.histogram("fig3.seconds", case=name,
+                               strategy="rewrite", rows=size),
+        )
+        functional_time = timed(
+            bench.execute_functional, repeat,
+            registry.histogram("fig3.seconds", case=name,
+                               strategy="no-rewrite", rows=size),
+        )
         ratio = functional_time / rewrite_time
+        registry.counter("bench.runs", figure="fig3").inc(2 * repeat)
         rows.append((name, rewrite_time, functional_time, ratio))
         print("%-10s %-12.5f %-12.5f %-8.1fx"
               % (name, rewrite_time, functional_time, ratio))
     return rows
 
 
-def inline_stat():
+def inline_stat(registry):
     print()
     print("Inline statistic (paper: 23 of 40 fully inline)")
     classifications, inline_count = inline_statistics()
@@ -75,6 +108,8 @@ def inline_stat():
         by_class.setdefault(classification, []).append(
             name + ("" if sql_merged else "*")
         )
+        registry.counter("bench.case_classification",
+                         classification=classification).inc()
     for classification in ("inline", "non-inline", "fallback"):
         names = by_class.get(classification, [])
         print("%-11s %2d  %s" % (classification, len(names), ", ".join(names)))
@@ -83,16 +118,35 @@ def inline_stat():
     return inline_count
 
 
+def write_obs_artifact(path, registry, args):
+    artifact = {
+        "benchmark": "run_figures",
+        "sizes": args.sizes,
+        "fig3_size": args.fig3_size,
+        "repeat": args.repeat,
+        "metrics": registry.snapshot(),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(artifact, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print()
+    print("observability artifact written to %s" % path)
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--sizes", default="500,1000,2000,4000")
     parser.add_argument("--fig3-size", type=int, default=1500)
     parser.add_argument("--repeat", type=int, default=3)
+    parser.add_argument("--obs-out", default="BENCH_obs.json",
+                        help="where to write the metrics snapshot")
     args = parser.parse_args()
     sizes = [int(part) for part in args.sizes.split(",")]
-    figure2(sizes, args.repeat)
-    figure3(args.fig3_size, args.repeat)
-    inline_stat()
+    registry = MetricsRegistry()
+    figure2(sizes, args.repeat, registry)
+    figure3(args.fig3_size, args.repeat, registry)
+    inline_stat(registry)
+    write_obs_artifact(args.obs_out, registry, args)
 
 
 if __name__ == "__main__":

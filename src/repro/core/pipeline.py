@@ -5,16 +5,34 @@ generation, SQL/XML merge — and reports what it produced.  This is the
 compile-time half of the paper; :mod:`repro.core.transform` is the run-time
 front door that chooses between the rewritten plan and functional
 evaluation.
+
+Every stage runs inside an observability span
+(``compile.partial-eval`` / ``compile.xquery-gen`` / ``compile.sql-merge``,
+see :mod:`repro.obs`) carrying per-stage attributes: templates
+instantiated/pruned (§3.7), inline mode (§4.4), backward steps removed
+(§3.5).  A :class:`~repro.errors.RewriteError` escaping a stage is tagged
+with ``phase="compile"`` and the stage name, so the front door can
+categorize fallbacks instead of swallowing them silently.
 """
 
 from __future__ import annotations
 
 from repro.errors import ReproError, RewriteError
+from repro.obs import get_tracer, global_metrics
 from repro.rdb.infer import infer_view_structure
 from repro.xslt.stylesheet import Stylesheet, compile_stylesheet
 from repro.core.partial_eval import partially_evaluate
 from repro.core.sql_rewrite import SqlRewriter
 from repro.core.xquery_gen import RewriteOptions, XQueryGenerator
+
+
+def _tag(exc, stage):
+    """Stamp phase/stage on a RewriteError once (first tagger wins)."""
+    if getattr(exc, "phase", None) is None:
+        exc.phase = "compile"
+    if getattr(exc, "stage", None) is None:
+        exc.stage = stage
+    return exc
 
 
 class RewriteOutcome:
@@ -46,8 +64,10 @@ class RewriteOutcome:
 class XsltRewriter:
     """Compile-time XSLT rewrite driver."""
 
-    def __init__(self, options=None):
+    def __init__(self, options=None, tracer=None, metrics=None):
         self.options = options or RewriteOptions()
+        self.tracer = tracer or get_tracer()
+        self.metrics = metrics or global_metrics()
 
     def compile(self, stylesheet):
         if isinstance(stylesheet, Stylesheet):
@@ -60,21 +80,76 @@ class XsltRewriter:
         Raises :class:`RewriteError` for unsupported constructs.
         """
         compiled = self.compile(stylesheet)
-        try:
-            partial = partially_evaluate(compiled, schema)
-            generator = XQueryGenerator(partial, self.options)
-            module = generator.generate()
-        except RewriteError:
-            raise
-        except ReproError as exc:
-            raise RewriteError("rewrite failed: %s" % exc) from exc
+        partial = self._partial_eval_stage(compiled, schema)
+        module = self._xquery_gen_stage(partial)
         return RewriteOutcome(compiled, partial, module)
 
     def rewrite_view(self, stylesheet, view_query):
         """Stylesheet + XMLType view → XQuery and merged SQL/XML query."""
-        structure = infer_view_structure(view_query)
-        outcome = self.rewrite_to_xquery(stylesheet, structure.schema)
-        rewriter = SqlRewriter(view_query, structure)
-        outcome.sql_query = rewriter.rewrite_module(outcome.xquery_module)
-        outcome.structure = structure
+        with self.tracer.span("compile") as span:
+            with self.tracer.span("compile.infer-structure"):
+                try:
+                    structure = infer_view_structure(view_query)
+                except RewriteError as exc:
+                    raise _tag(exc, "infer-structure")
+            outcome = self.rewrite_to_xquery(stylesheet, structure.schema)
+            outcome.sql_query = self._sql_merge_stage(outcome, view_query,
+                                                      structure)
+            outcome.structure = structure
+            span.set_attr(inline_mode=outcome.inline_mode)
         return outcome
+
+    # -- the three stages, each a span --------------------------------------------
+
+    def _partial_eval_stage(self, compiled, schema):
+        with self.tracer.span("compile.partial-eval") as span, \
+                self.metrics.histogram("compile.partial_eval_seconds").time():
+            try:
+                partial = partially_evaluate(compiled, schema)
+            except RewriteError as exc:
+                raise _tag(exc, "partial-eval")
+            except ReproError as exc:
+                raise _tag(
+                    RewriteError("rewrite failed: %s" % exc), "partial-eval"
+                ) from exc
+            span.set_attr(
+                templates_total=len(compiled.templates),
+                templates_instantiated=len(partial.instantiated_templates),
+                templates_pruned=len(partial.pruned_templates()),
+                recursive=partial.recursive,
+                inline_mode=partial.inline_mode,
+            )
+        return partial
+
+    def _xquery_gen_stage(self, partial):
+        with self.tracer.span("compile.xquery-gen") as span, \
+                self.metrics.histogram("compile.xquery_gen_seconds").time():
+            try:
+                generator = XQueryGenerator(partial, self.options)
+                module = generator.generate()
+            except RewriteError as exc:
+                raise _tag(exc, "xquery-gen")
+            except ReproError as exc:
+                raise _tag(
+                    RewriteError("rewrite failed: %s" % exc), "xquery-gen"
+                ) from exc
+            span.set_attr(
+                functions=len(module.functions),
+                inline_mode=not module.functions,
+                templates_inlined=generator.templates_inlined,
+                backward_steps_removed=generator.backward_steps_removed,
+            )
+        return module
+
+    def _sql_merge_stage(self, outcome, view_query, structure):
+        with self.tracer.span("compile.sql-merge") as span, \
+                self.metrics.histogram("compile.sql_merge_seconds").time():
+            try:
+                rewriter = SqlRewriter(view_query, structure)
+                sql_query = rewriter.rewrite_module(outcome.xquery_module)
+            except RewriteError as exc:
+                raise _tag(exc, "sql-merge")
+            span.set_attr(
+                sql_outputs=len(sql_query.outputs),
+            )
+        return sql_query

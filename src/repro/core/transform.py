@@ -5,12 +5,20 @@ to every XMLType instance a source produces and reports *how* it did it:
 
 * ``rewrite=True`` — try the full pipeline (partial evaluation → XQuery →
   SQL/XML merge).  When any stage raises :class:`RewriteError` the call
-  silently falls back to functional evaluation, exactly like the shipping
+  falls back to functional evaluation, exactly like the shipping
   implementation the paper describes (unsupported constructs keep working,
-  they just don't get the speedup).  The chosen strategy is recorded on the
-  result.
+  they just don't get the speedup).  The fallback is **not silent**: the
+  failure phase (``compile`` vs ``execute``), stage and a categorized
+  reason land on the result, in the ``transform.fallback`` counter and in
+  a ``repro.obs`` warning.
 * ``rewrite=False`` — functional evaluation: materialise each document as a
   DOM (from the view or the storage) and run the XSLT VM over it.
+
+Every call runs under an ``xml_transform`` tracing span (see
+:mod:`repro.obs`) whose children cover stylesheet compilation, the three
+compile stages, and plan execution (profiled per plan node); the span tree,
+execution statistics and an EXPLAIN ANALYZE rendering are summarized by
+:meth:`TransformResult.report`.
 
 Sources may be an XMLType view :class:`~repro.rdb.plan.Query` /
 :class:`~repro.rdb.database.View`, an
@@ -20,9 +28,19 @@ Sources may be an XMLType view :class:`~repro.rdb.plan.Query` /
 
 from __future__ import annotations
 
+import logging
+import time
+
 from repro.errors import RewriteError
+from repro.obs import get_tracer, global_metrics, render_tree
 from repro.rdb.database import View
-from repro.rdb.plan import ExecutionStats, Query
+from repro.rdb.plan import (
+    ExecutionStats,
+    PlanProfiler,
+    Query,
+    _fmt_stat,
+    explain,
+)
 from repro.rdb.storage import ClobStorage, ObjectRelationalStorage
 from repro.xmlmodel.builder import TreeBuilder
 from repro.xmlmodel.nodes import Node
@@ -33,6 +51,11 @@ from repro.core.pipeline import XsltRewriter
 
 STRATEGY_SQL = "sql-rewrite"
 STRATEGY_FUNCTIONAL = "functional"
+
+FALLBACK_PHASE_COMPILE = "compile"
+FALLBACK_PHASE_EXECUTE = "execute"
+
+_LOG = logging.getLogger("repro.obs")
 
 
 class TransformResult:
@@ -48,8 +71,20 @@ class TransformResult:
         self.stats = stats
         #: RewriteOutcome when the rewrite succeeded (even if not used)
         self.outcome = outcome
-        #: why the rewrite fell back, when it did
+        #: why the rewrite fell back ("<phase>: <message>"), when it did
         self.fallback_reason = fallback_reason
+        #: "compile" or "execute" — where the rewrite failed, when it did
+        self.fallback_phase = None
+        #: coarse category of the failure (the fallback counter key)
+        self.fallback_category = None
+        #: root Span of this call (None when tracing is disabled)
+        self.trace = None
+        #: the optimized Query the rewrite executed (STRATEGY_SQL only)
+        self.executed_query = None
+        #: PlanProfiler with per-node rows/timings, when collected
+        self.plan_profile = None
+        #: functional-path VM counters (instructions, template dispatches)
+        self.vm_stats = None
 
     def serialized_rows(self, method="xml"):
         """Each row rendered as markup text."""
@@ -64,6 +99,36 @@ class TransformResult:
             )
         return out
 
+    def report(self):
+        """Human-readable summary of how this one call ran: strategy,
+        fallback (if any), execution statistics, the span tree with
+        timings, VM counters, and the per-node EXPLAIN ANALYZE of the
+        executed plan."""
+        lines = ["strategy: %s" % self.strategy]
+        if self.fallback_reason:
+            lines.append("fallback: %s" % self.fallback_reason)
+            if self.fallback_category:
+                lines.append("fallback-category: %s" % self.fallback_category)
+        if self.stats is not None:
+            lines.append("stats: %s" % ", ".join(
+                "%s=%s" % (name, _fmt_stat(value))
+                for name, value in self.stats.as_dict().items()
+                if value
+            ))
+        if self.vm_stats:
+            lines.append("vm: %s" % ", ".join(
+                "%s=%d" % (name, value)
+                for name, value in sorted(self.vm_stats.items())
+            ))
+        if self.trace is not None:
+            lines.append("trace:")
+            lines.extend("  " + line for line in render_tree(self.trace))
+        if self.executed_query is not None and self.plan_profile is not None:
+            lines.append("plan (EXPLAIN ANALYZE):")
+            rendered = explain(self.executed_query, profile=self.plan_profile)
+            lines.extend("  " + line for line in rendered.splitlines())
+        return "\n".join(lines)
+
 
 def _text(value):
     if isinstance(value, float) and value == int(value):
@@ -73,21 +138,78 @@ def _text(value):
     return str(value)
 
 
-def xml_transform(db, source, stylesheet, rewrite=True, options=None,
-                  params=None):
-    """Apply ``stylesheet`` to every XMLType instance of ``source``."""
-    if not isinstance(stylesheet, Stylesheet):
-        stylesheet = compile_stylesheet(stylesheet)
+def categorize_fallback(exc):
+    """A coarse, stable category for one rewrite failure — the key the
+    ``transform.fallback`` counter is labelled with."""
+    message = str(exc).lower()
+    stage = getattr(exc, "stage", None)
+    if ("no structural information" in message
+            or "unsupported source" in message):
+        return "no-structure"
+    if getattr(exc, "phase", None) == FALLBACK_PHASE_EXECUTE:
+        return "execute"
+    if stage == "partial-eval" or "partial evaluation" in message:
+        return "partial-eval"
+    if ("not supported" in message or "cannot" in message
+            or "unsupported" in message):
+        return "unsupported-construct"
+    if stage in ("xquery-gen", "sql-merge", "infer-structure"):
+        return stage
+    return "other"
 
-    if rewrite and not params:
-        try:
-            return _rewritten(db, source, stylesheet, options)
-        except RewriteError as exc:
-            reason = str(exc)
-            result = _functional(db, source, stylesheet, params)
-            result.fallback_reason = reason
-            return result
-    return _functional(db, source, stylesheet, params)
+
+def xml_transform(db, source, stylesheet, rewrite=True, options=None,
+                  params=None, tracer=None, metrics=None, profile_plan=True):
+    """Apply ``stylesheet`` to every XMLType instance of ``source``.
+
+    ``tracer``/``metrics`` default to the process-wide instances
+    (:func:`repro.obs.get_tracer` / :func:`repro.obs.global_metrics`);
+    ``profile_plan=False`` skips per-plan-node profiling on the rewrite
+    path (it is also skipped whenever tracing is disabled).
+    """
+    tracer = tracer or get_tracer()
+    metrics = metrics or global_metrics()
+    with tracer.span("xml_transform", rewrite=bool(rewrite)) as root:
+        if not isinstance(stylesheet, Stylesheet):
+            with tracer.span("compile.stylesheet"):
+                stylesheet = compile_stylesheet(stylesheet)
+        if rewrite and not params:
+            metrics.counter("transform.rewrite_attempts").inc()
+            try:
+                result = _rewritten(db, source, stylesheet, options, tracer,
+                                    metrics, profile_plan)
+                metrics.counter("transform.rewrite_success").inc()
+            except RewriteError as exc:
+                result = _fallback(db, source, stylesheet, params, exc,
+                                   tracer, metrics, root)
+        else:
+            result = _functional(db, source, stylesheet, params, tracer)
+        root.set_attr(strategy=result.strategy)
+    if root:
+        result.trace = root
+    return result
+
+
+def _fallback(db, source, stylesheet, params, exc, tracer, metrics, root):
+    """Functional evaluation after a failed rewrite — loudly: categorize
+    the failure, bump the fallback counter, warn through the obs logger
+    and annotate the span."""
+    phase = getattr(exc, "phase", None) or FALLBACK_PHASE_COMPILE
+    stage = getattr(exc, "stage", None)
+    category = categorize_fallback(exc)
+    metrics.counter("transform.fallback", phase=phase, reason=category).inc()
+    _LOG.warning(
+        "xml_transform falling back to functional evaluation"
+        " (phase=%s, stage=%s, category=%s): %s",
+        phase, stage, category, exc,
+    )
+    root.set_attr(fallback_phase=phase, fallback_category=category,
+                  fallback_reason=str(exc))
+    result = _functional(db, source, stylesheet, params, tracer)
+    result.fallback_reason = "%s: %s" % (phase, exc)
+    result.fallback_phase = phase
+    result.fallback_category = category
+    return result
 
 
 def _view_query(source):
@@ -100,9 +222,13 @@ def _view_query(source):
     if _is_document_store(source):
         raise RewriteError(
             "%s carries no structural information for the rewrite"
-            % type(source).__name__
+            % type(source).__name__,
+            phase=FALLBACK_PHASE_COMPILE, stage="source",
         )
-    raise RewriteError("unsupported source %r" % type(source).__name__)
+    raise RewriteError(
+        "unsupported source %r" % type(source).__name__,
+        phase=FALLBACK_PHASE_COMPILE, stage="source",
+    )
 
 
 def _is_document_store(source):
@@ -111,13 +237,39 @@ def _is_document_store(source):
     return hasattr(source, "document_ids") and hasattr(source, "materialize")
 
 
-def _rewritten(db, source, stylesheet, options):
+def _rewritten(db, source, stylesheet, options, tracer, metrics,
+               profile_plan):
     view_query = _view_query(source)
-    rewriter = XsltRewriter(options)
+    rewriter = XsltRewriter(options, tracer=tracer, metrics=metrics)
     outcome = rewriter.rewrite_view(stylesheet, view_query)
-    rows, stats = db.execute(outcome.sql_query)
+    with tracer.span("plan.execute") as span:
+        stats = ExecutionStats()
+        profiler = None
+        if profile_plan and tracer.enabled:
+            profiler = stats.profiler = PlanProfiler()
+        query = db.optimize(outcome.sql_query)
+        try:
+            rows, stats = query.execute(db, stats=stats)
+        except RewriteError as exc:
+            # A RewriteError escaping *plan execution* is a run-time
+            # failure, not a compile failure — tag it so the fallback
+            # reason distinguishes the two.
+            if getattr(exc, "phase", None) is None:
+                exc.phase = FALLBACK_PHASE_EXECUTE
+            raise
+        span.set_attr(
+            output_rows=len(rows),
+            rows_scanned=stats.rows_scanned,
+            index_probes=stats.index_probes,
+            elapsed_ms=round(stats.elapsed_seconds * 1000.0, 3),
+        )
+    metrics.histogram("plan.execute_seconds").record(stats.elapsed_seconds)
     result_rows = [_as_items(row[0]) for row in rows]
-    return TransformResult(result_rows, STRATEGY_SQL, stats, outcome=outcome)
+    result = TransformResult(result_rows, STRATEGY_SQL, stats,
+                             outcome=outcome)
+    result.executed_query = query
+    result.plan_profile = profiler
+    return result
 
 
 def _as_items(value):
@@ -128,15 +280,32 @@ def _as_items(value):
     return [value]
 
 
-def _functional(db, source, stylesheet, params):
-    stats = ExecutionStats()
-    vm = XsltVM(stylesheet)
-    rows = []
-    for document in _materialize_documents(db, source, stats):
-        result = vm.transform_document(document, params=params)
-        rows.append(list(result.children))
-        stats.output_rows += 1
-    return TransformResult(rows, STRATEGY_FUNCTIONAL, stats)
+def _functional(db, source, stylesheet, params, tracer=None):
+    tracer = tracer or get_tracer()
+    with tracer.span("functional.execute") as span:
+        stats = ExecutionStats()
+        vm = XsltVM(stylesheet)
+        rows = []
+        start = time.perf_counter()
+        for document in _materialize_documents(db, source, stats):
+            result = vm.transform_document(document, params=params)
+            rows.append(list(result.children))
+            stats.output_rows += 1
+        # total functional wall time (materialisation + VM); view-path
+        # query time is a subset of this window, so assign, don't add
+        stats.elapsed_seconds = time.perf_counter() - start
+        span.set_attr(
+            docs_materialized=stats.docs_materialized,
+            instructions_executed=vm.instructions_executed,
+            templates_dispatched=vm.templates_dispatched,
+            elapsed_ms=round(stats.elapsed_seconds * 1000.0, 3),
+        )
+    result = TransformResult(rows, STRATEGY_FUNCTIONAL, stats)
+    result.vm_stats = {
+        "instructions_executed": vm.instructions_executed,
+        "templates_dispatched": vm.templates_dispatched,
+    }
+    return result
 
 
 def _materialize_documents(db, source, stats):
@@ -150,6 +319,7 @@ def _materialize_documents(db, source, stats):
     view_query = source.query if isinstance(source, View) else source
     rows, _ = view_query.execute(db, stats=stats)
     for row in rows:
+        stats.docs_materialized += 1
         yield _wrap_document(row[0])
 
 

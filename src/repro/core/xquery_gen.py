@@ -88,6 +88,11 @@ class XQueryGenerator:
         self.sample = partial_evaluation.sample
         self.schema = partial_evaluation.schema
         self._counter = itertools.count(2)
+        #: observability counters (read by the compile-stage spans):
+        #: backward parent/ancestor steps whose tests vanished (§3.5) and
+        #: template bodies expanded inline (§3.3/§4.4)
+        self.backward_steps_removed = 0
+        self.templates_inlined = 0
         self._inline_stack = []
         self._functions = {}      # state key -> FunctionDecl (body may be None while building)
         self._function_order = []
@@ -182,6 +187,9 @@ class XQueryGenerator:
                     )
                 )
         if self.options.remove_backward_tests:
+            # structurally guaranteed backward steps vanish; only the
+            # predicate-bearing ones survive as exists() terms (§3.5)
+            self.backward_steps_removed += len(climb) - len(ancestor_terms)
             terms.extend(ancestor_terms)
         elif climb:
             # ablation: keep the full backward chain even when structurally
@@ -250,6 +258,7 @@ class XQueryGenerator:
         return (id(template), id(decl) if decl is not None else None)
 
     def _inline_template(self, template, cursor, mode, params):
+        self.templates_inlined += 1
         decl = self.sample.decl_for(cursor.node)
         key = (id(template), id(decl) if decl is not None else id(cursor.node))
         if key in self._inline_stack:

@@ -78,4 +78,16 @@ class RewriteError(ReproError):
 
     The front door treats this as "fall back to functional evaluation",
     mirroring the paper's behaviour for unsupported constructs.
+
+    ``phase`` distinguishes *where* the rewrite failed once known:
+    ``"compile"`` (structure inference, partial evaluation, XQuery
+    generation, SQL/XML merge) vs ``"execute"`` (running the merged
+    plan).  ``stage`` names the specific compile stage.  Both are filled
+    in by the pipeline/front door as the error propagates; raisers deep
+    in the stack may leave them None.
     """
+
+    def __init__(self, message, phase=None, stage=None):
+        super().__init__(message)
+        self.phase = phase
+        self.stage = stage

@@ -1,0 +1,53 @@
+"""Observability for the XSLT→XQuery→SQL pipeline.
+
+Three facilities, threaded through every layer (see README
+"Observability" and DESIGN §spans):
+
+* **tracing** (:mod:`repro.obs.trace`) — nested spans over the compile
+  stages (partial evaluation, XQuery generation, SQL/XML merge), plan
+  execution and the functional path, with pluggable sinks;
+* **metrics** (:mod:`repro.obs.metrics`) — counters (rewrite attempts,
+  categorized fallbacks) and histograms (stage / execution timings);
+* **EXPLAIN** — ``repro.rdb.plan.explain(query, analyze=True, db=db)``
+  renders the plan tree annotated with per-node row counts and self/total
+  times.
+
+``repro.core.transform.TransformResult.report()`` assembles all three for
+one ``xml_transform`` call.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    global_metrics,
+    set_metrics,
+)
+from repro.obs.trace import (
+    NULL_SPAN,
+    InMemorySink,
+    JsonLinesSink,
+    Span,
+    TextSink,
+    Tracer,
+    get_tracer,
+    render_tree,
+    set_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "InMemorySink",
+    "JsonLinesSink",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "Span",
+    "TextSink",
+    "Tracer",
+    "get_tracer",
+    "global_metrics",
+    "render_tree",
+    "set_metrics",
+    "set_tracer",
+]

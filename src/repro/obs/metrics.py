@@ -1,0 +1,216 @@
+"""Named counters and histograms for the XSLT→XQuery→SQL pipeline.
+
+A :class:`MetricsRegistry` hands out :class:`Counter` and
+:class:`Histogram` instances keyed by (name, labels).  The front door
+counts rewrite attempts and fallbacks (keyed by failure phase and reason
+category — the silent-fallback fix), the compile stages record their
+timings, and ``benchmarks/run_figures.py`` emits its measurements through
+a registry into a ``BENCH_obs.json`` artifact.
+
+Histograms keep raw samples (bounded) and report p50/p95/max with
+nearest-rank percentiles — exactly what the paper-style figures need.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+def _label_key(labels):
+    return tuple(sorted(labels.items()))
+
+
+def _render_key(name, labels):
+    if not labels:
+        return name
+    return "%s{%s}" % (
+        name, ",".join("%s=%s" % (k, v) for k, v in _label_key(labels))
+    )
+
+
+class Counter:
+    """A monotonically increasing named counter."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name, labels=None):
+        self.name = name
+        self.labels = dict(labels or {})
+        self.value = 0
+
+    def inc(self, amount=1):
+        self.value += amount
+        return self.value
+
+    def key(self):
+        return _render_key(self.name, self.labels)
+
+    def __repr__(self):
+        return "Counter(%s=%d)" % (self.key(), self.value)
+
+
+class Histogram:
+    """Raw-sample histogram reporting count/sum/min/max and percentiles.
+
+    Samples are capped at ``max_samples``; once full, every second
+    retained sample is dropped and the effective sampling rate halves —
+    deterministic, and fine for percentile estimates at our scales.
+    """
+
+    __slots__ = ("name", "labels", "max_samples", "count", "sum",
+                 "_values", "_keep_every", "_skip")
+
+    def __init__(self, name, labels=None, max_samples=8192):
+        self.name = name
+        self.labels = dict(labels or {})
+        self.max_samples = max_samples
+        self.count = 0
+        self.sum = 0.0
+        self._values = []
+        self._keep_every = 1
+        self._skip = 0
+
+    def record(self, value):
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        self._skip += 1
+        if self._skip >= self._keep_every:
+            self._skip = 0
+            self._values.append(value)
+            if len(self._values) >= self.max_samples:
+                self._values = self._values[::2]
+                self._keep_every *= 2
+        return value
+
+    def time(self):
+        """Context manager recording elapsed seconds on exit."""
+        return _HistogramTimer(self)
+
+    # -- summaries --------------------------------------------------------------
+
+    @property
+    def min(self):
+        return min(self._values) if self._values else None
+
+    @property
+    def max(self):
+        return max(self._values) if self._values else None
+
+    def percentile(self, pct):
+        """Nearest-rank percentile over the retained samples."""
+        if not self._values:
+            return None
+        ordered = sorted(self._values)
+        rank = max(
+            0, min(len(ordered) - 1, int(round(pct / 100.0 * len(ordered))) - 1)
+        )
+        return ordered[rank]
+
+    @property
+    def p50(self):
+        return self.percentile(50)
+
+    @property
+    def p95(self):
+        return self.percentile(95)
+
+    def summary(self):
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.p50,
+            "p95": self.p95,
+        }
+
+    def key(self):
+        return _render_key(self.name, self.labels)
+
+    def __repr__(self):
+        return "Histogram(%s n=%d)" % (self.key(), self.count)
+
+
+class _HistogramTimer:
+    __slots__ = ("_histogram", "_start", "elapsed")
+
+    def __init__(self, histogram):
+        self._histogram = histogram
+        self._start = None
+        self.elapsed = None
+
+    def __enter__(self):
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.elapsed = time.perf_counter() - self._start
+        self._histogram.record(self.elapsed)
+        return False
+
+
+class MetricsRegistry:
+    """Keyed store of counters and histograms."""
+
+    def __init__(self):
+        self._counters = {}
+        self._histograms = {}
+
+    def counter(self, name, **labels):
+        key = (name, _label_key(labels))
+        counter = self._counters.get(key)
+        if counter is None:
+            counter = self._counters[key] = Counter(name, labels)
+        return counter
+
+    def histogram(self, name, **labels):
+        key = (name, _label_key(labels))
+        histogram = self._histograms.get(key)
+        if histogram is None:
+            histogram = self._histograms[key] = Histogram(name, labels)
+        return histogram
+
+    def counters(self, name=None):
+        """All counters, optionally filtered by name."""
+        return [
+            counter for counter in self._counters.values()
+            if name is None or counter.name == name
+        ]
+
+    def counter_total(self, name):
+        """Sum of one counter across all label sets."""
+        return sum(counter.value for counter in self.counters(name))
+
+    def snapshot(self):
+        """JSON-friendly dump of everything recorded so far."""
+        return {
+            "counters": {
+                counter.key(): counter.value
+                for counter in self._counters.values()
+            },
+            "histograms": {
+                histogram.key(): histogram.summary()
+                for histogram in self._histograms.values()
+            },
+        }
+
+    def reset(self):
+        self._counters.clear()
+        self._histograms.clear()
+
+
+_GLOBAL_METRICS = MetricsRegistry()
+
+
+def global_metrics():
+    """The process-wide default registry."""
+    return _GLOBAL_METRICS
+
+
+def set_metrics(registry):
+    """Replace the global registry (tests); returns the previous one."""
+    global _GLOBAL_METRICS
+    previous = _GLOBAL_METRICS
+    _GLOBAL_METRICS = registry
+    return previous

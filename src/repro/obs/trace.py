@@ -1,0 +1,300 @@
+"""Lightweight nested tracing spans for the rewrite pipeline.
+
+The paper's argument is *measured* (Figures 2–3, §5): rewrite vs
+functional evaluation, per-technique ablations, per-plan costs.  This
+module provides the span machinery those measurements hang off of:
+
+* :class:`Span` — a named, timed (``time.perf_counter``) unit of work with
+  attributes, nested children and exception capture;
+* :class:`Tracer` — manages the active-span stack and hands finished spans
+  to pluggable sinks;
+* sinks — :class:`InMemorySink` (keeps finished root trees),
+  :class:`JsonLinesSink` (one JSON object per finished span),
+  :class:`TextSink` (human-readable indented tree per root).
+
+A disabled tracer hands out a shared no-op span, so instrumented code pays
+one attribute check and nothing else — benchmarks guard this
+(``benchmarks/test_obs_overhead.py``).
+
+The tracer keeps a plain span stack and is not thread-safe; the engine it
+instruments is single-threaded per query, matching the paper's setting.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import time
+
+_SPAN_IDS = itertools.count(1)
+
+
+class Span:
+    """One named, timed unit of work.
+
+    Usable as a context manager (the normal way — via
+    :meth:`Tracer.span`): on exit the span records its end time and any
+    in-flight exception (type and message; the exception still
+    propagates).
+    """
+
+    __slots__ = ("name", "attrs", "span_id", "parent", "children",
+                 "start", "end", "status", "error", "_tracer")
+
+    def __init__(self, name, attrs=None, parent=None, tracer=None):
+        self.name = name
+        self.attrs = dict(attrs) if attrs else {}
+        self.span_id = next(_SPAN_IDS)
+        self.parent = parent
+        self.children = []
+        self.start = time.perf_counter()
+        self.end = None
+        self.status = "ok"
+        self.error = None
+        self._tracer = tracer
+        if parent is not None:
+            parent.children.append(self)
+
+    # -- recording --------------------------------------------------------------
+
+    def set_attr(self, **attrs):
+        self.attrs.update(attrs)
+        return self
+
+    @property
+    def duration(self):
+        """Wall seconds (up to now while the span is still open)."""
+        end = self.end if self.end is not None else time.perf_counter()
+        return end - self.start
+
+    @property
+    def finished(self):
+        return self.end is not None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        if exc_type is not None:
+            self.status = "error"
+            self.error = "%s: %s" % (exc_type.__name__, exc)
+        self.end = time.perf_counter()
+        if self._tracer is not None:
+            self._tracer._finish(self)
+        return False  # never swallow
+
+    # -- introspection ----------------------------------------------------------
+
+    def find(self, name):
+        """First span named ``name`` in this subtree (depth-first), or
+        None — convenient for tests and reports."""
+        if self.name == name:
+            return self
+        for child in self.children:
+            found = child.find(name)
+            if found is not None:
+                return found
+        return None
+
+    def iter_spans(self):
+        yield self
+        for child in self.children:
+            for span in child.iter_spans():
+                yield span
+
+    def to_dict(self):
+        """Flat JSON-friendly record (children referenced by parent_id)."""
+        record = {
+            "span_id": self.span_id,
+            "parent_id": self.parent.span_id if self.parent else None,
+            "name": self.name,
+            "duration_ms": round(self.duration * 1000.0, 6),
+            "status": self.status,
+        }
+        if self.attrs:
+            record["attrs"] = {
+                key: _jsonable(value) for key, value in self.attrs.items()
+            }
+        if self.error:
+            record["error"] = self.error
+        return record
+
+    def __repr__(self):
+        return "<Span %s %.3fms %s>" % (self.name, self.duration * 1000.0,
+                                        self.status)
+
+
+def _jsonable(value):
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def render_tree(span, indent=0):
+    """Human-readable indented rendering of a span tree."""
+    pad = "  " * indent
+    attrs = ""
+    if span.attrs:
+        attrs = " {%s}" % ", ".join(
+            "%s=%s" % (key, span.attrs[key]) for key in sorted(span.attrs)
+        )
+    flag = "" if span.status == "ok" else " !%s" % span.error
+    lines = ["%s%s  %.3f ms%s%s"
+             % (pad, span.name, span.duration * 1000.0, attrs, flag)]
+    for child in span.children:
+        lines.extend(render_tree(child, indent + 1))
+    return lines
+
+
+class _NullSpan:
+    """Shared no-op span returned by a disabled tracer."""
+
+    __slots__ = ()
+    name = "<disabled>"
+    attrs = {}
+    children = ()
+    status = "ok"
+    error = None
+    duration = 0.0
+    finished = True
+
+    def set_attr(self, **attrs):
+        return self
+
+    def find(self, name):
+        return None
+
+    def iter_spans(self):
+        return iter(())
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+    def __bool__(self):
+        # `if result.trace:` should skip the null span
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Hands out nested spans and feeds finished ones to sinks."""
+
+    def __init__(self, sinks=None, enabled=True):
+        self.sinks = list(sinks) if sinks else []
+        self.enabled = enabled
+        self._stack = []
+
+    # -- control ----------------------------------------------------------------
+
+    def enable(self):
+        self.enabled = True
+
+    def disable(self):
+        self.enabled = False
+
+    def add_sink(self, sink):
+        self.sinks.append(sink)
+        return sink
+
+    def remove_sink(self, sink):
+        self.sinks.remove(sink)
+
+    # -- spans ------------------------------------------------------------------
+
+    def span(self, name, **attrs):
+        """Open a span nested under the currently active one."""
+        if not self.enabled:
+            return NULL_SPAN
+        parent = self._stack[-1] if self._stack else None
+        span = Span(name, attrs=attrs, parent=parent, tracer=self)
+        self._stack.append(span)
+        return span
+
+    def current(self):
+        """The active span, or None."""
+        return self._stack[-1] if self._stack else None
+
+    def _finish(self, span):
+        # Tolerate out-of-order exits (a caller holding a span past its
+        # children): pop everything above the finishing span.
+        while self._stack and self._stack[-1] is not span:
+            self._stack.pop()
+        if self._stack:
+            self._stack.pop()
+        for sink in self.sinks:
+            sink.emit(span)
+
+
+class InMemorySink:
+    """Collects finished spans; root spans (full trees) under ``roots``."""
+
+    def __init__(self, max_roots=1000):
+        self.max_roots = max_roots
+        self.spans = []
+        self.roots = []
+
+    def emit(self, span):
+        self.spans.append(span)
+        if span.parent is None:
+            self.roots.append(span)
+            if len(self.roots) > self.max_roots:
+                del self.roots[0]
+
+    def clear(self):
+        del self.spans[:]
+        del self.roots[:]
+
+
+class JsonLinesSink:
+    """Writes one JSON object per finished span to a file or stream."""
+
+    def __init__(self, path_or_stream):
+        if hasattr(path_or_stream, "write"):
+            self._stream = path_or_stream
+            self._owns = False
+        else:
+            self._stream = open(path_or_stream, "w", encoding="utf-8")
+            self._owns = True
+
+    def emit(self, span):
+        self._stream.write(json.dumps(span.to_dict(), sort_keys=True))
+        self._stream.write("\n")
+
+    def close(self):
+        self._stream.flush()
+        if self._owns:
+            self._stream.close()
+
+
+class TextSink:
+    """Writes a human-readable tree when each *root* span finishes."""
+
+    def __init__(self, stream):
+        self._stream = stream
+
+    def emit(self, span):
+        if span.parent is not None:
+            return
+        for line in render_tree(span):
+            self._stream.write(line + "\n")
+
+
+_GLOBAL_TRACER = Tracer()
+
+
+def get_tracer():
+    """The process-wide default tracer (enabled, no sinks)."""
+    return _GLOBAL_TRACER
+
+
+def set_tracer(tracer):
+    """Replace the global tracer (tests); returns the previous one."""
+    global _GLOBAL_TRACER
+    previous = _GLOBAL_TRACER
+    _GLOBAL_TRACER = tracer
+    return previous

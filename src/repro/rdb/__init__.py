@@ -23,6 +23,7 @@ from repro.rdb.plan import (
     IndexScan,
     Limit,
     NestedLoopJoin,
+    PlanProfiler,
     Query,
     Scan,
     Sort,
@@ -42,6 +43,7 @@ __all__ = [
     "IndexScan",
     "Limit",
     "NestedLoopJoin",
+    "PlanProfiler",
     "Query",
     "Scan",
     "Sort",

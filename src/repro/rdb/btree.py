@@ -42,12 +42,19 @@ class BTreeIndex:
         self._keys = [key for key, _ in entries]
         self._row_ids = [row_id for _, row_id in entries]
 
+    def node_visits_per_probe(self):
+        """Emulated B-tree node visits for one probe: the binary-search
+        descent touches ~log2(n) positions, the analogue of root-to-leaf
+        node reads in a real B-tree."""
+        return max(1, len(self._keys).bit_length())
+
     # -- probes -------------------------------------------------------------
 
     def lookup_eq(self, key, stats=None):
         """Row ids with exactly this key, in insertion order of the range."""
         if stats is not None:
             stats.index_probes += 1
+            stats.btree_node_visits += self.node_visits_per_probe()
         low = bisect.bisect_left(self._keys, key)
         high = bisect.bisect_right(self._keys, key)
         if stats is not None:
@@ -59,6 +66,7 @@ class BTreeIndex:
         """Row ids with keys in [low, high] (open ends with None)."""
         if stats is not None:
             stats.index_probes += 1
+            stats.btree_node_visits += self.node_visits_per_probe()
         if low is None:
             start = 0
         elif low_inclusive:

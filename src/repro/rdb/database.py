@@ -139,11 +139,13 @@ class Database:
 
     # -- execution -------------------------------------------------------------
 
-    def execute(self, query, env=None, optimize=True):
-        """Execute a :class:`Query`; returns (rows, stats)."""
+    def execute(self, query, env=None, optimize=True, stats=None):
+        """Execute a :class:`Query`; returns (rows, stats).  Pass a
+        prepared :class:`ExecutionStats` (e.g. with a
+        :class:`~repro.rdb.plan.PlanProfiler` attached) to collect into."""
         if optimize:
             query = optimize_query(query, self)
-        return query.execute(self, env=env, stats=ExecutionStats())
+        return query.execute(self, env=env, stats=stats or ExecutionStats())
 
     def optimize(self, query):
         return optimize_query(query, self)

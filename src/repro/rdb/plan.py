@@ -10,17 +10,31 @@ scanning.
 
 from __future__ import annotations
 
+import time
+
 from repro.errors import DatabaseError, PlanError
 from repro.rdb.sqlxml import AGG_STATE, find_aggregates
 
 
 class ExecutionStats:
-    """Counters collected during one query execution."""
+    """Counters collected during one query execution.
 
-    __slots__ = (
+    ``elapsed_seconds`` is filled by :meth:`Query.execute` (and by the
+    functional transform path); ``btree_node_visits`` counts emulated
+    B-tree node descents per probe; ``docs_materialized`` counts full
+    DOMs rebuilt by the functional (no-rewrite) path — the paper's §2
+    materialisation cost.  ``profiler`` optionally carries a
+    :class:`PlanProfiler` collecting per-plan-node row counts and
+    timings for ``explain(analyze=True)``.
+    """
+
+    _FIELDS = (
         "rows_scanned", "index_probes", "index_entries", "output_rows",
-        "xml_elements", "subquery_executions",
+        "xml_elements", "subquery_executions", "btree_node_visits",
+        "docs_materialized", "elapsed_seconds",
     )
+
+    __slots__ = _FIELDS + ("profiler",)
 
     def __init__(self):
         self.rows_scanned = 0
@@ -29,14 +43,85 @@ class ExecutionStats:
         self.output_rows = 0
         self.xml_elements = 0
         self.subquery_executions = 0
+        self.btree_node_visits = 0
+        self.docs_materialized = 0
+        self.elapsed_seconds = 0.0
+        self.profiler = None
 
     def as_dict(self):
-        return {name: getattr(self, name) for name in self.__slots__}
+        return {name: getattr(self, name) for name in self._FIELDS}
 
     def __repr__(self):
         return "ExecutionStats(%s)" % ", ".join(
-            "%s=%d" % (name, getattr(self, name)) for name in self.__slots__
+            "%s=%s" % (name, _fmt_stat(getattr(self, name)))
+            for name in self._FIELDS
         )
+
+
+def _fmt_stat(value):
+    if isinstance(value, float):
+        return "%.6f" % value
+    return "%d" % value
+
+
+class NodeProfile:
+    """Per-plan-node counters for one profiled execution."""
+
+    __slots__ = ("rows_out", "opens", "total_seconds")
+
+    def __init__(self):
+        self.rows_out = 0
+        self.opens = 0
+        self.total_seconds = 0.0
+
+
+class PlanProfiler:
+    """Collects per-node row counts and wall time during execution.
+
+    Attached via ``stats.profiler``; every plan node routes child
+    iteration through :meth:`PlanNode.iter_rows`, which wraps the row
+    generator when a profiler is present.  Time spent inside a node's
+    ``next()`` includes its children (total time); self time is derived
+    at rendering time as total minus the children's totals.
+    """
+
+    def __init__(self):
+        self._profiles = {}  # id(node) -> NodeProfile
+
+    def profile_of(self, node):
+        profile = self._profiles.get(id(node))
+        if profile is None:
+            profile = self._profiles[id(node)] = NodeProfile()
+        return profile
+
+    def get(self, node):
+        return self._profiles.get(id(node))
+
+    def wrap(self, node, iterator):
+        profile = self.profile_of(node)
+        profile.opens += 1
+        while True:
+            start = time.perf_counter()
+            try:
+                row = next(iterator)
+            except StopIteration:
+                profile.total_seconds += time.perf_counter() - start
+                return
+            profile.total_seconds += time.perf_counter() - start
+            profile.rows_out += 1
+            yield row
+
+    def self_seconds(self, node):
+        """Total time minus the direct children's total time."""
+        profile = self.get(node)
+        if profile is None:
+            return 0.0
+        child_total = sum(
+            self.get(child).total_seconds
+            for child in node.children()
+            if self.get(child) is not None
+        )
+        return max(0.0, profile.total_seconds - child_total)
 
 
 class PlanNode:
@@ -44,6 +129,15 @@ class PlanNode:
 
     def rows(self, db, env, stats):
         raise NotImplementedError
+
+    def iter_rows(self, db, env, stats):
+        """Open this node's row stream, profiled when ``stats`` carries a
+        :class:`PlanProfiler`.  Parents iterate children through this
+        (not ``rows``) so per-node counts are collected."""
+        profiler = getattr(stats, "profiler", None)
+        if profiler is None:
+            return self.rows(db, env, stats)
+        return profiler.wrap(self, self.rows(db, env, stats))
 
     def children(self):
         return ()
@@ -109,7 +203,7 @@ class Filter(PlanNode):
         return (self.child,)
 
     def rows(self, db, env, stats):
-        for row_env in self.child.rows(db, env, stats):
+        for row_env in self.child.iter_rows(db, env, stats):
             if bool(self.predicate.evaluate(row_env, db, stats)):
                 yield row_env
 
@@ -126,8 +220,8 @@ class NestedLoopJoin(PlanNode):
         return (self.left, self.right)
 
     def rows(self, db, env, stats):
-        for left_env in self.left.rows(db, env, stats):
-            for joined in self.right.rows(db, left_env, stats):
+        for left_env in self.left.iter_rows(db, env, stats):
+            for joined in self.right.iter_rows(db, left_env, stats):
                 if self.condition is None or bool(
                     self.condition.evaluate(joined, db, stats)
                 ):
@@ -145,7 +239,7 @@ class Sort(PlanNode):
         return (self.child,)
 
     def rows(self, db, env, stats):
-        materialised = list(self.child.rows(db, env, stats))
+        materialised = list(self.child.iter_rows(db, env, stats))
         decorated = []
         for row_env in materialised:
             key_row = [expr.evaluate(row_env, db, stats) for expr, _ in self.keys]
@@ -191,7 +285,7 @@ class Aggregate(PlanNode):
             aggregates.extend(find_aggregates(expr))
         groups = {}
         order = []
-        for row_env in self.child.rows(db, env, stats):
+        for row_env in self.child.iter_rows(db, env, stats):
             key = tuple(
                 expr.evaluate(row_env, db, stats) for _, expr in self.group_by
             )
@@ -229,7 +323,7 @@ class Limit(PlanNode):
 
     def rows(self, db, env, stats):
         remaining = self.count
-        for row_env in self.child.rows(db, env, stats):
+        for row_env in self.child.iter_rows(db, env, stats):
             if remaining <= 0:
                 return
             remaining -= 1
@@ -251,7 +345,9 @@ class Query:
         output values in declaration order."""
         env = env or {}
         stats = stats or ExecutionStats()
+        start = time.perf_counter()
         rows = list(self._iterate(db, env, stats))
+        stats.elapsed_seconds += time.perf_counter() - start
         stats.output_rows += len(rows)
         return rows, stats
 
@@ -261,7 +357,7 @@ class Query:
             for _, expr in self.outputs:
                 aggregates.extend(find_aggregates(expr))
             states = {id(agg): agg.new_state() for agg in aggregates}
-            for row_env in self.plan.rows(db, env, stats):
+            for row_env in self.plan.iter_rows(db, env, stats):
                 for agg in aggregates:
                     agg.accumulate(states[id(agg)], row_env, db, stats)
             final_env = dict(env)
@@ -270,7 +366,7 @@ class Query:
                 expr.evaluate(final_env, db, stats) for _, expr in self.outputs
             )
             return
-        for row_env in self.plan.rows(db, env, stats):
+        for row_env in self.plan.iter_rows(db, env, stats):
             yield tuple(
                 expr.evaluate(row_env, db, stats) for _, expr in self.outputs
             )
@@ -364,13 +460,41 @@ def _source(table_name, alias):
     return table_name.upper()
 
 
-def explain(plan_or_query, indent=0):
-    """A readable operator-tree rendering (EXPLAIN)."""
+def explain(plan_or_query, indent=0, profile=None, analyze=False, db=None,
+            env=None, stats=None):
+    """A readable operator-tree rendering (EXPLAIN).
+
+    ``explain(query, analyze=True, db=db)`` *executes* the query with a
+    :class:`PlanProfiler` attached and annotates every node with its
+    actual row count, open count and self/total wall time (EXPLAIN
+    ANALYZE), followed by an execution-stats summary line.  Pass
+    ``profile=`` to render a tree against an already-collected profiler
+    without re-executing.
+    """
+    if analyze:
+        if not isinstance(plan_or_query, Query):
+            raise PlanError("explain(analyze=True) requires a Query")
+        if db is None:
+            raise PlanError("explain(analyze=True) requires db=")
+        stats = stats or ExecutionStats()
+        if stats.profiler is None:
+            stats.profiler = PlanProfiler()
+        plan_or_query.execute(db, env=env, stats=stats)
+        text = explain(plan_or_query, profile=stats.profiler)
+        summary = ", ".join(
+            "%s=%s" % (name, _fmt_stat(value))
+            for name, value in stats.as_dict().items()
+            if value
+        )
+        return "%s\nExecution: %s" % (text, summary)
     if isinstance(plan_or_query, Query):
         lines = ["QUERY outputs=[%s]" % ", ".join(
             name or expr.to_sql() for name, expr in plan_or_query.outputs
         )]
-        lines.extend(explain(plan_or_query.plan, indent + 1).splitlines())
+        lines.extend(
+            explain(plan_or_query.plan, indent + 1, profile=profile)
+            .splitlines()
+        )
         return "\n".join(lines)
     plan = plan_or_query
     pad = "  " * indent
@@ -388,7 +512,21 @@ def explain(plan_or_query, indent=0):
         detail = " keys=%s" % ", ".join(expr.to_sql() for expr, _ in plan.keys)
     elif isinstance(plan, Aggregate):
         detail = " group_by=[%s]" % ", ".join(name for name, _ in plan.group_by)
-    lines = [pad + label + detail]
+    lines = [pad + label + detail + _profile_note(plan, profile)]
     for child in plan.children():
-        lines.append(explain(child, indent + 1))
+        lines.append(explain(child, indent + 1, profile=profile))
     return "\n".join(lines)
+
+
+def _profile_note(plan, profile):
+    if profile is None:
+        return ""
+    node_profile = profile.get(plan)
+    if node_profile is None:
+        return "  (never executed)"
+    return "  (actual rows=%d opens=%d total=%.3fms self=%.3fms)" % (
+        node_profile.rows_out,
+        node_profile.opens,
+        node_profile.total_seconds * 1000.0,
+        profile.self_seconds(plan) * 1000.0,
+    )

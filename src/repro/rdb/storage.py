@@ -367,6 +367,8 @@ class ObjectRelationalStorage:
         row = self._fetch_row(root_table, doc_id, stats)
         if row is None:
             raise DatabaseError("no document %d" % doc_id)
+        if stats is not None:
+            stats.docs_materialized += 1
         # Child rows are fetched through the parent-id index (one probe per
         # parent); without one, each child table is scanned once and
         # grouped.  Either way materialisation touches every row of *this*
@@ -599,5 +601,7 @@ class ClobStorage:
             if stats is not None:
                 stats.rows_scanned += 1
             if row[0] == doc_id:
+                if stats is not None:
+                    stats.docs_materialized += 1
                 return parse_document(row[1])
         raise DatabaseError("no document %d" % doc_id)

@@ -123,6 +123,8 @@ class TreeStorage:
             rows.append(table.fetch(row_id))
         if not rows:
             raise DatabaseError("no document %d" % doc_id)
+        if stats is not None:
+            stats.docs_materialized += 1
         children = {}
         for row in rows:
             children.setdefault(row[2], []).append(row)

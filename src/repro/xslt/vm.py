@@ -51,6 +51,9 @@ class XsltVM:
         self.pattern_rewriter = pattern_rewriter
         self.explore = explore
         self.messages = []
+        #: observability counters, read by the obs layer / TransformResult
+        self.instructions_executed = 0
+        self.templates_dispatched = 0
         self._key_indexes = {}
         self._template_stack = []
         # (template, mode) of the current template *rule*, for apply-imports
@@ -208,6 +211,7 @@ class XsltVM:
                 "template nesting exceeded %d (possible infinite recursion"
                 " in %s)" % (_MAX_TEMPLATE_DEPTH, template.label())
             )
+        self.templates_dispatched += 1
         if self.trace is not None:
             caller = self._template_stack[-1] if self._template_stack else None
             self.trace.record_instantiation(template, context.node, site, caller)
@@ -230,6 +234,7 @@ class XsltVM:
 
     def _builtin(self, node, mode, context, output, site):
         kind = node.kind
+        self.templates_dispatched += 1
         if self.trace is not None:
             self.trace.record_instantiation(
                 _builtin_kind(node), node, site,
@@ -248,6 +253,7 @@ class XsltVM:
     def execute_body(self, body, context, output):
         """Execute instructions; xsl:variable threads new bindings forward."""
         for instruction in body:
+            self.instructions_executed += 1
             if isinstance(instruction, VariableInstr):
                 # Covers ParamInstr in bodies too (treated as variable).
                 value = instruction.compute(self, context)

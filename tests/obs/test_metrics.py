@@ -1,0 +1,112 @@
+"""Counters, histogram percentiles and the registry."""
+
+from repro.obs import MetricsRegistry, global_metrics, set_metrics
+
+
+class TestCounters:
+    def test_inc_and_identity(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hits")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        assert registry.counter("hits") is counter
+
+    def test_labels_distinguish_counters(self):
+        registry = MetricsRegistry()
+        registry.counter("fallback", reason="a").inc()
+        registry.counter("fallback", reason="b").inc(2)
+        assert registry.counter("fallback", reason="a").value == 1
+        assert registry.counter("fallback", reason="b").value == 2
+        assert registry.counter_total("fallback") == 3
+        assert len(registry.counters("fallback")) == 2
+
+    def test_label_order_is_irrelevant(self):
+        registry = MetricsRegistry()
+        registry.counter("c", x="1", y="2").inc()
+        assert registry.counter("c", y="2", x="1").value == 1
+
+    def test_render_key(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("transform.fallback",
+                                   phase="compile", reason="unsupported")
+        assert counter.key() == (
+            "transform.fallback{phase=compile,reason=unsupported}"
+        )
+
+
+class TestHistograms:
+    def test_percentiles_nearest_rank(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("latency")
+        for value in range(1, 101):  # 1..100
+            histogram.record(value)
+        assert histogram.count == 100
+        assert histogram.min == 1
+        assert histogram.max == 100
+        assert histogram.p50 == 50
+        assert histogram.p95 == 95
+        assert histogram.percentile(100) == 100
+
+    def test_empty_histogram(self):
+        histogram = MetricsRegistry().histogram("empty")
+        assert histogram.count == 0
+        assert histogram.p50 is None
+        assert histogram.max is None
+        assert histogram.summary()["count"] == 0
+
+    def test_sum_and_summary(self):
+        histogram = MetricsRegistry().histogram("h")
+        for value in (2.0, 4.0, 6.0):
+            histogram.record(value)
+        summary = histogram.summary()
+        assert summary["count"] == 3
+        assert summary["sum"] == 12.0
+        assert summary["min"] == 2.0
+        assert summary["max"] == 6.0
+
+    def test_sample_cap_keeps_counts_exact(self):
+        histogram = MetricsRegistry().histogram("capped")
+        histogram.max_samples = 64
+        for value in range(1000):
+            histogram.record(value)
+        assert histogram.count == 1000
+        assert histogram.sum == sum(range(1000))
+        assert len(histogram._values) <= 64
+        # percentiles still drawn from retained samples in range
+        assert 0 <= histogram.p50 <= 999
+
+    def test_timer_records_elapsed(self):
+        histogram = MetricsRegistry().histogram("timed")
+        with histogram.time() as timer:
+            pass
+        assert histogram.count == 1
+        assert timer.elapsed >= 0.0
+        assert histogram.summary()["max"] == timer.elapsed
+
+
+class TestRegistry:
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("c", k="v").inc(3)
+        registry.histogram("h").record(1.5)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {"c{k=v}": 3}
+        assert snapshot["histograms"]["h"]["count"] == 1
+        assert snapshot["histograms"]["h"]["p50"] == 1.5
+
+    def test_reset(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.histogram("h").record(1)
+        registry.reset()
+        assert registry.snapshot() == {"counters": {}, "histograms": {}}
+
+    def test_set_metrics_swaps_global(self):
+        replacement = MetricsRegistry()
+        previous = set_metrics(replacement)
+        try:
+            assert global_metrics() is replacement
+        finally:
+            set_metrics(previous)
+        assert global_metrics() is previous

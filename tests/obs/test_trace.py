@@ -1,0 +1,180 @@
+"""Span nesting, exception capture, and the three sinks."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import (
+    NULL_SPAN,
+    InMemorySink,
+    JsonLinesSink,
+    TextSink,
+    Tracer,
+    get_tracer,
+    render_tree,
+    set_tracer,
+)
+
+
+class TestSpanNesting:
+    def test_children_attach_to_active_parent(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("a") as a:
+                with tracer.span("a.1") as a1:
+                    pass
+            with tracer.span("b") as b:
+                pass
+        assert [child.name for child in root.children] == ["a", "b"]
+        assert a.children == [a1]
+        assert b.children == []
+        assert root.parent is None
+        assert a1.parent is a
+
+    def test_durations_nest(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("inner") as inner:
+                pass
+        assert root.finished and inner.finished
+        assert root.duration >= inner.duration >= 0.0
+
+    def test_current_tracks_stack(self):
+        tracer = Tracer()
+        assert tracer.current() is None
+        with tracer.span("outer") as outer:
+            assert tracer.current() is outer
+            with tracer.span("inner") as inner:
+                assert tracer.current() is inner
+            assert tracer.current() is outer
+        assert tracer.current() is None
+
+    def test_attrs_via_kwargs_and_set_attr(self):
+        tracer = Tracer()
+        with tracer.span("s", color="red") as span:
+            span.set_attr(rows=7)
+        assert span.attrs == {"color": "red", "rows": 7}
+
+    def test_find(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("compile"):
+                with tracer.span("compile.sql-merge"):
+                    pass
+        assert root.find("compile.sql-merge").name == "compile.sql-merge"
+        assert root.find("missing") is None
+
+
+class TestExceptionCapture:
+    def test_exception_recorded_and_propagated(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("root") as root:
+                with tracer.span("child") as child:
+                    raise ValueError("boom")
+        assert child.status == "error"
+        assert child.error == "ValueError: boom"
+        # the parent saw the same in-flight exception
+        assert root.status == "error"
+        assert root.finished and child.finished
+
+    def test_stack_recovers_after_exception(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("failing"):
+                raise RuntimeError("x")
+        with tracer.span("next") as span:
+            pass
+        assert span.parent is None
+
+
+class TestDisabledTracer:
+    def test_disabled_returns_null_span(self):
+        tracer = Tracer(enabled=False)
+        span = tracer.span("anything", k=1)
+        assert span is NULL_SPAN
+        with span as inner:
+            inner.set_attr(more=2)  # all no-ops
+        assert not span  # falsy, so callers can skip it
+        assert span.find("anything") is None
+
+    def test_enable_disable_roundtrip(self):
+        tracer = Tracer()
+        tracer.disable()
+        assert tracer.span("a") is NULL_SPAN
+        tracer.enable()
+        with tracer.span("b") as span:
+            pass
+        assert span.name == "b"
+
+
+class TestSinks:
+    def test_in_memory_sink_collects_roots_and_spans(self):
+        sink = InMemorySink()
+        tracer = Tracer(sinks=[sink])
+        with tracer.span("root"):
+            with tracer.span("child"):
+                pass
+        assert [span.name for span in sink.spans] == ["child", "root"]
+        assert [span.name for span in sink.roots] == ["root"]
+        sink.clear()
+        assert sink.spans == [] and sink.roots == []
+
+    def test_json_lines_sink_one_record_per_span(self):
+        stream = io.StringIO()
+        tracer = Tracer(sinks=[JsonLinesSink(stream)])
+        with tracer.span("root", case="x") as root:
+            with tracer.span("child"):
+                pass
+        records = [json.loads(line) for line in
+                   stream.getvalue().splitlines()]
+        assert len(records) == 2
+        child_rec, root_rec = records
+        assert child_rec["name"] == "child"
+        assert child_rec["parent_id"] == root_rec["span_id"]
+        assert root_rec["parent_id"] is None
+        assert root_rec["attrs"] == {"case": "x"}
+        assert root_rec["duration_ms"] >= 0
+        assert root.span_id == root_rec["span_id"]
+
+    def test_json_lines_sink_to_path(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonLinesSink(str(path))
+        tracer = Tracer(sinks=[sink])
+        with tracer.span("only"):
+            pass
+        sink.close()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["name"] == "only"
+
+    def test_text_sink_renders_tree_per_root(self):
+        stream = io.StringIO()
+        tracer = Tracer(sinks=[TextSink(stream)])
+        with tracer.span("root"):
+            with tracer.span("child"):
+                pass
+        text = stream.getvalue()
+        assert text.startswith("root")
+        assert "\n  child" in text
+        assert "ms" in text
+
+    def test_error_marker_in_render(self):
+        tracer = Tracer()
+        with pytest.raises(KeyError):
+            with tracer.span("bad") as span:
+                raise KeyError("k")
+        rendered = "\n".join(render_tree(span))
+        assert "!KeyError" in rendered
+
+
+class TestGlobalTracer:
+    def test_set_tracer_swaps_and_restores(self):
+        replacement = Tracer()
+        previous = set_tracer(replacement)
+        try:
+            assert get_tracer() is replacement
+        finally:
+            set_tracer(previous)
+        assert get_tracer() is previous
