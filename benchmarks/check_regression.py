@@ -1,0 +1,155 @@
+#!/usr/bin/env python
+"""Benchmark regression gate.
+
+Compares a fresh ``BENCH_obs.json`` (from ``benchmarks/run_figures.py``)
+against the committed ``benchmarks/baseline.json`` and fails when any
+figure case's *rewrite-path* best time slows down by more than the
+threshold (default 25%).
+
+Two defences against noise.  Machines differ, so absolute times are
+first calibrated: the median ratio of new/baseline **no-rewrite**
+(functional) times across all shared cases estimates the host-speed
+factor, and each rewrite time is judged against
+``baseline * calibration * (1 + threshold)``.  The functional path
+exercises the same interpreter and data structures, so it is a decent
+clock for "this machine is simply slower" — while a genuine rewrite
+regression moves the rewrite time *relative to* it.  And the fastest
+rewrite cases finish in ~100µs, where scheduler jitter swamps any
+ratio, so a case only counts as regressed when the slowdown also
+exceeds ``--min-delta`` absolute seconds (default 2ms).  Per-case
+times are min-of-repeats — the standard microbenchmark statistic.
+
+Usage::
+
+    python benchmarks/run_figures.py --sizes 500,1000,2000 --fig3-size 800 \
+        --repeat 3 --obs-out BENCH_obs.json
+    python benchmarks/check_regression.py BENCH_obs.json
+
+    # refresh the committed baseline (same run_figures parameters!)
+    python benchmarks/check_regression.py BENCH_obs.json --update
+
+Exit status: 0 when every shared case is within the threshold, 1 on any
+regression or when the artifacts share no cases.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+
+BASELINE_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                             "baseline.json")
+DEFAULT_THRESHOLD = 0.25
+DEFAULT_MIN_DELTA = 0.002
+
+
+def load_artifact(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def case_times(artifact):
+    """``{case_key: (rewrite_best, functional_best)}`` for timed cases."""
+    times = {}
+    for key, case in artifact.get("cases", {}).items():
+        seconds = case.get("seconds")
+        if not seconds:
+            continue  # e.g. the inline_stat entry carries no timings
+        rewrite = _best(seconds.get("rewrite", {}))
+        functional = _best(seconds.get("no-rewrite", {}))
+        if rewrite and functional:
+            times[key] = (rewrite, functional)
+    return times
+
+
+def _best(summary):
+    return summary.get("min") or summary.get("p50")
+
+
+def _median(values):
+    ordered = sorted(values)
+    middle = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[middle]
+    return (ordered[middle - 1] + ordered[middle]) / 2.0
+
+
+def calibration_factor(baseline, fresh, shared):
+    """Host-speed factor: median new/old ratio of functional medians."""
+    ratios = [fresh[key][1] / baseline[key][1] for key in shared]
+    return _median(ratios)
+
+
+def check(baseline_artifact, fresh_artifact, threshold=DEFAULT_THRESHOLD,
+          min_delta=DEFAULT_MIN_DELTA, out=None):
+    """Print the per-case verdicts; return the list of regressed keys."""
+    out = out if out is not None else sys.stdout
+    baseline = case_times(baseline_artifact)
+    fresh = case_times(fresh_artifact)
+    shared = sorted(set(baseline) & set(fresh))
+    if not shared:
+        print("no shared benchmark cases between baseline and fresh "
+              "artifact", file=out)
+        return ["<no shared cases>"]
+    factor = calibration_factor(baseline, fresh, shared)
+    print("host calibration factor (functional-path median): %.3f" % factor,
+          file=out)
+    print("%-24s %-12s %-12s %-8s %s"
+          % ("case", "baseline", "fresh", "ratio", "verdict"), file=out)
+    regressed = []
+    for key in shared:
+        base_rewrite = baseline[key][0] * factor
+        new_rewrite = fresh[key][0]
+        ratio = new_rewrite / base_rewrite
+        verdict = "ok"
+        if ratio > 1.0 + threshold and new_rewrite - base_rewrite > min_delta:
+            verdict = "REGRESSION (>%d%%)" % round(threshold * 100)
+            regressed.append(key)
+        print("%-24s %-12.5f %-12.5f %-8.2f %s"
+              % (key, base_rewrite, new_rewrite, ratio, verdict), file=out)
+    missing = sorted(set(baseline) - set(fresh))
+    if missing:
+        print("note: %d baseline case(s) absent from fresh artifact: %s"
+              % (len(missing), ", ".join(missing)), file=out)
+    return regressed
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("fresh", help="fresh BENCH_obs.json to check")
+    parser.add_argument("--baseline", default=BASELINE_PATH,
+                        help="committed baseline artifact")
+    parser.add_argument("--threshold", type=float,
+                        default=DEFAULT_THRESHOLD,
+                        help="allowed slowdown fraction (default 0.25)")
+    parser.add_argument("--min-delta", type=float,
+                        default=DEFAULT_MIN_DELTA,
+                        help="absolute slowdown (seconds) below which a "
+                             "case never counts as regressed")
+    parser.add_argument("--update", action="store_true",
+                        help="copy the fresh artifact over the baseline "
+                             "instead of checking")
+    args = parser.parse_args(argv)
+    if args.update:
+        shutil.copyfile(args.fresh, args.baseline)
+        print("baseline updated: %s" % args.baseline)
+        return 0
+    if not os.path.exists(args.baseline):
+        print("no baseline at %s — seed one with --update" % args.baseline)
+        return 1
+    regressed = check(load_artifact(args.baseline), load_artifact(args.fresh),
+                      args.threshold, args.min_delta)
+    if regressed:
+        print("FAIL: %d case(s) regressed: %s"
+              % (len(regressed), ", ".join(regressed)))
+        return 1
+    print("PASS: no rewrite-path regression beyond %d%%"
+          % round(args.threshold * 100))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

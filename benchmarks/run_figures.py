@@ -12,11 +12,13 @@ Prints:
 * Figure 3 — 'avts', 'chart', 'metric', 'total' rewrite vs no-rewrite;
 * the §5 inline statistic over all forty cases.
 
-Every individual timed run is recorded through a
-:class:`repro.obs.MetricsRegistry` (histograms keyed by figure, case and
-strategy), and the full registry snapshot is written to ``--obs-out``
-(default ``BENCH_obs.json``) so the numbers that land in EXPERIMENTS.md
-carry their distribution, not just a mean.
+Every figure case runs against its **own** fresh
+:class:`repro.obs.MetricsRegistry` — no bleed between cases — and the
+artifact written to ``--obs-out`` (default ``BENCH_obs.json``) carries,
+per case key (``fig2/dbonerow/500``-style): the raw registry snapshot,
+the Prometheus text rendering of the same registry, and a ``seconds``
+summary per strategy.  ``benchmarks/check_regression.py`` diffs that
+artifact against the committed ``benchmarks/baseline.json``.
 """
 
 from __future__ import annotations
@@ -32,7 +34,7 @@ sys.path.insert(0, _ROOT)
 sys.path.insert(0, os.path.join(_ROOT, "src"))
 
 from benchmarks.helpers import PreparedBenchmark
-from repro.obs import MetricsRegistry
+from repro.obs import MetricsRegistry, prometheus_text
 from repro.xsltmark.runner import inline_statistics
 
 
@@ -49,59 +51,74 @@ def timed(callable_, repeat, histogram=None):
     return total / repeat
 
 
-def figure2(sizes, repeat, registry):
+def run_case(figure, name, size, repeat, cases):
+    """Time one case both ways in a fresh, case-local registry.
+
+    The registry snapshot, its Prometheus rendering and a per-strategy
+    ``seconds`` summary land in ``cases`` under ``figure/name/size``.
+    Returns (rewrite mean, no-rewrite mean).
+    """
+    bench = PreparedBenchmark(name, size)
+    registry = MetricsRegistry()
+    rewrite_hist = registry.histogram(
+        "bench.seconds", figure=figure, case=name,
+        strategy="rewrite", rows=size,
+    )
+    functional_hist = registry.histogram(
+        "bench.seconds", figure=figure, case=name,
+        strategy="no-rewrite", rows=size,
+    )
+    rewrite_time = timed(bench.execute_rewrite, repeat, rewrite_hist)
+    functional_time = timed(bench.execute_functional, repeat,
+                            functional_hist)
+    registry.counter("bench.runs", figure=figure, case=name).inc(2 * repeat)
+    cases["%s/%s/%d" % (figure, name, size)] = {
+        "seconds": {
+            "rewrite": rewrite_hist.summary(),
+            "no-rewrite": functional_hist.summary(),
+        },
+        "metrics": registry.snapshot(),
+        "prometheus": prometheus_text(registry),
+    }
+    return rewrite_time, functional_time
+
+
+def figure2(sizes, repeat, cases):
     print("Figure 2 - dbonerow: rewrite vs no-rewrite (seconds per run)")
     print("%-10s %-12s %-12s %-8s" % ("rows", "rewrite", "no-rewrite", "ratio"))
     rows = []
     for size in sizes:
-        bench = PreparedBenchmark("dbonerow", size)
-        rewrite_time = timed(
-            bench.execute_rewrite, repeat,
-            registry.histogram("fig2.seconds", case="dbonerow",
-                               strategy="rewrite", rows=size),
-        )
-        functional_time = timed(
-            bench.execute_functional, repeat,
-            registry.histogram("fig2.seconds", case="dbonerow",
-                               strategy="no-rewrite", rows=size),
+        rewrite_time, functional_time = run_case(
+            "fig2", "dbonerow", size, repeat, cases
         )
         ratio = functional_time / rewrite_time
-        registry.counter("bench.runs", figure="fig2").inc(2 * repeat)
         rows.append((size, rewrite_time, functional_time, ratio))
         print("%-10d %-12.5f %-12.5f %-8.1fx"
               % (size, rewrite_time, functional_time, ratio))
     return rows
 
 
-def figure3(size, repeat, registry):
+def figure3(size, repeat, cases):
     print()
     print("Figure 3 - no-value-predicate cases at %d rows (seconds per run)"
           % size)
     print("%-10s %-12s %-12s %-8s" % ("case", "rewrite", "no-rewrite", "ratio"))
     rows = []
     for name in ("avts", "chart", "metric", "total"):
-        bench = PreparedBenchmark(name, size)
-        rewrite_time = timed(
-            bench.execute_rewrite, repeat,
-            registry.histogram("fig3.seconds", case=name,
-                               strategy="rewrite", rows=size),
-        )
-        functional_time = timed(
-            bench.execute_functional, repeat,
-            registry.histogram("fig3.seconds", case=name,
-                               strategy="no-rewrite", rows=size),
+        rewrite_time, functional_time = run_case(
+            "fig3", name, size, repeat, cases
         )
         ratio = functional_time / rewrite_time
-        registry.counter("bench.runs", figure="fig3").inc(2 * repeat)
         rows.append((name, rewrite_time, functional_time, ratio))
         print("%-10s %-12.5f %-12.5f %-8.1fx"
               % (name, rewrite_time, functional_time, ratio))
     return rows
 
 
-def inline_stat(registry):
+def inline_stat(cases):
     print()
     print("Inline statistic (paper: 23 of 40 fully inline)")
+    registry = MetricsRegistry()
     classifications, inline_count = inline_statistics()
     by_class = {}
     for name, (classification, sql_merged) in sorted(classifications.items()):
@@ -115,16 +132,21 @@ def inline_stat(registry):
         print("%-11s %2d  %s" % (classification, len(names), ", ".join(names)))
     print("(* = XQuery generated but SQL merge unsupported)")
     print("inline: %d / 40" % inline_count)
+    cases["inline_stat"] = {
+        "inline_count": inline_count,
+        "metrics": registry.snapshot(),
+        "prometheus": prometheus_text(registry),
+    }
     return inline_count
 
 
-def write_obs_artifact(path, registry, args):
+def write_obs_artifact(path, cases, args):
     artifact = {
         "benchmark": "run_figures",
         "sizes": args.sizes,
         "fig3_size": args.fig3_size,
         "repeat": args.repeat,
-        "metrics": registry.snapshot(),
+        "cases": cases,
     }
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(artifact, handle, indent=2, sort_keys=True)
@@ -133,20 +155,21 @@ def write_obs_artifact(path, registry, args):
     print("observability artifact written to %s" % path)
 
 
-def main():
+def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--sizes", default="500,1000,2000,4000")
     parser.add_argument("--fig3-size", type=int, default=1500)
     parser.add_argument("--repeat", type=int, default=3)
     parser.add_argument("--obs-out", default="BENCH_obs.json",
-                        help="where to write the metrics snapshot")
-    args = parser.parse_args()
+                        help="where to write the per-case observability "
+                             "artifact")
+    args = parser.parse_args(argv)
     sizes = [int(part) for part in args.sizes.split(",")]
-    registry = MetricsRegistry()
-    figure2(sizes, args.repeat, registry)
-    figure3(args.fig3_size, args.repeat, registry)
-    inline_stat(registry)
-    write_obs_artifact(args.obs_out, registry, args)
+    cases = {}
+    figure2(sizes, args.repeat, cases)
+    figure3(args.fig3_size, args.repeat, cases)
+    inline_stat(cases)
+    write_obs_artifact(args.obs_out, cases, args)
 
 
 if __name__ == "__main__":

@@ -8,6 +8,10 @@ execution, with per-stage wall times and paper-relevant attributes
 (templates pruned per §3.7/§4.3, backward steps removed per §3.5), and
 the EXPLAIN ANALYZE rendering of the executed plan.
 
+Then prints **EXPLAIN REWRITE** — the rewrite-decision ledger with
+XSLT -> XQuery -> SQL-plan-node provenance interleaved into the plan —
+and exports the metrics in Prometheus text format.
+
 Then runs a stylesheet the rewrite cannot handle (``xsl:number``) to show
 the non-silent fallback: a categorized reason on the result, a warning on
 the ``repro.obs`` logger, and a labelled fallback counter.
@@ -18,7 +22,12 @@ Run:  python examples/observability.py
 import logging
 
 from repro.core import xml_transform
-from repro.obs import JsonLinesSink, MetricsRegistry, Tracer
+from repro.obs import (
+    JsonLinesSink,
+    MetricsRegistry,
+    Tracer,
+    prometheus_text,
+)
 
 from examples.quickstart import STYLESHEET, build_database, dept_emp_view
 
@@ -47,6 +56,17 @@ def main():
 
     print()
     print("=" * 72)
+    print("EXPLAIN REWRITE: the decision ledger, anchored to plan nodes")
+    print("=" * 72)
+    print(result.explain(rewrite=True))
+    ledger = result.ledger
+    print()
+    print("ledger counts: %s" % ledger.counts())
+    print("JSON export round-trips: %d decisions, %d bytes"
+          % (len(ledger), len(ledger.to_json())))
+
+    print()
+    print("=" * 72)
     print("Unsupported stylesheet: categorized, counted fallback")
     print("=" * 72)
     fallback = xml_transform(db, view, UNSUPPORTED_STYLESHEET,
@@ -63,6 +83,14 @@ def main():
     for key, summary in sorted(snapshot["histograms"].items()):
         print("  %-60s count=%d p50=%.6fs max=%.6fs"
               % (key, summary["count"], summary["p50"], summary["max"]))
+
+    print()
+    print("=" * 72)
+    print("Prometheus text rendering of the same registry")
+    print("=" * 72)
+    for line in prometheus_text(metrics).splitlines()[:12]:
+        print("  " + line)
+    print("  ...")
 
     print()
     print("Spans can also stream to a sink, e.g. JSON lines:")

@@ -52,10 +52,13 @@ class PartialEvaluation:
         ]
 
 
-def partially_evaluate(stylesheet, schema):
+def partially_evaluate(stylesheet, schema, ledger=None):
     """Run phases 2–4; raises :class:`RewriteError` when the stylesheet
     cannot be partially evaluated (the caller falls back to functional
-    evaluation, as the paper's implementation does)."""
+    evaluation, as the paper's implementation does).  When a
+    :class:`~repro.obs.decisions.DecisionLedger` is passed, the §4.3
+    instantiated/§3.7 pruned classification of every template is recorded
+    with its sample-document evidence."""
     sample = generate_sample(schema)  # SchemaError for recursive schemas
     trace = TraceRecorder()
     vm = XsltVM(
@@ -72,7 +75,43 @@ def partially_evaluate(stylesheet, schema):
             "partial evaluation failed on the sample document: %s" % exc
         ) from exc
     graph = build_execution_graph(trace, sample)
-    return PartialEvaluation(stylesheet, schema, sample, trace, graph, vm)
+    result = PartialEvaluation(stylesheet, schema, sample, trace, graph, vm)
+    if ledger is not None:
+        _record_template_decisions(result, ledger)
+    return result
+
+
+def _record_template_decisions(pe, ledger):
+    """Ledger one decision per template: instantiated (§4.3, with the
+    sample nodes it fired on as evidence) or pruned (§3.7)."""
+    from repro.obs.decisions import TEMPLATE_INSTANTIATED, TEMPLATE_PRUNED
+
+    fired = {}  # id(template) -> [sample node names]
+    for event in pe.trace.instantiations:
+        names = fired.setdefault(id(event.template), [])
+        name = event.node.name
+        label = name.lexical if name is not None else event.node.kind
+        if label not in names:
+            names.append(label)
+    for template in pe.stylesheet.templates:
+        evidence = fired.get(id(template))
+        if template in pe.instantiated_templates:
+            ledger.record(
+                TEMPLATE_INSTANTIATED, "partial-eval", template.label(),
+                "instantiate",
+                reason="fired during the traced run over the annotated"
+                       " sample document (predicates assumed true)",
+                detail={"sample_nodes": evidence or []},
+                template=template,
+            )
+        else:
+            ledger.record(
+                TEMPLATE_PRUNED, "partial-eval", template.label(), "prune",
+                reason="never instantiated on any document conforming to"
+                       " the structural schema — produces no code (§3.7)",
+                detail={"sample_nodes": []},
+                template=template,
+            )
 
 
 # -- predicate stripping (the "assume predicates true" stance, §4.3) ----------

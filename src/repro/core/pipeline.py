@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from repro.errors import ReproError, RewriteError
 from repro.obs import get_tracer, global_metrics
+from repro.obs.decisions import DecisionLedger
 from repro.rdb.infer import infer_view_structure
 from repro.xslt.stylesheet import Stylesheet, compile_stylesheet
 from repro.core.partial_eval import partially_evaluate
@@ -39,12 +40,14 @@ class RewriteOutcome:
     """Everything the rewrite produced for one (stylesheet, view) pair."""
 
     def __init__(self, stylesheet, partial_evaluation, xquery_module,
-                 sql_query=None, structure=None):
+                 sql_query=None, structure=None, ledger=None):
         self.stylesheet = stylesheet
         self.partial_evaluation = partial_evaluation
         self.xquery_module = xquery_module
         self.sql_query = sql_query
         self.structure = structure
+        #: DecisionLedger with every rewrite decision and its provenance
+        self.ledger = ledger
 
     @property
     def inline_mode(self):
@@ -64,15 +67,38 @@ class RewriteOutcome:
 class XsltRewriter:
     """Compile-time XSLT rewrite driver."""
 
-    def __init__(self, options=None, tracer=None, metrics=None):
+    def __init__(self, options=None, tracer=None, metrics=None, ledger=None):
         self.options = options or RewriteOptions()
         self.tracer = tracer or get_tracer()
         self.metrics = metrics or global_metrics()
+        #: DecisionLedger every stage records into.  Callers (the front
+        #: door) may pass their own so decisions made before a failing
+        #: stage survive onto the fallback result.
+        self.ledger = ledger if ledger is not None else DecisionLedger()
 
-    def compile(self, stylesheet):
-        if isinstance(stylesheet, Stylesheet):
-            return stylesheet
-        return compile_stylesheet(stylesheet)
+    def compile(self, stylesheet, view_query=None, explain=False):
+        """Compile without executing.
+
+        ``compile(stylesheet)`` compiles just the stylesheet (markup →
+        :class:`Stylesheet`).  With ``view_query`` the full rewrite runs —
+        partial evaluation, XQuery generation, SQL merge — but nothing is
+        executed; the :class:`RewriteOutcome` is returned.  With
+        ``explain=True`` the rewrite-decision ledger
+        (:class:`repro.obs.decisions.DecisionLedger`) is returned instead:
+        EXPLAIN REWRITE without touching any data.
+        """
+        if view_query is None:
+            if explain:
+                raise ValueError(
+                    "compile(..., explain=True) needs a view_query"
+                )
+            if isinstance(stylesheet, Stylesheet):
+                return stylesheet
+            return compile_stylesheet(stylesheet)
+        outcome = self.rewrite_view(stylesheet, view_query)
+        if explain:
+            return outcome.ledger
+        return outcome
 
     def rewrite_to_xquery(self, stylesheet, schema):
         """Stylesheet + structural schema → XQuery module.
@@ -82,7 +108,7 @@ class XsltRewriter:
         compiled = self.compile(stylesheet)
         partial = self._partial_eval_stage(compiled, schema)
         module = self._xquery_gen_stage(partial)
-        return RewriteOutcome(compiled, partial, module)
+        return RewriteOutcome(compiled, partial, module, ledger=self.ledger)
 
     def rewrite_view(self, stylesheet, view_query):
         """Stylesheet + XMLType view → XQuery and merged SQL/XML query."""
@@ -96,7 +122,11 @@ class XsltRewriter:
             outcome.sql_query = self._sql_merge_stage(outcome, view_query,
                                                       structure)
             outcome.structure = structure
-            span.set_attr(inline_mode=outcome.inline_mode)
+            # the merge succeeded: number the plan nodes and stamp each
+            # decision with the node its XQuery fragment landed in
+            self.ledger.attach_plan(outcome.sql_query)
+            span.set_attr(inline_mode=outcome.inline_mode,
+                          rewrite_decisions=len(self.ledger))
         return outcome
 
     # -- the three stages, each a span --------------------------------------------
@@ -105,7 +135,8 @@ class XsltRewriter:
         with self.tracer.span("compile.partial-eval") as span, \
                 self.metrics.histogram("compile.partial_eval_seconds").time():
             try:
-                partial = partially_evaluate(compiled, schema)
+                partial = partially_evaluate(compiled, schema,
+                                             ledger=self.ledger)
             except RewriteError as exc:
                 raise _tag(exc, "partial-eval")
             except ReproError as exc:
@@ -125,7 +156,8 @@ class XsltRewriter:
         with self.tracer.span("compile.xquery-gen") as span, \
                 self.metrics.histogram("compile.xquery_gen_seconds").time():
             try:
-                generator = XQueryGenerator(partial, self.options)
+                generator = XQueryGenerator(partial, self.options,
+                                            ledger=self.ledger)
                 module = generator.generate()
             except RewriteError as exc:
                 raise _tag(exc, "xquery-gen")
@@ -145,7 +177,8 @@ class XsltRewriter:
         with self.tracer.span("compile.sql-merge") as span, \
                 self.metrics.histogram("compile.sql_merge_seconds").time():
             try:
-                rewriter = SqlRewriter(view_query, structure)
+                rewriter = SqlRewriter(view_query, structure,
+                                       ledger=self.ledger)
                 sql_query = rewriter.rewrite_module(outcome.xquery_module)
             except RewriteError as exc:
                 raise _tag(exc, "sql-merge")

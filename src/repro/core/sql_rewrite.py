@@ -27,9 +27,12 @@ from repro.xquery import ast as xq
 class SqlRewriter:
     """Rewrites one XQuery module against one XMLType view."""
 
-    def __init__(self, view_query, view_structure):
+    def __init__(self, view_query, view_structure, ledger=None):
         self.view_query = view_query
         self.structure = view_structure
+        #: DecisionLedger — FLWOR variables are bound to the subquery plan
+        #: they become, completing the XSLT → XQuery → SQL provenance chain
+        self.ledger = ledger
 
     def context_env(self):
         """A fresh environment with '.' bound to the view's XML value."""
@@ -189,7 +192,10 @@ class SqlRewriter:
             subquery = Query(
                 plan, [(None, sqlxml.XMLAgg(inner, order_by=order_specs))]
             )
-            return sqle.ScalarSubquery(subquery)
+            scalar = sqle.ScalarSubquery(subquery)
+            if self.ledger is not None:
+                self.ledger.bind_sql_variable(clause.variable, scalar)
+            return scalar
         raise RewriteError("cannot iterate this path")
 
     def _copy_of(self, expr, env):

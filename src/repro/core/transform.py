@@ -33,6 +33,7 @@ import time
 
 from repro.errors import RewriteError
 from repro.obs import get_tracer, global_metrics, render_tree
+from repro.obs.decisions import DecisionLedger
 from repro.rdb.database import View
 from repro.rdb.plan import (
     ExecutionStats,
@@ -85,6 +86,9 @@ class TransformResult:
         self.plan_profile = None
         #: functional-path VM counters (instructions, template dispatches)
         self.vm_stats = None
+        #: DecisionLedger of the rewrite attempt (also set on fallback,
+        #: holding the decisions made before the failing stage)
+        self.ledger = None
 
     def serialized_rows(self, method="xml"):
         """Each row rendered as markup text."""
@@ -128,6 +132,54 @@ class TransformResult:
             rendered = explain(self.executed_query, profile=self.plan_profile)
             lines.extend("  " + line for line in rendered.splitlines())
         return "\n".join(lines)
+
+    def explain(self, rewrite=False):
+        """EXPLAIN of this call.  ``rewrite=True`` is **EXPLAIN REWRITE**:
+        the rewrite-decision ledger is rendered as a tree and its
+        decisions are interleaved into the plan at the ``#n`` plan node
+        their XQuery fragment landed in."""
+        lines = ["strategy: %s" % self.strategy]
+        if self.fallback_reason:
+            lines.append("fallback: %s" % self.fallback_reason)
+        if rewrite:
+            lines.append("rewrite decisions:")
+            if self.ledger is None or not len(self.ledger):
+                lines.append("  (no rewrite decisions recorded)")
+            else:
+                lines.extend("  " + line for line in self.ledger.render())
+        if self.executed_query is None:
+            return "\n".join(lines)
+        lines.append("plan:")
+        by_node = {}
+        if rewrite and self.ledger is not None:
+            for decision in self.ledger:
+                node_id = decision.provenance.sql_node_id
+                if node_id is not None:
+                    by_node.setdefault(node_id, []).append(decision)
+        rendered = explain(self.executed_query, profile=self.plan_profile)
+        for line in rendered.splitlines():
+            lines.append("  " + line)
+            anchored = by_node.get(_plan_line_node_id(line))
+            if anchored:
+                pad = " " * (len(line) - len(line.lstrip()) + 4)
+                for decision in anchored:
+                    lines.append("  %s<- [%s] %s -> %s" % (
+                        pad, decision.kind, decision.subject,
+                        decision.action,
+                    ))
+        return "\n".join(lines)
+
+
+def _plan_line_node_id(line):
+    """The ``#n`` plan node id an explain line starts with, or None."""
+    stripped = line.strip()
+    if not stripped.startswith("#"):
+        return None
+    token = stripped.split(None, 1)[0]
+    try:
+        return int(token[1:])
+    except ValueError:
+        return None
 
 
 def _text(value):
@@ -175,13 +227,18 @@ def xml_transform(db, source, stylesheet, rewrite=True, options=None,
                 stylesheet = compile_stylesheet(stylesheet)
         if rewrite and not params:
             metrics.counter("transform.rewrite_attempts").inc()
+            # Created before compiling so that on a failed rewrite the
+            # fallback result still carries the decisions made before the
+            # failure point.
+            ledger = DecisionLedger()
             try:
                 result = _rewritten(db, source, stylesheet, options, tracer,
-                                    metrics, profile_plan)
+                                    metrics, profile_plan, ledger)
                 metrics.counter("transform.rewrite_success").inc()
             except RewriteError as exc:
                 result = _fallback(db, source, stylesheet, params, exc,
                                    tracer, metrics, root)
+            result.ledger = ledger
         else:
             result = _functional(db, source, stylesheet, params, tracer)
         root.set_attr(strategy=result.strategy)
@@ -238,9 +295,10 @@ def _is_document_store(source):
 
 
 def _rewritten(db, source, stylesheet, options, tracer, metrics,
-               profile_plan):
+               profile_plan, ledger=None):
     view_query = _view_query(source)
-    rewriter = XsltRewriter(options, tracer=tracer, metrics=metrics)
+    rewriter = XsltRewriter(options, tracer=tracer, metrics=metrics,
+                            ledger=ledger)
     outcome = rewriter.rewrite_view(stylesheet, view_query)
     with tracer.span("plan.execute") as span:
         stats = ExecutionStats()
@@ -248,6 +306,10 @@ def _rewritten(db, source, stylesheet, options, tracer, metrics,
         if profile_plan and tracer.enabled:
             profiler = stats.profiler = PlanProfiler()
         query = db.optimize(outcome.sql_query)
+        if ledger is not None:
+            # re-resolve decision provenance against the *optimized* plan
+            # (the one explain() renders and execution profiles)
+            ledger.attach_plan(query)
         try:
             rows, stats = query.execute(db, stats=stats)
         except RewriteError as exc:

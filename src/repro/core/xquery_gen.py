@@ -81,12 +81,17 @@ class _Cursor:
 class XQueryGenerator:
     """Generates one XQuery module from a partial evaluation."""
 
-    def __init__(self, partial_evaluation, options=None):
+    def __init__(self, partial_evaluation, options=None, ledger=None):
         self.pe = partial_evaluation
         self.options = options or RewriteOptions()
         self.vm = partial_evaluation.vm
         self.sample = partial_evaluation.sample
         self.schema = partial_evaluation.schema
+        #: DecisionLedger recording §3.3–3.6 choices with provenance
+        self.ledger = ledger
+        #: templates whose bodies are currently being generated — the XSLT
+        #: provenance for decisions made inside them
+        self._template_stack = []
         self._counter = itertools.count(2)
         #: observability counters (read by the compile-stage spans):
         #: backward parent/ancestor steps whose tests vanished (§3.5) and
@@ -148,14 +153,15 @@ class XQueryGenerator:
         if not candidates:
             return self._builtin(cursor, mode)
         rule = candidates[0]
-        condition = self._pattern_condition(rule.pattern, cursor)
+        condition = self._pattern_condition(rule.pattern, cursor,
+                                            template=rule.template)
         body = self._instantiate_template(rule.template, cursor, mode, params)
         if condition is None:
             return body
         rest = self._candidate_chain(candidates[1:], cursor, mode, params)
         return xq.IfExpr(condition, body, rest)
 
-    def _pattern_condition(self, pattern, cursor):
+    def _pattern_condition(self, pattern, cursor, template=None):
         """The residual runtime test for a pattern alternative (§3.5).
 
         Structure was verified against the sample during candidate search,
@@ -189,7 +195,25 @@ class XQueryGenerator:
         if self.options.remove_backward_tests:
             # structurally guaranteed backward steps vanish; only the
             # predicate-bearing ones survive as exists() terms (§3.5)
-            self.backward_steps_removed += len(climb) - len(ancestor_terms)
+            removed = len(climb) - len(ancestor_terms)
+            self.backward_steps_removed += removed
+            if removed and self.ledger is not None:
+                self.ledger.record(
+                    "backward-step", "xquery-gen", pattern.source, "removed",
+                    reason="the ancestor chain is guaranteed by the"
+                           " structural schema, so the parent-axis tests"
+                           " are redundant at runtime (§3.5)",
+                    detail={
+                        "steps_removed": removed,
+                        "removed_tests": [
+                            step.to_text()
+                            for step in climb if not step.predicates
+                        ],
+                        "surviving_tests": len(ancestor_terms),
+                        "variable": cursor.var,
+                    },
+                    template=template or self._current_template(),
+                )
             terms.extend(ancestor_terms)
         elif climb:
             # ablation: keep the full backward chain even when structurally
@@ -257,6 +281,13 @@ class XQueryGenerator:
         decl = self.sample.decl_for(cursor.node)
         return (id(template), id(decl) if decl is not None else None)
 
+    def _current_template(self):
+        """The template whose body is being generated (XSLT provenance for
+        decisions made inside it), or None at the document root."""
+        if self._template_stack:
+            return self._template_stack[-1]
+        return None
+
     def _inline_template(self, template, cursor, mode, params):
         self.templates_inlined += 1
         decl = self.sample.decl_for(cursor.node)
@@ -266,11 +297,26 @@ class XQueryGenerator:
                 "recursion discovered while inlining %s" % template.label()
             )
         self._inline_stack.append(key)
+        self._template_stack.append(template)
         try:
             body = self._template_body(template, cursor, params)
         finally:
+            self._template_stack.pop()
             self._inline_stack.pop()
         body.xq_comment = "<xsl:template %s>" % template.label()
+        if self.ledger is not None:
+            self.ledger.record(
+                "template-inlined", "xquery-gen", template.label(), "inline",
+                reason="acyclic dispatch site — the body expands in place"
+                       " instead of becoming a function call (§3.3)",
+                detail={
+                    "context": _node_label(cursor.node),
+                    "variable": cursor.var,
+                    "depth": len(self._inline_stack) + 1,
+                },
+                template=template,
+                xquery_node=body,
+            )
         return body
 
     def _template_body(self, template, cursor, params, bind_params=True):
@@ -301,10 +347,23 @@ class XQueryGenerator:
             self._functions[key] = declaration
             self._function_order.append(key)
             inner_cursor = _Cursor("cur", cursor.node)
-            # Function parameters already bind the template params.
-            declaration.body = self._template_body(
-                template, inner_cursor, {}, bind_params=False
-            )
+            self._template_stack.append(template)
+            try:
+                # Function parameters already bind the template params.
+                declaration.body = self._template_body(
+                    template, inner_cursor, {}, bind_params=False
+                )
+            finally:
+                self._template_stack.pop()
+            if self.ledger is not None:
+                self.ledger.record(
+                    "template-dispatched", "xquery-gen", template.label(),
+                    "function", reason=self._dispatch_reason(template, cursor),
+                    detail={"function": name,
+                            "context": _node_label(cursor.node)},
+                    template=template,
+                    xquery_node=declaration.body,
+                )
         declaration = self._functions[key]
         args = [cursor.ref()]
         for param in template.params:
@@ -313,6 +372,17 @@ class XQueryGenerator:
             else:
                 args.append(self._binding_value(param, cursor))
         return xq.UserFunctionCall(declaration.name, args)
+
+    def _dispatch_reason(self, template, cursor):
+        """Why inlining was refused for this state (§4.4 / §7.2)."""
+        if not self.options.inline_templates:
+            return "template inlining disabled by RewriteOptions"
+        if self._cyclic_states is not None:
+            return ("state lies on a cycle of the template execution graph;"
+                    " only cyclic states stay functions under partial"
+                    " inline (§7.2)")
+        return ("the template execution graph is recursive, forcing"
+                " all-function mode (§4.4)")
 
     # -- built-in templates ----------------------------------------------------------
 
@@ -367,9 +437,21 @@ class XQueryGenerator:
         )
         # NB the paper's Table 21 joins with " "; a single space would alter
         # the transformation result, so we join with "" (see DESIGN.md).
-        return xq.ComputedTextConstructor(
+        compact = xq.ComputedTextConstructor(
             xp.FunctionCall("string-join", [flwor, xp.Literal("")])
         )
+        if self.ledger is not None:
+            self.ledger.record(
+                "builtin-compaction", "xquery-gen",
+                _node_label(cursor.node), "string-join",
+                reason="no user template can fire at or below this node —"
+                       " the built-in traversal collapses to string-join"
+                       " over the descendant text (§3.6, Table 21)",
+                detail={"variable": loop_var},
+                template=self._current_template(),
+                xquery_node=compact,
+            )
+        return compact
 
     # -- children dispatch (apply-templates without select, §3.4) ---------------------
 
@@ -501,11 +583,31 @@ class XQueryGenerator:
         body = self._dispatch_node(child_cursor, mode, params)
         single = occurs in ("1",) and self.options.use_model_groups and not sorts
         if single:
-            return xq.FlworExpr([xq.LetClause(new_var, path)], body)
-        clauses = [xq.ForClause(new_var, path)]
-        if sorts:
-            clauses.append(self._order_by(sorts, child_cursor))
-        return xq.FlworExpr(clauses, body)
+            binding = xq.FlworExpr([xq.LetClause(new_var, path)], body)
+        else:
+            clauses = [xq.ForClause(new_var, path)]
+            if sorts:
+                clauses.append(self._order_by(sorts, child_cursor))
+            binding = xq.FlworExpr(clauses, body)
+        if self.ledger is not None:
+            if single:
+                reason = ("the model group says the element occurs exactly"
+                          " once, so a LET binding replaces iteration (§3.4)")
+            elif occurs == "1":
+                reason = ("sorting (or disabled model groups) forces a FOR"
+                          " even though occurrence is 1")
+            else:
+                reason = ("schema occurrence %r permits repetition, so the"
+                          " binding iterates with FOR (§3.4)" % occurs)
+            self.ledger.record(
+                "cardinality", "xquery-gen", _node_label(sample_child),
+                "LET" if single else "FOR", reason=reason,
+                detail={"occurs": occurs, "variable": new_var,
+                        "sorted": bool(sorts)},
+                template=self._current_template(),
+                xquery_node=binding,
+            )
+        return binding
 
     def _child_path(self, cursor, sample_child):
         return xp.PathExpr(
@@ -1046,6 +1148,14 @@ def _has_predicates(expr):
     return False
 
 
+def _node_label(node):
+    """Readable subject label for a sample node (element name or kind)."""
+    name = node.name
+    if name is not None:
+        return name.lexical
+    return "<%s>" % node.kind
+
+
 def _text_child(element):
     for child in element.children:
         if child.kind == NodeKind.TEXT:
@@ -1076,6 +1186,6 @@ _GENERATORS = {
 }
 
 
-def generate_xquery(partial_evaluation, options=None):
+def generate_xquery(partial_evaluation, options=None, ledger=None):
     """Generate the XQuery module for a partially evaluated stylesheet."""
-    return XQueryGenerator(partial_evaluation, options).generate()
+    return XQueryGenerator(partial_evaluation, options, ledger=ledger).generate()

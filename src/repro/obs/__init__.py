@@ -10,12 +10,31 @@ Three facilities, threaded through every layer (see README
   categorized fallbacks) and histograms (stage / execution timings);
 * **EXPLAIN** — ``repro.rdb.plan.explain(query, analyze=True, db=db)``
   renders the plan tree annotated with per-node row counts and self/total
-  times.
+  times;
+* **EXPLAIN REWRITE** (:mod:`repro.obs.decisions`) — a
+  :class:`DecisionLedger` recording every rewrite decision (§3.3–3.7,
+  §4.3/4.4) with XSLT → XQuery → SQL-plan-node provenance, surfaced by
+  ``TransformResult.explain(rewrite=True)`` and
+  ``XsltRewriter.compile(..., explain=True)``;
+* **exporters** (:mod:`repro.obs.export`) — Prometheus text format and
+  JSON Lines for metrics and span trees.
 
-``repro.core.transform.TransformResult.report()`` assembles all three for
-one ``xml_transform`` call.
+``repro.core.transform.TransformResult.report()`` assembles the first
+three for one ``xml_transform`` call.
 """
 
+from repro.obs.decisions import (
+    Decision,
+    DecisionLedger,
+    Provenance,
+    diff_ledgers,
+)
+from repro.obs.export import (
+    metrics_to_jsonl,
+    prometheus_text,
+    spans_to_jsonl,
+    write_prometheus,
+)
 from repro.obs.metrics import (
     Counter,
     Histogram,
@@ -37,17 +56,25 @@ from repro.obs.trace import (
 
 __all__ = [
     "Counter",
+    "Decision",
+    "DecisionLedger",
     "Histogram",
     "InMemorySink",
     "JsonLinesSink",
     "MetricsRegistry",
     "NULL_SPAN",
+    "Provenance",
     "Span",
     "TextSink",
     "Tracer",
+    "diff_ledgers",
     "get_tracer",
     "global_metrics",
+    "metrics_to_jsonl",
+    "prometheus_text",
     "render_tree",
     "set_metrics",
     "set_tracer",
+    "spans_to_jsonl",
+    "write_prometheus",
 ]

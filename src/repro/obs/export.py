@@ -1,0 +1,191 @@
+"""Exporters for metrics and span trees.
+
+Two output shapes, both stdlib-only:
+
+* :func:`prometheus_text` — renders a :class:`MetricsRegistry` in the
+  Prometheus text exposition format (``# TYPE`` headers, counters with
+  the ``_total`` suffix convention, histograms as summaries with
+  ``quantile`` labels plus ``_sum``/``_count``), so a scrape endpoint or
+  a node-exporter textfile collector can pick it up verbatim;
+* :func:`metrics_to_jsonl` / :func:`spans_to_jsonl` — one JSON object
+  per line, the shape log shippers ingest; span trees are flattened to
+  parent-linked records via :meth:`Span.to_dict`.
+
+``benchmarks/run_figures.py`` embeds the Prometheus rendering per figure
+case in ``BENCH_obs.json`` next to the raw snapshot.
+"""
+
+from __future__ import annotations
+
+import json
+
+# Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]* — everything else
+# becomes "_".  Label names allow no colon.
+_NAME_OK = set(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_:"
+)
+
+
+def _metric_name(name):
+    sanitized = "".join(c if c in _NAME_OK else "_" for c in name)
+    if not sanitized or sanitized[0] in "0123456789":
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _label_name(name):
+    return _metric_name(name).replace(":", "_")
+
+
+def _escape_label_value(value):
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _render_labels(labels, extra=None):
+    pairs = [(key, labels[key]) for key in sorted(labels)]
+    if extra:
+        pairs.extend(extra)
+    if not pairs:
+        return ""
+    return "{%s}" % ",".join(
+        '%s="%s"' % (_label_name(key), _escape_label_value(value))
+        for key, value in pairs
+    )
+
+
+def _number(value):
+    if value is None:
+        return "NaN"
+    value = float(value)
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def prometheus_text(registry):
+    """The registry in the Prometheus text exposition format (v0.0.4).
+
+    Counters get the ``_total`` suffix; histograms are exported as
+    summaries (``quantile="0.5"``/``"0.95"`` sample lines plus ``_sum``
+    and ``_count``).  Metrics sharing a name emit one ``# TYPE`` header
+    with one sample line per label set.
+    """
+    lines = []
+    by_name = {}
+    for counter in registry.counters():
+        by_name.setdefault(("counter", counter.name), []).append(counter)
+    for histogram in registry.histograms():
+        by_name.setdefault(("summary", histogram.name), []).append(histogram)
+    for (kind, raw_name) in sorted(by_name):
+        metrics = by_name[(kind, raw_name)]
+        name = _metric_name(raw_name)
+        if kind == "counter":
+            name += "_total"
+            lines.append("# TYPE %s counter" % name)
+            for counter in metrics:
+                lines.append(
+                    "%s%s %s"
+                    % (name, _render_labels(counter.labels),
+                       _number(counter.value))
+                )
+        else:
+            lines.append("# TYPE %s summary" % name)
+            for histogram in metrics:
+                for pct, quantile in ((50, "0.5"), (95, "0.95")):
+                    lines.append(
+                        "%s%s %s"
+                        % (
+                            name,
+                            _render_labels(histogram.labels,
+                                           extra=[("quantile", quantile)]),
+                            _number(histogram.percentile(pct)),
+                        )
+                    )
+                labels = _render_labels(histogram.labels)
+                lines.append(
+                    "%s_sum%s %s" % (name, labels, _number(histogram.sum))
+                )
+                lines.append(
+                    "%s_count%s %s"
+                    % (name, labels, _number(histogram.count))
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_prometheus(registry, path_or_stream):
+    """Write :func:`prometheus_text` to a path or stream."""
+    text = prometheus_text(registry)
+    if hasattr(path_or_stream, "write"):
+        path_or_stream.write(text)
+    else:
+        with open(path_or_stream, "w", encoding="utf-8") as stream:
+            stream.write(text)
+    return text
+
+
+def metrics_to_jsonl(registry, path_or_stream=None):
+    """One JSON record per counter/histogram.
+
+    Returns the list of records; when ``path_or_stream`` is given, also
+    writes them as JSON Lines.
+    """
+    records = []
+    for counter in registry.counters():
+        records.append({
+            "type": "counter",
+            "name": counter.name,
+            "labels": dict(counter.labels),
+            "value": counter.value,
+        })
+    for histogram in registry.histograms():
+        record = {
+            "type": "histogram",
+            "name": histogram.name,
+            "labels": dict(histogram.labels),
+        }
+        record.update(histogram.summary())
+        records.append(record)
+    _write_jsonl(records, path_or_stream)
+    return records
+
+
+def spans_to_jsonl(spans, path_or_stream=None):
+    """Flatten span trees to parent-linked JSON records.
+
+    ``spans`` may be one span or an iterable of (root) spans; each span's
+    whole subtree is exported.  Returns the records; when
+    ``path_or_stream`` is given, also writes them as JSON Lines.
+    """
+    if hasattr(spans, "iter_spans"):
+        spans = [spans]
+    records = []
+    seen = set()
+    for root in spans:
+        for span in root.iter_spans():
+            if id(span) in seen:
+                continue
+            seen.add(id(span))
+            records.append(span.to_dict())
+    _write_jsonl(records, path_or_stream)
+    return records
+
+
+def _write_jsonl(records, path_or_stream):
+    if path_or_stream is None:
+        return
+    if hasattr(path_or_stream, "write"):
+        _dump_lines(records, path_or_stream)
+    else:
+        with open(path_or_stream, "w", encoding="utf-8") as stream:
+            _dump_lines(records, stream)
+
+
+def _dump_lines(records, stream):
+    for record in records:
+        stream.write(json.dumps(record, sort_keys=True))
+        stream.write("\n")

@@ -178,6 +178,13 @@ class MetricsRegistry:
             if name is None or counter.name == name
         ]
 
+    def histograms(self, name=None):
+        """All histograms, optionally filtered by name."""
+        return [
+            histogram for histogram in self._histograms.values()
+            if name is None or histogram.name == name
+        ]
+
     def counter_total(self, name):
         """Sum of one counter across all label sets."""
         return sum(counter.value for counter in self.counters(name))

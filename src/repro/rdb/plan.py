@@ -460,6 +460,36 @@ def _source(table_name, alias):
     return table_name.upper()
 
 
+def assign_plan_node_ids(plan_or_query, extra_plans=()):
+    """Stamp every plan node with a stable pre-order ``plan_node_id``.
+
+    The ids appear in ``explain`` output as ``#n`` and are what the
+    rewrite-decision ledger (:mod:`repro.obs.decisions`) records as SQL
+    provenance.  ``extra_plans`` extends numbering over plan trees that
+    hang off expressions rather than the main tree — the correlated
+    XMLAgg subqueries the SQL merge builds per repeating element.
+    Returns the ``{id(node): plan_node_id}`` map.
+    """
+    roots = []
+    if isinstance(plan_or_query, Query):
+        roots.append(plan_or_query.plan)
+    elif plan_or_query is not None:
+        roots.append(getattr(plan_or_query, "plan", plan_or_query))
+    roots.extend(extra_plans)
+    ids = {}
+    counter = 0
+    for root in roots:
+        if not hasattr(root, "iter_plan"):
+            continue
+        for node in root.iter_plan():
+            if id(node) in ids:
+                continue
+            counter += 1
+            node.plan_node_id = counter
+            ids[id(node)] = counter
+    return ids
+
+
 def explain(plan_or_query, indent=0, profile=None, analyze=False, db=None,
             env=None, stats=None):
     """A readable operator-tree rendering (EXPLAIN).
@@ -499,6 +529,9 @@ def explain(plan_or_query, indent=0, profile=None, analyze=False, db=None,
     plan = plan_or_query
     pad = "  " * indent
     label = type(plan).__name__
+    node_id = getattr(plan, "plan_node_id", None)
+    if node_id is not None:
+        label = "#%d %s" % (node_id, label)
     detail = ""
     if isinstance(plan, Scan):
         detail = " table=%s alias=%s" % (plan.table_name, plan.alias)

@@ -221,7 +221,7 @@ class Element(_ParentNode):
 
     kind = NodeKind.ELEMENT
 
-    __slots__ = ("_name", "attributes", "namespaces")
+    __slots__ = ("_name", "attributes", "namespaces", "source_line")
 
     def __init__(self, name, namespaces=None):
         super().__init__()
@@ -232,6 +232,8 @@ class Element(_ParentNode):
         # prefix -> uri bindings in scope at this element (own declarations
         # merged over the parent's at parse/build time).
         self.namespaces = dict(namespaces) if namespaces else {}
+        # 1-based line of the start tag in the parsed source, when known.
+        self.source_line = None
 
     @property
     def name(self):

@@ -65,6 +65,10 @@ class _Parser:
         self.length = len(source)
         self.strip_whitespace = strip_whitespace
         self.internal_subset = None
+        # Incremental line tracking: newlines counted up to _line_base so
+        # far, so _line_at is O(gap) rather than O(pos) per call.
+        self._line = 1
+        self._line_base = 0
 
     # -- error reporting -----------------------------------------------------
 
@@ -74,6 +78,15 @@ class _Parser:
         last_newline = self.source.rfind("\n", 0, pos)
         column = pos - last_newline
         return line, column
+
+    def _line_at(self, pos):
+        """1-based line number of ``pos``, tracked incrementally.  Parsing
+        only moves forward, so each newline is counted exactly once."""
+        if pos >= self._line_base:
+            self._line += self.source.count("\n", self._line_base, pos)
+            self._line_base = pos
+            return self._line
+        return self.source.count("\n", 0, pos) + 1
 
     def _fail(self, message, pos=None):
         line, column = self._location(pos)
@@ -241,6 +254,7 @@ class _Parser:
         parent.append(ProcessingInstruction(target, content))
 
     def _parse_element(self, parent, inherited_ns):
+        start_line = self._line_at(self.pos)
         self._expect("<")
         prefix, local = self._read_qname()
 
@@ -279,6 +293,7 @@ class _Parser:
         if prefix is not None and uri is None:
             self._fail("undeclared namespace prefix %r" % prefix)
         element = Element(QName(local, uri or None, prefix), namespaces=namespaces)
+        element.source_line = start_line
         for attr_prefix, attr_local, value in raw_attributes:
             if attr_prefix is None:
                 attr_uri = None  # unprefixed attributes are in no namespace

@@ -50,6 +50,14 @@ class Template:
             return text
         return 'name="%s"' % self.name
 
+    @property
+    def source_line(self):
+        """Line of the ``<xsl:template>`` start tag in the stylesheet
+        source, when the stylesheet was parsed from markup."""
+        if self.source is not None:
+            return getattr(self.source, "source_line", None)
+        return None
+
     def __repr__(self):
         return "<Template %s>" % self.label()
 

@@ -1,0 +1,143 @@
+"""The benchmark regression gate, against synthetic artifacts.
+
+``benchmarks/check_regression.py`` must flag genuine rewrite-path
+slowdowns, calibrate away uniform host-speed differences (via the
+functional-path ratio), ignore sub-``--min-delta`` microbenchmark
+jitter, and round-trip its baseline through ``--update``.
+"""
+
+import io
+import json
+
+import pytest
+
+from benchmarks.check_regression import (
+    calibration_factor,
+    case_times,
+    check,
+    main,
+)
+
+
+def artifact(cases):
+    """Build a BENCH_obs.json-shaped dict from {key: (rewrite, func)}."""
+    return {
+        "benchmark": "run_figures",
+        "cases": {
+            key: {
+                "seconds": {
+                    "rewrite": {"min": rewrite, "p50": rewrite},
+                    "no-rewrite": {"min": functional, "p50": functional},
+                },
+            }
+            for key, (rewrite, functional) in cases.items()
+        },
+    }
+
+
+BASE = artifact({
+    "fig2/dbonerow/500": (0.010, 0.50),
+    "fig3/avts/800": (0.050, 0.060),
+    "fig3/total/800": (0.020, 0.200),
+})
+
+
+class TestCheck:
+    def test_identical_artifacts_pass(self):
+        assert check(BASE, BASE, out=io.StringIO()) == []
+
+    def test_genuine_regression_flagged(self):
+        fresh = artifact({
+            "fig2/dbonerow/500": (0.010, 0.50),
+            "fig3/avts/800": (0.120, 0.060),   # 2.4x slower rewrite
+            "fig3/total/800": (0.020, 0.200),
+        })
+        regressed = check(BASE, fresh, out=io.StringIO())
+        assert regressed == ["fig3/avts/800"]
+
+    def test_uniformly_slower_host_calibrated_away(self):
+        fresh = artifact({
+            key: (rewrite * 2.0, functional * 2.0)
+            for key, (rewrite, functional)
+            in {
+                "fig2/dbonerow/500": (0.010, 0.50),
+                "fig3/avts/800": (0.050, 0.060),
+                "fig3/total/800": (0.020, 0.200),
+            }.items()
+        })
+        assert check(BASE, fresh, out=io.StringIO()) == []
+
+    def test_microbenchmark_jitter_below_min_delta_ignored(self):
+        base = artifact({"fig2/dbonerow/500": (0.0001, 0.050),
+                         "fig3/avts/800": (0.050, 0.060)})
+        fresh = artifact({"fig2/dbonerow/500": (0.0004, 0.050),  # 4x but µs
+                          "fig3/avts/800": (0.050, 0.060)})
+        assert check(base, fresh, out=io.StringIO()) == []
+        # the same ratio above the absolute floor is a real regression
+        fresh_big = artifact({"fig2/dbonerow/500": (0.4, 0.050),
+                              "fig3/avts/800": (0.050, 0.060)})
+        assert check(base, fresh_big,
+                     out=io.StringIO()) == ["fig2/dbonerow/500"]
+
+    def test_no_shared_cases_fails(self):
+        fresh = artifact({"fig9/unknown/1": (0.1, 0.2)})
+        assert check(BASE, fresh, out=io.StringIO()) != []
+
+    def test_untimed_entries_skipped(self):
+        base = dict(BASE)
+        base["cases"] = dict(BASE["cases"])
+        base["cases"]["inline_stat"] = {"inline_count": 29}
+        assert "inline_stat" not in case_times(base)
+        assert check(base, BASE, out=io.StringIO()) == []
+
+
+class TestCalibration:
+    def test_median_of_functional_ratios(self):
+        base = case_times(BASE)
+        fresh = case_times(artifact({
+            "fig2/dbonerow/500": (0.010, 1.00),   # 2.0x
+            "fig3/avts/800": (0.050, 0.090),      # 1.5x
+            "fig3/total/800": (0.020, 0.200),     # 1.0x
+        }))
+        assert calibration_factor(base, fresh, sorted(base)) \
+            == pytest.approx(1.5)
+
+
+class TestMain:
+    def write(self, tmp_path, name, data):
+        path = tmp_path / name
+        path.write_text(json.dumps(data), encoding="utf-8")
+        return str(path)
+
+    def test_pass_exit_zero(self, tmp_path, capsys):
+        baseline = self.write(tmp_path, "baseline.json", BASE)
+        fresh = self.write(tmp_path, "fresh.json", BASE)
+        assert main([fresh, "--baseline", baseline]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_regression_exit_one(self, tmp_path, capsys):
+        baseline = self.write(tmp_path, "baseline.json", BASE)
+        fresh = self.write(tmp_path, "fresh.json", artifact({
+            "fig2/dbonerow/500": (0.010, 0.50),
+            "fig3/avts/800": (0.200, 0.060),
+            "fig3/total/800": (0.020, 0.200),
+        }))
+        assert main([fresh, "--baseline", baseline]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_missing_baseline_exit_one(self, tmp_path):
+        fresh = self.write(tmp_path, "fresh.json", BASE)
+        assert main([fresh, "--baseline",
+                     str(tmp_path / "absent.json")]) == 1
+
+    def test_update_seeds_baseline(self, tmp_path):
+        fresh = self.write(tmp_path, "fresh.json", BASE)
+        baseline = str(tmp_path / "baseline.json")
+        assert main([fresh, "--baseline", baseline, "--update"]) == 0
+        assert main([fresh, "--baseline", baseline]) == 0
+
+    def test_committed_baseline_has_expected_shape(self):
+        from benchmarks.check_regression import BASELINE_PATH, load_artifact
+        times = case_times(load_artifact(BASELINE_PATH))
+        assert any(key.startswith("fig2/") for key in times)
+        assert any(key.startswith("fig3/") for key in times)

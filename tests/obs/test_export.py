@@ -1,0 +1,187 @@
+"""Exporters: Prometheus text format and JSON Lines.
+
+The Prometheus rendering must parse under the text exposition format
+(v0.0.4) grammar — validated here with a small line-level parser — and
+the JSONL exporters must emit one parseable object per line for both
+metrics and span trees.
+"""
+
+import io
+import json
+import math
+import re
+
+import pytest
+
+from repro.core import xml_transform
+from repro.obs import (
+    InMemorySink,
+    MetricsRegistry,
+    Tracer,
+    metrics_to_jsonl,
+    prometheus_text,
+    spans_to_jsonl,
+    write_prometheus,
+)
+
+from tests.core.paper_example import (
+    EXAMPLE1_STYLESHEET,
+    dept_emp_view_query,
+    make_database,
+)
+
+METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>\S+)$"
+)
+LABEL_PAIR = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def parse_prometheus(text):
+    """Validate ``text`` against the exposition grammar; return samples.
+
+    Returns ``{(name, labels_tuple): value}`` and the ``# TYPE`` map.
+    Raises AssertionError on any malformed line.
+    """
+    samples = {}
+    types = {}
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            assert METRIC_NAME.match(name), name
+            assert kind in ("counter", "gauge", "summary", "histogram")
+            types[name] = kind
+            continue
+        assert not line.startswith("#"), "only TYPE comments are emitted"
+        match = SAMPLE_LINE.match(line)
+        assert match, "malformed sample line: %r" % line
+        name = match.group("name")
+        labels = ()
+        raw_labels = match.group("labels")
+        if raw_labels:
+            pairs = LABEL_PAIR.findall(raw_labels)
+            reassembled = ",".join('%s="%s"' % pair for pair in pairs)
+            assert reassembled == raw_labels, \
+                "unparseable label section: %r" % raw_labels
+            for label_name, _ in pairs:
+                assert LABEL_NAME.match(label_name), label_name
+            labels = tuple(pairs)
+        value = match.group("value")
+        parsed = float(value)  # NaN parses too
+        samples[(name, labels)] = parsed
+    return samples, types
+
+
+def populated_registry():
+    registry = MetricsRegistry()
+    registry.counter("transform.fallback", phase="compile",
+                     reason="unsupported-construct").inc(3)
+    registry.counter("transform.rewrite_attempts").inc(5)
+    histogram = registry.histogram("compile.seconds", stage="xquery-gen")
+    for value in (0.01, 0.02, 0.03, 0.5):
+        histogram.record(value)
+    return registry
+
+
+class TestPrometheusText:
+    def test_output_parses_under_the_grammar(self):
+        samples, types = parse_prometheus(
+            prometheus_text(populated_registry()))
+        assert types["transform_fallback_total"] == "counter"
+        assert types["compile_seconds"] == "summary"
+        assert samples[(
+            "transform_fallback_total",
+            (("phase", "compile"), ("reason", "unsupported-construct")),
+        )] == 3.0
+        assert samples[("transform_rewrite_attempts_total", ())] == 5.0
+
+    def test_summary_has_quantiles_sum_and_count(self):
+        samples, _ = parse_prometheus(prometheus_text(populated_registry()))
+        quantiles = [
+            key for key in samples
+            if key[0] == "compile_seconds"
+            and any(name == "quantile" for name, _ in key[1])
+        ]
+        assert len(quantiles) == 2
+        assert samples[("compile_seconds_count",
+                        (("stage", "xquery-gen"),))] == 4.0
+        assert samples[("compile_seconds_sum",
+                        (("stage", "xquery-gen"),))] == pytest.approx(0.56)
+
+    def test_invalid_metric_chars_sanitized(self):
+        registry = MetricsRegistry()
+        registry.counter("fig2.seconds-per run").inc()
+        samples, _ = parse_prometheus(prometheus_text(registry))
+        assert ("fig2_seconds_per_run_total", ()) in samples
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("odd", why='say "hi"\nback\\slash').inc()
+        text = prometheus_text(registry)
+        samples, _ = parse_prometheus(text)
+        ((_, labels),) = [key for key in samples]
+        assert labels[0][0] == "why"
+
+    def test_empty_registry_renders_empty(self):
+        assert prometheus_text(MetricsRegistry()) == ""
+
+    def test_empty_histogram_renders_nan_quantiles(self):
+        registry = MetricsRegistry()
+        registry.histogram("never.recorded")
+        samples, _ = parse_prometheus(prometheus_text(registry))
+        quantile_values = [
+            value for (name, labels), value in samples.items()
+            if name == "never_recorded"
+        ]
+        assert quantile_values and all(
+            math.isnan(value) for value in quantile_values)
+
+    def test_write_prometheus_to_stream_and_path(self, tmp_path):
+        registry = populated_registry()
+        stream = io.StringIO()
+        write_prometheus(registry, stream)
+        path = tmp_path / "metrics.prom"
+        write_prometheus(registry, str(path))
+        assert stream.getvalue() == path.read_text(encoding="utf-8")
+        assert stream.getvalue().endswith("\n")
+
+
+class TestJsonl:
+    def test_metrics_jsonl_one_object_per_line(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        records = metrics_to_jsonl(populated_registry(), str(path))
+        lines = path.read_text(encoding="utf-8").splitlines()
+        assert len(lines) == len(records) == 3
+        parsed = [json.loads(line) for line in lines]
+        assert parsed == json.loads(json.dumps(records))
+        kinds = {record["type"] for record in parsed}
+        assert kinds == {"counter", "histogram"}
+        histogram = [r for r in parsed if r["type"] == "histogram"][0]
+        assert histogram["count"] == 4
+
+    def test_spans_jsonl_flattens_the_tree(self):
+        sink = InMemorySink()
+        tracer = Tracer(sinks=[sink])
+        db = make_database()
+        xml_transform(db, dept_emp_view_query(), EXAMPLE1_STYLESHEET,
+                      tracer=tracer)
+        records = spans_to_jsonl(sink.roots)
+        names = {record["name"] for record in records}
+        assert "compile" in names or any("compile" in n for n in names)
+        # every record is JSON-serializable and parent-linked
+        for record in records:
+            json.loads(json.dumps(record))
+
+    def test_spans_jsonl_accepts_single_span(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("child"):
+                pass
+        records = spans_to_jsonl(root)
+        assert len(records) == 2
