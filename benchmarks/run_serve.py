@@ -1,0 +1,253 @@
+#!/usr/bin/env python
+"""Serving benchmark: concurrent TransformService vs the uncached front door.
+
+Usage::
+
+    python benchmarks/run_serve.py [--cases dbonerow,avts,total]
+                                   [--sizes 500] [--workers 4] [--clients 4]
+                                   [--requests 25] [--uncached-repeat 5]
+                                   [--out BENCH_serve.json] [--smoke]
+
+For each xsltmark case the harness measures three things:
+
+* **uncached** — ``xml_transform`` called in a single-thread loop, the
+  seed behaviour: every call pays stylesheet compile + the full rewrite
+  pipeline before executing;
+* **served** — a :class:`repro.serve.TransformService` driven by a
+  closed-loop multi-client generator (:func:`repro.serve.run_load`):
+  the first request compiles, every other request hits the plan cache;
+* **functional** — ``xml_transform(rewrite=False)``, the calibration
+  clock ``benchmarks/check_regression.py`` uses.
+
+Each case also runs two checks and records them in the artifact:
+cache-hit requests' traces contain **no** compile span (the cache
+really skips every compile stage), and served results are byte-identical
+to the uncached front door's.
+
+The ``--out`` artifact (default ``BENCH_serve.json``) is shaped like
+``BENCH_obs.json`` — each ``serve/<case>/<size>`` entry carries a
+``seconds`` block (``rewrite`` = served per-request latency,
+``no-rewrite`` = functional per-call latency) that
+``check_regression.py`` gates against ``benchmarks/baseline.json`` —
+plus a ``serve`` block with throughput, p50/p95/p99 latency and cache
+hit ratio.  ``--smoke`` shrinks everything for CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, _ROOT)
+sys.path.insert(0, os.path.join(_ROOT, "src"))
+
+from repro.core.transform import xml_transform
+from repro.obs import MetricsRegistry, Tracer
+from repro.serve import TransformService, WorkItem, run_load
+from repro.xsltmark.cases import get_case
+from repro.xsltmark.runner import prepare_case
+
+DEFAULT_CASES = ("dbonerow", "avts", "total")
+
+
+def summarize(latencies):
+    """A histogram-summary-shaped dict (seconds) from raw samples."""
+    if not latencies:
+        return {"count": 0, "sum": 0.0, "min": None, "max": None,
+                "p50": None, "p95": None}
+    ordered = sorted(latencies)
+
+    def pct(p):
+        rank = max(0, min(len(ordered) - 1,
+                          int(round(p / 100.0 * len(ordered))) - 1))
+        return ordered[rank]
+
+    return {
+        "count": len(ordered),
+        "sum": sum(ordered),
+        "min": ordered[0],
+        "max": ordered[-1],
+        "p50": pct(50),
+        "p95": pct(95),
+    }
+
+
+def timed_loop(fn, repeat):
+    """Per-call wall seconds for ``repeat`` sequential calls."""
+    samples = []
+    for _ in range(repeat):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return samples
+
+
+def verify_served(service, storage, stylesheet, expected_rows):
+    """Cache-hit request: no compile span in its trace, identical rows."""
+    result = service.transform(storage, stylesheet)
+    if not result.cache_hit:
+        return {"cache_hit": False, "no_compile_spans": False,
+                "rows_match": False}
+    span_names = [span.name for span in result.trace.iter_spans()] \
+        if result.trace else []
+    return {
+        "cache_hit": True,
+        "no_compile_spans": not any(
+            name.startswith("compile") for name in span_names
+        ),
+        "rows_match": result.serialized_rows() == expected_rows,
+    }
+
+
+def run_serve_case(name, size, args, cases_out):
+    prepared = prepare_case(get_case(name), size)
+    db, storage = prepared.db, prepared.storage
+    stylesheet = prepared.stylesheet
+    quiet = Tracer(enabled=False)
+    scratch = MetricsRegistry()
+
+    # single-thread uncached baseline: compile + execute per call
+    uncached = timed_loop(
+        lambda: xml_transform(db, storage, stylesheet,
+                              tracer=quiet, metrics=scratch),
+        args.uncached_repeat,
+    )
+    expected_rows = xml_transform(
+        db, storage, stylesheet, tracer=quiet, metrics=scratch
+    ).serialized_rows()
+
+    # functional baseline — the regression gate's calibration clock
+    functional = timed_loop(
+        lambda: xml_transform(db, storage, stylesheet, rewrite=False,
+                              tracer=quiet, metrics=scratch),
+        args.uncached_repeat,
+    )
+
+    registry = MetricsRegistry()
+    # untraced during the load run — the uncached baseline loop also runs
+    # with tracing (and therefore plan profiling) off
+    service = TransformService(db, workers=args.workers, metrics=registry,
+                               trace_requests=False)
+    try:
+        report = run_load(
+            service,
+            [WorkItem(storage, stylesheet, name=name)],
+            clients=args.clients,
+            requests_per_client=args.requests,
+        )
+        # tracing back on for the verification request only: its span
+        # tree must show the cache hit skipping every compile stage
+        service.trace_requests = True
+        checks = verify_served(service, storage, stylesheet, expected_rows)
+        cache_stats = service.cache.stats().as_dict()
+    finally:
+        service.close()
+
+    uncached_summary = summarize(uncached)
+    uncached_rps = (1.0 / uncached_summary["p50"]
+                    if uncached_summary["p50"] else 0.0)
+    entry = {
+        "seconds": {
+            "rewrite": summarize(report.latencies_seconds),
+            "no-rewrite": summarize(functional),
+        },
+        "serve": {
+            "workers": args.workers,
+            "clients": args.clients,
+            "requests": report.requests,
+            "errors": report.errors,
+            "throughput_rps": report.throughput_rps,
+            "latency_ms": {
+                "p50": report.latency_ms(50),
+                "p95": report.latency_ms(95),
+                "p99": report.latency_ms(99),
+            },
+            "hit_ratio": report.hit_ratio,
+            "cache": cache_stats,
+            "uncached_seconds": uncached_summary,
+            "uncached_rps": uncached_rps,
+            "throughput_vs_uncached": (
+                report.throughput_rps / uncached_rps if uncached_rps else None
+            ),
+        },
+        "checks": checks,
+        "metrics": registry.snapshot(),
+    }
+    cases_out["serve/%s/%d" % (name, size)] = entry
+    return entry
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--cases", default=",".join(DEFAULT_CASES))
+    parser.add_argument("--sizes", default="500")
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--clients", type=int, default=4)
+    parser.add_argument("--requests", type=int, default=25,
+                        help="requests per client")
+    parser.add_argument("--uncached-repeat", type=int, default=5)
+    parser.add_argument("--out", default="BENCH_serve.json")
+    parser.add_argument("--smoke", action="store_true",
+                        help="minimal parameters for CI")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.cases = "dbonerow"
+        args.sizes = "300"
+        args.clients = min(args.clients, 2)
+        args.requests = min(args.requests, 8)
+        args.uncached_repeat = min(args.uncached_repeat, 3)
+
+    names = [name for name in args.cases.split(",") if name]
+    sizes = [int(size) for size in args.sizes.split(",") if size]
+    cases = {}
+    print("Serving benchmark: %d worker(s), %d client(s), %d req/client"
+          % (args.workers, args.clients, args.requests))
+    print("%-20s %-10s %-10s %-10s %-8s %-8s"
+          % ("case", "served-rps", "uncached", "p95-ms", "hits", "checks"))
+    failures = []
+    for name in names:
+        for size in sizes:
+            entry = run_serve_case(name, size, args, cases)
+            serve = entry["serve"]
+            checks = entry["checks"]
+            ok = all(checks.values())
+            if not ok:
+                failures.append("serve/%s/%d: %s" % (name, size, checks))
+            print("%-20s %-10.1f %-10.1f %-10.3f %-8.2f %-8s" % (
+                "%s/%d" % (name, size),
+                serve["throughput_rps"],
+                serve["uncached_rps"],
+                serve["latency_ms"]["p95"] or 0.0,
+                serve["hit_ratio"],
+                "ok" if ok else "FAIL",
+            ))
+
+    artifact = {
+        "benchmark": "run_serve",
+        "config": {
+            "workers": args.workers,
+            "clients": args.clients,
+            "requests_per_client": args.requests,
+            "uncached_repeat": args.uncached_repeat,
+            "cpu_count": os.cpu_count(),
+        },
+        "cases": cases,
+    }
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(artifact, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    print("wrote %s (%d case(s))" % (args.out, len(cases)))
+    if failures:
+        print("verification FAILED:")
+        for failure in failures:
+            print("  " + failure)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

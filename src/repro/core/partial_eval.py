@@ -28,13 +28,16 @@ from repro.core.graph import build_execution_graph
 class PartialEvaluation:
     """Everything downstream stages need."""
 
-    def __init__(self, stylesheet, schema, sample, trace, graph, vm):
+    def __init__(self, stylesheet, schema, sample, trace, graph, vm,
+                 stripper=None):
         self.stylesheet = stylesheet
         self.schema = schema
         self.sample = sample
         self.trace = trace
         self.graph = graph
         self.vm = vm  # the traced VM (kept for candidate-rule queries)
+        #: per-compilation PredicateStripper (released with this object)
+        self.stripper = stripper if stripper is not None else PredicateStripper()
         self.instantiated_templates = trace.instantiated_templates()
         self.recursive = graph.is_recursive()
 
@@ -61,11 +64,12 @@ def partially_evaluate(stylesheet, schema, ledger=None):
     with its sample-document evidence."""
     sample = generate_sample(schema)  # SchemaError for recursive schemas
     trace = TraceRecorder()
+    stripper = PredicateStripper()
     vm = XsltVM(
         stylesheet,
         trace=trace,
-        select_rewriter=strip_predicates,
-        pattern_rewriter=strip_pattern_predicates,
+        select_rewriter=stripper.strip_expr,
+        pattern_rewriter=stripper.strip_pattern,
         explore=True,
     )
     try:
@@ -75,7 +79,8 @@ def partially_evaluate(stylesheet, schema, ledger=None):
             "partial evaluation failed on the sample document: %s" % exc
         ) from exc
     graph = build_execution_graph(trace, sample)
-    result = PartialEvaluation(stylesheet, schema, sample, trace, graph, vm)
+    result = PartialEvaluation(stylesheet, schema, sample, trace, graph, vm,
+                               stripper=stripper)
     if ledger is not None:
         _record_template_decisions(result, ledger)
     return result
@@ -116,27 +121,82 @@ def _record_template_decisions(pe, ledger):
 
 # -- predicate stripping (the "assume predicates true" stance, §4.3) ----------
 
-_STRIP_CACHE = {}
-_STRIP_CACHE_LIMIT = 4096
+
+class PredicateStripper:
+    """Memoized predicate stripping, scoped to one compilation.
+
+    Each :func:`partially_evaluate` call creates its own instance and
+    threads it through the VM and the XQuery generator, so the memo (which
+    holds strong references to the original expressions, keyed by object
+    identity) is released with the compilation instead of accumulating
+    across compiles — a long-lived serving process must not pin every
+    stylesheet's expressions forever.  The module-level helpers below keep
+    a bounded shared instance for ad-hoc use.
+    """
+
+    __slots__ = ("max_entries", "_exprs", "_patterns")
+
+    def __init__(self, max_entries=None):
+        self.max_entries = max_entries
+        self._exprs = {}
+        self._patterns = {}
+
+    def strip_expr(self, expr):
+        """A copy of an XPath expression with all step/filter predicates
+        removed.  Dropping predicates only ever *adds* selected nodes, so
+        the traced dispatch is a superset of any real document's dispatch.
+        """
+        cached = self._exprs.get(id(expr))
+        if cached is not None and cached[0] is expr:
+            return cached[1]
+        stripped = _strip(expr)
+        if self.max_entries and len(self._exprs) >= self.max_entries:
+            self._exprs.clear()
+        self._exprs[id(expr)] = (expr, stripped)
+        return stripped
+
+    def strip_pattern(self, pattern):
+        """A pattern (or single alternative) with every step's predicates
+        dropped — matching succeeds whenever the structure allows it."""
+        cached = self._patterns.get(id(pattern))
+        if cached is not None and cached[0] is pattern:
+            return cached[1]
+        if isinstance(pattern, Pattern):
+            stripped = Pattern(
+                [self.strip_pattern(alt) for alt in pattern.alternatives],
+                pattern.source,
+            )
+        else:
+            stripped = PathPattern(
+                [
+                    StepPattern(step.axis, step.test, [])
+                    for step in pattern.steps
+                ],
+                list(pattern.connectors),
+                pattern.anchored,
+                pattern.source,
+            )
+        if self.max_entries and len(self._patterns) >= self.max_entries:
+            self._patterns.clear()
+        self._patterns[id(pattern)] = (pattern, stripped)
+        return stripped
+
+    def clear(self):
+        self._exprs.clear()
+        self._patterns.clear()
+
+    def __len__(self):
+        return len(self._exprs) + len(self._patterns)
+
+
+_DEFAULT_STRIPPER = PredicateStripper(max_entries=4096)
 
 
 def strip_predicates(expr):
-    """A copy of an XPath expression with all step/filter predicates
-    removed.  Dropping predicates only ever *adds* selected nodes, so the
-    traced dispatch is a superset of any real document's dispatch.
-
-    The memo keeps a strong reference to the original expression: the cache
-    is keyed by object identity, which is only stable while the object is
-    alive.
-    """
-    cached = _STRIP_CACHE.get(id(expr))
-    if cached is not None and cached[0] is expr:
-        return cached[1]
-    stripped = _strip(expr)
-    if len(_STRIP_CACHE) >= _STRIP_CACHE_LIMIT:
-        _STRIP_CACHE.clear()
-    _STRIP_CACHE[id(expr)] = (expr, stripped)
-    return stripped
+    """Module-level convenience over a bounded shared memo — prefer the
+    per-compilation :class:`PredicateStripper` carried on
+    :class:`PartialEvaluation` inside the pipeline."""
+    return _DEFAULT_STRIPPER.strip_expr(expr)
 
 
 def _strip(expr):
@@ -159,32 +219,6 @@ def _strip(expr):
     return expr  # literals, variables, context item
 
 
-_PATTERN_STRIP_CACHE = {}
-_PATTERN_STRIP_CACHE_LIMIT = 4096
-
-
 def strip_pattern_predicates(pattern):
-    """A pattern (or single alternative) with every step's predicates
-    dropped — matching succeeds whenever the structure allows it."""
-    cached = _PATTERN_STRIP_CACHE.get(id(pattern))
-    if cached is not None and cached[0] is pattern:
-        return cached[1]
-    if isinstance(pattern, Pattern):
-        stripped = Pattern(
-            [strip_pattern_predicates(alt) for alt in pattern.alternatives],
-            pattern.source,
-        )
-    else:
-        stripped = PathPattern(
-            [
-                StepPattern(step.axis, step.test, [])
-                for step in pattern.steps
-            ],
-            list(pattern.connectors),
-            pattern.anchored,
-            pattern.source,
-        )
-    if len(_PATTERN_STRIP_CACHE) >= _PATTERN_STRIP_CACHE_LIMIT:
-        _PATTERN_STRIP_CACHE.clear()
-    _PATTERN_STRIP_CACHE[id(pattern)] = (pattern, stripped)
-    return stripped
+    """Module-level convenience over the bounded shared memo."""
+    return _DEFAULT_STRIPPER.strip_pattern(pattern)

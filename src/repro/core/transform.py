@@ -32,7 +32,7 @@ import logging
 import time
 
 from repro.errors import RewriteError
-from repro.obs import get_tracer, global_metrics, render_tree
+from repro.obs import NULL_SPAN, get_tracer, global_metrics, render_tree
 from repro.obs.decisions import DecisionLedger
 from repro.rdb.database import View
 from repro.rdb.plan import (
@@ -210,6 +210,112 @@ def categorize_fallback(exc):
     return "other"
 
 
+class CompiledTransform:
+    """The reusable compile-time artifact for one (stylesheet, source).
+
+    Produced by :func:`compile_transform` and executed — any number of
+    times, from any thread — by :func:`execute_compiled`.  This is the
+    unit the serving layer's plan cache (:mod:`repro.serve`) stores:
+
+    * ``strategy`` — :data:`STRATEGY_SQL` when the rewrite compiled all
+      the way to an optimized relational plan, else
+      :data:`STRATEGY_FUNCTIONAL`;
+    * ``query`` — the *optimized* merged SQL/XML plan (SQL strategy);
+    * ``ledger`` — the :class:`~repro.obs.decisions.DecisionLedger` of
+      the compile, preserved verbatim on every cache hit so EXPLAIN
+      REWRITE still works for requests that never compiled anything;
+    * ``error`` — the categorized :class:`RewriteError` when compilation
+      fell back (kept so every execution of this artifact reports the
+      same fallback reason the paper's implementation would).
+    """
+
+    __slots__ = ("stylesheet", "strategy", "outcome", "query", "ledger",
+                 "error", "options")
+
+    def __init__(self, stylesheet, strategy, outcome=None, query=None,
+                 ledger=None, error=None, options=None):
+        self.stylesheet = stylesheet
+        self.strategy = strategy
+        self.outcome = outcome
+        self.query = query
+        self.ledger = ledger
+        self.error = error
+        self.options = options
+
+    @property
+    def is_rewritten(self):
+        return self.strategy == STRATEGY_SQL
+
+
+def compile_transform(db, source, stylesheet, options=None, tracer=None,
+                      metrics=None):
+    """Run the compile half of ``xml_transform`` once, for reuse.
+
+    Compiles the stylesheet (when given as markup), runs the three
+    rewrite stages, optimizes the merged plan against ``db`` and resolves
+    the decision ledger's provenance into the optimized plan.  Never
+    raises :class:`RewriteError`: a failed rewrite returns a
+    functional-strategy :class:`CompiledTransform` carrying the error, so
+    the failure is categorized once and replayed per execution — negative
+    caching for the serving layer.
+    """
+    tracer = tracer or get_tracer()
+    metrics = metrics or global_metrics()
+    if not isinstance(stylesheet, Stylesheet):
+        with tracer.span("compile.stylesheet"):
+            stylesheet = compile_stylesheet(stylesheet)
+    # Created before compiling so that on a failed rewrite the artifact
+    # still carries the decisions made before the failure point.
+    ledger = DecisionLedger()
+    try:
+        view_query = _view_query(source)
+        rewriter = XsltRewriter(options, tracer=tracer, metrics=metrics,
+                                ledger=ledger)
+        outcome = rewriter.rewrite_view(stylesheet, view_query)
+        with tracer.span("compile.optimize"):
+            query = db.optimize(outcome.sql_query)
+            # re-resolve decision provenance against the *optimized* plan
+            # (the one explain() renders and execution profiles)
+            ledger.attach_plan(query)
+    except RewriteError as exc:
+        return CompiledTransform(stylesheet, STRATEGY_FUNCTIONAL,
+                                 ledger=ledger, error=exc, options=options)
+    return CompiledTransform(stylesheet, STRATEGY_SQL, outcome=outcome,
+                             query=query, ledger=ledger, options=options)
+
+
+def execute_compiled(db, source, compiled, params=None, tracer=None,
+                     metrics=None, profile_plan=True, root=None):
+    """Execute one request over a :class:`CompiledTransform`.
+
+    The SQL strategy runs the cached optimized plan; an execute-phase
+    :class:`RewriteError` retries functionally with the categorized
+    fallback accounting of :func:`xml_transform`.  A compile-time
+    fallback artifact replays its recorded error (counter + warning +
+    result annotations) and evaluates functionally.  ``root`` is the span
+    fallback attributes land on (defaults to the tracer's current span).
+    """
+    tracer = tracer or get_tracer()
+    metrics = metrics or global_metrics()
+    if root is None:
+        root = tracer.current() or NULL_SPAN
+    if compiled.is_rewritten and not params:
+        try:
+            result = _execute_plan(db, compiled, tracer, metrics,
+                                   profile_plan)
+            metrics.counter("transform.rewrite_success").inc()
+        except RewriteError as exc:
+            result = _fallback(db, source, compiled.stylesheet, params, exc,
+                               tracer, metrics, root)
+    elif compiled.error is not None:
+        result = _fallback(db, source, compiled.stylesheet, params,
+                           compiled.error, tracer, metrics, root)
+    else:
+        result = _functional(db, source, compiled.stylesheet, params, tracer)
+    result.ledger = compiled.ledger
+    return result
+
+
 def xml_transform(db, source, stylesheet, rewrite=True, options=None,
                   params=None, tracer=None, metrics=None, profile_plan=True):
     """Apply ``stylesheet`` to every XMLType instance of ``source``.
@@ -218,28 +324,28 @@ def xml_transform(db, source, stylesheet, rewrite=True, options=None,
     (:func:`repro.obs.get_tracer` / :func:`repro.obs.global_metrics`);
     ``profile_plan=False`` skips per-plan-node profiling on the rewrite
     path (it is also skipped whenever tracing is disabled).
+
+    Every call compiles from scratch.  A long-lived process serving many
+    calls should go through :class:`repro.serve.TransformService`, which
+    caches the :class:`CompiledTransform` produced by
+    :func:`compile_transform` and only pays :func:`execute_compiled` per
+    request.
     """
     tracer = tracer or get_tracer()
     metrics = metrics or global_metrics()
     with tracer.span("xml_transform", rewrite=bool(rewrite)) as root:
-        if not isinstance(stylesheet, Stylesheet):
-            with tracer.span("compile.stylesheet"):
-                stylesheet = compile_stylesheet(stylesheet)
         if rewrite and not params:
             metrics.counter("transform.rewrite_attempts").inc()
-            # Created before compiling so that on a failed rewrite the
-            # fallback result still carries the decisions made before the
-            # failure point.
-            ledger = DecisionLedger()
-            try:
-                result = _rewritten(db, source, stylesheet, options, tracer,
-                                    metrics, profile_plan, ledger)
-                metrics.counter("transform.rewrite_success").inc()
-            except RewriteError as exc:
-                result = _fallback(db, source, stylesheet, params, exc,
-                                   tracer, metrics, root)
-            result.ledger = ledger
+            compiled = compile_transform(db, source, stylesheet,
+                                         options=options, tracer=tracer,
+                                         metrics=metrics)
+            result = execute_compiled(db, source, compiled, params=params,
+                                      tracer=tracer, metrics=metrics,
+                                      profile_plan=profile_plan, root=root)
         else:
+            if not isinstance(stylesheet, Stylesheet):
+                with tracer.span("compile.stylesheet"):
+                    stylesheet = compile_stylesheet(stylesheet)
             result = _functional(db, source, stylesheet, params, tracer)
         root.set_attr(strategy=result.strategy)
     if root:
@@ -294,22 +400,14 @@ def _is_document_store(source):
     return hasattr(source, "document_ids") and hasattr(source, "materialize")
 
 
-def _rewritten(db, source, stylesheet, options, tracer, metrics,
-               profile_plan, ledger=None):
-    view_query = _view_query(source)
-    rewriter = XsltRewriter(options, tracer=tracer, metrics=metrics,
-                            ledger=ledger)
-    outcome = rewriter.rewrite_view(stylesheet, view_query)
+def _execute_plan(db, compiled, tracer, metrics, profile_plan):
+    """Run the cached optimized plan of a SQL-strategy artifact."""
+    query = compiled.query
     with tracer.span("plan.execute") as span:
         stats = ExecutionStats()
         profiler = None
         if profile_plan and tracer.enabled:
             profiler = stats.profiler = PlanProfiler()
-        query = db.optimize(outcome.sql_query)
-        if ledger is not None:
-            # re-resolve decision provenance against the *optimized* plan
-            # (the one explain() renders and execution profiles)
-            ledger.attach_plan(query)
         try:
             rows, stats = query.execute(db, stats=stats)
         except RewriteError as exc:
@@ -328,7 +426,7 @@ def _rewritten(db, source, stylesheet, options, tracer, metrics,
     metrics.histogram("plan.execute_seconds").record(stats.elapsed_seconds)
     result_rows = [_as_items(row[0]) for row in rows]
     result = TransformResult(result_rows, STRATEGY_SQL, stats,
-                             outcome=outcome)
+                             outcome=compiled.outcome)
     result.executed_query = query
     result.plan_profile = profiler
     return result

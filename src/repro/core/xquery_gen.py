@@ -31,7 +31,6 @@ from repro.xpath import ast as xp
 from repro.xpath.context import XPathContext
 from repro.xquery import ast as xq
 from repro.xslt import instructions as xi
-from repro.core.partial_eval import strip_predicates
 
 
 class RewriteOptions:
@@ -84,6 +83,9 @@ class XQueryGenerator:
     def __init__(self, partial_evaluation, options=None, ledger=None):
         self.pe = partial_evaluation
         self.options = options or RewriteOptions()
+        # reuse the compilation-scoped predicate-strip memo (it already
+        # holds every expression the traced run touched)
+        self._strip = partial_evaluation.stripper.strip_expr
         self.vm = partial_evaluation.vm
         self.sample = partial_evaluation.sample
         self.schema = partial_evaluation.schema
@@ -791,7 +793,7 @@ class XQueryGenerator:
             context = self._match_context.with_node(cursor.node)
             ranked = []
             for branch in branches:
-                selected = strip_predicates(branch).evaluate(context)
+                selected = self._strip(branch).evaluate(context)
                 if not isinstance(selected, list):
                     raise RewriteError("union branch must select nodes")
                 if not selected:
@@ -813,7 +815,7 @@ class XQueryGenerator:
         return _seq([item for item in items if item is not None])
 
     def _select_branch(self, branch, cursor, mode, params, sorts):
-        stripped = strip_predicates(branch)
+        stripped = self._strip(branch)
         context = self._match_context.with_node(cursor.node)
         selected = stripped.evaluate(context)
         if not isinstance(selected, list):
@@ -900,7 +902,7 @@ class XQueryGenerator:
 
     def _gen_for_each(self, instruction, cursor):
         branch = instruction.select
-        stripped = strip_predicates(branch)
+        stripped = self._strip(branch)
         context = self._match_context.with_node(cursor.node)
         selected = stripped.evaluate(context)
         if not isinstance(selected, list):

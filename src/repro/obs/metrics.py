@@ -13,6 +13,7 @@ nearest-rank percentiles — exactly what the paper-style figures need.
 
 from __future__ import annotations
 
+import threading
 import time
 
 
@@ -29,18 +30,25 @@ def _render_key(name, labels):
 
 
 class Counter:
-    """A monotonically increasing named counter."""
+    """A monotonically increasing named counter.
 
-    __slots__ = ("name", "labels", "value")
+    Increments are lock-protected: the serving layer
+    (:mod:`repro.serve`) bumps shared counters from worker threads, and
+    an unguarded read-modify-write would drop counts.
+    """
+
+    __slots__ = ("name", "labels", "value", "_lock")
 
     def __init__(self, name, labels=None):
         self.name = name
         self.labels = dict(labels or {})
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount=1):
-        self.value += amount
-        return self.value
+        with self._lock:
+            self.value += amount
+            return self.value
 
     def key(self):
         return _render_key(self.name, self.labels)
@@ -58,7 +66,7 @@ class Histogram:
     """
 
     __slots__ = ("name", "labels", "max_samples", "count", "sum",
-                 "_values", "_keep_every", "_skip")
+                 "_values", "_keep_every", "_skip", "_lock")
 
     def __init__(self, name, labels=None, max_samples=8192):
         self.name = name
@@ -69,18 +77,20 @@ class Histogram:
         self._values = []
         self._keep_every = 1
         self._skip = 0
+        self._lock = threading.Lock()
 
     def record(self, value):
         value = float(value)
-        self.count += 1
-        self.sum += value
-        self._skip += 1
-        if self._skip >= self._keep_every:
-            self._skip = 0
-            self._values.append(value)
-            if len(self._values) >= self.max_samples:
-                self._values = self._values[::2]
-                self._keep_every *= 2
+        with self._lock:
+            self.count += 1
+            self.sum += value
+            self._skip += 1
+            if self._skip >= self._keep_every:
+                self._skip = 0
+                self._values.append(value)
+                if len(self._values) >= self.max_samples:
+                    self._values = self._values[::2]
+                    self._keep_every *= 2
         return value
 
     def time(self):
@@ -151,24 +161,36 @@ class _HistogramTimer:
 
 
 class MetricsRegistry:
-    """Keyed store of counters and histograms."""
+    """Keyed store of counters and histograms.
+
+    Get-or-create is lock-protected so two worker threads asking for the
+    same key always receive the same instrument (an unguarded race would
+    hand out two counters and lose one's increments).
+    """
 
     def __init__(self):
         self._counters = {}
         self._histograms = {}
+        self._lock = threading.Lock()
 
     def counter(self, name, **labels):
         key = (name, _label_key(labels))
         counter = self._counters.get(key)
         if counter is None:
-            counter = self._counters[key] = Counter(name, labels)
+            with self._lock:
+                counter = self._counters.get(key)
+                if counter is None:
+                    counter = self._counters[key] = Counter(name, labels)
         return counter
 
     def histogram(self, name, **labels):
         key = (name, _label_key(labels))
         histogram = self._histograms.get(key)
         if histogram is None:
-            histogram = self._histograms[key] = Histogram(name, labels)
+            with self._lock:
+                histogram = self._histograms.get(key)
+                if histogram is None:
+                    histogram = self._histograms[key] = Histogram(name, labels)
         return histogram
 
     def counters(self, name=None):

@@ -33,6 +33,16 @@ class View:
             )
         return self.query.outputs[0]
 
+    def fingerprint(self):
+        """Stable hash of the view definition (name + defining query) —
+        the cache-key component the serving layer uses for view sources."""
+        import hashlib
+
+        return hashlib.sha256(
+            ("view:%s:%s" % (self.name, self.query.fingerprint()))
+            .encode("utf-8")
+        ).hexdigest()
+
 
 class Database:
     """An in-process database instance."""
@@ -128,6 +138,17 @@ class Database:
             ):
                 return index
         return None
+
+    def indexes_on(self, table_name):
+        """All indexes over one table, sorted by (column, name) — the
+        deterministic order storage fingerprints hash over."""
+        return sorted(
+            (
+                index for index in self._indexes.values()
+                if index.table_name == table_name
+            ),
+            key=lambda index: (index.column_name, index.name),
+        )
 
     def view(self, name):
         if name not in self._views:

@@ -387,6 +387,20 @@ class Query:
 
     # -- SQL rendering --------------------------------------------------------
 
+    def fingerprint(self):
+        """Stable content hash of this query's shape (its SQL rendering).
+
+        The serving layer (:mod:`repro.serve`) keys compiled plans by the
+        stylesheet hash plus the source's structural fingerprint; two
+        queries with the same SQL text compile to the same plan against
+        the same catalog.  Index DDL is *not* visible in the SQL text —
+        storage-level fingerprints (:meth:`ObjectRelationalStorage.
+        fingerprint`) cover that.
+        """
+        import hashlib
+
+        return hashlib.sha256(self.to_sql().encode("utf-8")).hexdigest()
+
     def to_sql(self):
         select = ", ".join(
             expr.to_sql() + (" AS %s" % name if name else "")

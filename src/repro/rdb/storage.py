@@ -17,6 +17,9 @@ Two of the paper's storage models are implemented:
 
 from __future__ import annotations
 
+import hashlib
+import threading
+
 from repro.errors import DatabaseError, SchemaError
 from repro.rdb.expressions import (
     CaseWhen,
@@ -114,9 +117,20 @@ class ObjectRelationalStorage:
         self.bindings = {}       # id(decl) -> binding
         self.tables = []         # TableBinding, parents first
         self._doc_counter = 0
-        self._child_cache = None  # per-materialize grouped child rows
+        # Per-materialize grouped child rows.  Thread-local: the serving
+        # layer materialises concurrently from worker threads, and the
+        # grouped cache only makes sense within one materialize() call.
+        self._tls = threading.local()
         self._layout()
         self._create_tables()
+
+    @property
+    def _child_cache(self):
+        return getattr(self._tls, "child_cache", None)
+
+    @_child_cache.setter
+    def _child_cache(self, value):
+        self._tls.child_cache = value
 
     # -- layout -----------------------------------------------------------------
 
@@ -216,6 +230,30 @@ class ObjectRelationalStorage:
                 self.db.create_index(table.table_name, PARENT_ID)
 
     # -- metadata for the rewrite ---------------------------------------------------
+
+    def fingerprint(self):
+        """Stable hash of everything that shapes a compiled transform
+        against this storage: the structural schema, the shredded table
+        layout (names, columns, types) and the set of live indexes over
+        those tables.  Creating a value index — which changes what plan
+        the optimizer picks — changes the fingerprint, so the serving
+        layer's plan cache misses instead of executing a stale plan.
+        """
+        parts = ["object-relational:%s" % self.name,
+                 _schema_signature(self.schema.root)]
+        for table in self.tables:
+            schema = self.db.table(table.table_name).schema
+            parts.append("table:%s parent=%s cols=%s" % (
+                table.table_name,
+                table.parent.table_name if table.parent else "-",
+                ",".join("%s:%s" % (column.name, column.type)
+                         for column in schema.columns),
+            ))
+            for index in self.db.indexes_on(table.table_name):
+                parts.append("index:%s:%s:%s" % (
+                    index.table_name, index.column_name, index.name,
+                ))
+        return hashlib.sha256("\n".join(parts).encode("utf-8")).hexdigest()
 
     def binding_of(self, decl):
         return self.bindings.get(id(decl))
@@ -571,6 +609,26 @@ def _as_text(value):
     return str(value)
 
 
+def _schema_signature(decl, seen=None):
+    """Canonical one-line description of a structural-schema subtree."""
+    if seen is None:
+        seen = set()
+    if id(decl) in seen:  # shared decl: already described once
+        return "<shared %s>" % decl.name
+    seen.add(id(decl))
+    children = ",".join(
+        "%s%s" % (
+            _schema_signature(particle.decl, seen),
+            particle.occurs,
+        )
+        for particle in decl.particles
+    )
+    return "%s[group=%s text=%d attrs=%s](%s)" % (
+        decl.name, decl.group, int(decl.has_text),
+        "|".join(decl.attributes), children,
+    )
+
+
 class ClobStorage:
     """Serialised-text storage: no structure for the rewrite to exploit."""
 
@@ -580,6 +638,14 @@ class ClobStorage:
         self.table_name = "%s_clob" % name
         db.create_table(self.table_name, [("id", INT), ("body", TEXT)])
         self._doc_counter = 0
+
+    def fingerprint(self):
+        """CLOB storage carries no structure: a compiled transform against
+        it depends only on the stylesheet, so the fingerprint is just the
+        storage identity."""
+        return hashlib.sha256(
+            ("clob:%s" % self.table_name).encode("utf-8")
+        ).hexdigest()
 
     def load(self, document):
         self._doc_counter += 1

@@ -1,0 +1,59 @@
+"""Serving tier: concurrent ``XMLTransform()`` with a compiled-plan cache.
+
+The paper's transformation function lives inside a database server where
+many sessions repeat the same (stylesheet, source) work.  This package
+adds the pieces a long-lived server needs on top of
+:func:`repro.core.transform.xml_transform`:
+
+* :class:`PlanCache` — thread-safe LRU+TTL cache of
+  :class:`~repro.core.transform.CompiledTransform` artifacts, keyed by
+  stylesheet content hash + source structural fingerprint, with
+  stampede suppression and explicit schema-change invalidation;
+* :class:`TransformService` — worker pool with bounded admission,
+  per-request deadlines, cancellation, and per-request tracing; cache
+  hits skip every compile stage and still carry the preserved
+  EXPLAIN REWRITE ledger;
+* :func:`run_load` — closed-loop multi-client generator producing
+  throughput / p50-p95-p99 latency / hit-ratio reports
+  (``benchmarks/run_serve.py`` wraps it over the xsltmark corpus).
+"""
+
+from repro.serve.cache import (
+    EVICT_INVALIDATED,
+    EVICT_LRU,
+    EVICT_TTL,
+    CacheStats,
+    PlanCache,
+)
+from repro.serve.loadgen import LoadReport, WorkItem, run_load
+from repro.serve.service import (
+    RequestCancelledError,
+    RequestTimeoutError,
+    ServeError,
+    ServeFuture,
+    ServeResult,
+    ServiceClosedError,
+    ServiceOverloadedError,
+    TransformService,
+    source_fingerprint,
+)
+
+__all__ = [
+    "CacheStats",
+    "EVICT_INVALIDATED",
+    "EVICT_LRU",
+    "EVICT_TTL",
+    "LoadReport",
+    "PlanCache",
+    "RequestCancelledError",
+    "RequestTimeoutError",
+    "ServeError",
+    "ServeFuture",
+    "ServeResult",
+    "ServiceClosedError",
+    "ServiceOverloadedError",
+    "TransformService",
+    "WorkItem",
+    "run_load",
+    "source_fingerprint",
+]

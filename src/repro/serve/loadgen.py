@@ -1,0 +1,163 @@
+"""Closed-loop load generator for :class:`~repro.serve.service.TransformService`.
+
+``run_load`` drives N client threads against a service; each client
+issues its next request only after the previous one completes (a
+*closed loop* — offered load tracks service capacity, the standard
+harness shape for latency work).  Per-request wall latency, strategy,
+and cache behaviour are collected into a :class:`LoadReport` with
+throughput and nearest-rank p50/p95/p99.
+
+The workload is a sequence of :class:`WorkItem` (source, stylesheet,
+kwargs); clients walk it round-robin starting at their own offset so a
+multi-case workload interleaves across clients.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+
+class WorkItem:
+    """One request template the generator replays."""
+
+    __slots__ = ("name", "source", "stylesheet", "kwargs")
+
+    def __init__(self, source, stylesheet, name=None, **kwargs):
+        self.name = name or "item"
+        self.source = source
+        self.stylesheet = stylesheet
+        self.kwargs = kwargs
+
+
+class LoadReport:
+    """Aggregate results of one ``run_load`` run."""
+
+    __slots__ = ("clients", "requests", "errors", "elapsed_seconds",
+                 "latencies_seconds", "cache_hits", "strategies",
+                 "error_types")
+
+    def __init__(self, clients):
+        self.clients = clients
+        self.requests = 0
+        self.errors = 0
+        self.elapsed_seconds = 0.0
+        self.latencies_seconds = []
+        self.cache_hits = 0
+        self.strategies = {}
+        self.error_types = {}
+
+    # -- summaries --------------------------------------------------------------
+
+    @property
+    def throughput_rps(self):
+        if not self.elapsed_seconds:
+            return 0.0
+        return self.requests / self.elapsed_seconds
+
+    @property
+    def hit_ratio(self):
+        return (self.cache_hits / self.requests) if self.requests else 0.0
+
+    def latency_ms(self, pct):
+        """Nearest-rank percentile of request latency, in milliseconds."""
+        if not self.latencies_seconds:
+            return None
+        ordered = sorted(self.latencies_seconds)
+        rank = max(
+            0,
+            min(len(ordered) - 1, int(round(pct / 100.0 * len(ordered))) - 1),
+        )
+        return ordered[rank] * 1000.0
+
+    @property
+    def mean_latency_ms(self):
+        if not self.latencies_seconds:
+            return None
+        return (sum(self.latencies_seconds)
+                / len(self.latencies_seconds)) * 1000.0
+
+    def as_dict(self):
+        return {
+            "clients": self.clients,
+            "requests": self.requests,
+            "errors": self.errors,
+            "elapsed_seconds": self.elapsed_seconds,
+            "throughput_rps": self.throughput_rps,
+            "hit_ratio": self.hit_ratio,
+            "latency_ms": {
+                "mean": self.mean_latency_ms,
+                "p50": self.latency_ms(50),
+                "p95": self.latency_ms(95),
+                "p99": self.latency_ms(99),
+            },
+            "strategies": dict(self.strategies),
+            "error_types": dict(self.error_types),
+        }
+
+
+def run_load(service, workload, clients=4, requests_per_client=25,
+             timeout=None):
+    """Drive ``clients`` closed-loop threads over ``workload``.
+
+    Each client issues ``requests_per_client`` requests through
+    ``service.transform`` (blocking — closed loop), walking the workload
+    round-robin from its own offset.  Returns the merged
+    :class:`LoadReport`.  Request failures are counted (by exception
+    type), never raised.
+    """
+    workload = list(workload)
+    if not workload:
+        raise ValueError("workload is empty")
+    report = LoadReport(clients)
+    lock = threading.Lock()
+
+    def client_loop(client_index):
+        local_latencies = []
+        local_hits = 0
+        local_strategies = {}
+        local_errors = {}
+        for n in range(requests_per_client):
+            item = workload[(client_index + n) % len(workload)]
+            start = time.perf_counter()
+            try:
+                result = service.transform(
+                    item.source, item.stylesheet, timeout=timeout,
+                    **item.kwargs
+                )
+            except Exception as exc:
+                name = type(exc).__name__
+                local_errors[name] = local_errors.get(name, 0) + 1
+                continue
+            local_latencies.append(time.perf_counter() - start)
+            if result.cache_hit:
+                local_hits += 1
+            local_strategies[result.strategy] = (
+                local_strategies.get(result.strategy, 0) + 1
+            )
+        with lock:
+            report.latencies_seconds.extend(local_latencies)
+            report.requests += len(local_latencies)
+            report.cache_hits += local_hits
+            for strategy, count in local_strategies.items():
+                report.strategies[strategy] = (
+                    report.strategies.get(strategy, 0) + count
+                )
+            for name, count in local_errors.items():
+                report.error_types[name] = (
+                    report.error_types.get(name, 0) + count
+                )
+                report.errors += count
+
+    threads = [
+        threading.Thread(target=client_loop, args=(index,),
+                         name="repro-loadgen-%d" % index)
+        for index in range(clients)
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    report.elapsed_seconds = time.perf_counter() - start
+    return report

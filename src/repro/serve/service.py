@@ -1,0 +1,467 @@
+"""`TransformService`: concurrent ``XMLTransform()`` with plan reuse.
+
+The paper's function runs inside a database server, where many sessions
+transform concurrently and the same (stylesheet, source) pair repeats.
+:class:`TransformService` is that serving tier in front of the existing
+pipeline:
+
+* a fixed **worker pool** drains a **bounded admission queue** —
+  overload fails fast with :class:`ServiceOverloadedError` instead of
+  queueing without bound;
+* requests carry **deadlines** (enforced at dequeue: a request that
+  waited past its deadline never executes), and can be **cancelled**
+  while still queued;
+* the compile half (:func:`repro.core.transform.compile_transform`) goes
+  through a shared :class:`~repro.serve.cache.PlanCache`, keyed by
+  stylesheet content hash + source structural fingerprint, so a cache
+  hit pays only :func:`repro.core.transform.execute_compiled` — its
+  trace contains *no* compile spans at all;
+* a failed rewrite is cached too (negative caching): every execution of
+  that artifact replays the categorized functional fallback through the
+  exact accounting ``xml_transform`` would produce;
+* each request runs under its **own** :class:`~repro.obs.trace.Tracer`
+  (the tracer keeps a plain span stack and is not thread-safe), with a
+  ``serve.request`` root span recording queue wait, cache hit and
+  strategy, and a ``serve.execute`` child around plan/VM execution.
+
+Metrics (``repro.obs``): ``serve.requests``, ``serve.completed``
+(labelled by strategy and cache hit), ``serve.rejected{reason}``,
+``serve.timeouts``, ``serve.cancelled``, ``serve.errors`` and the
+``serve.queue_wait_seconds`` / ``serve.execute_seconds`` /
+``serve.request_seconds`` histograms, plus the cache's own
+``serve.cache.*`` family.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import queue
+import threading
+import time
+
+from repro.core.transform import (
+    STRATEGY_FUNCTIONAL,
+    CompiledTransform,
+    compile_transform,
+    execute_compiled,
+)
+from repro.errors import ReproError
+from repro.obs import InMemorySink, Tracer, global_metrics
+from repro.serve.cache import PlanCache
+from repro.xslt.stylesheet import Stylesheet, compile_stylesheet
+
+
+class ServeError(ReproError):
+    """Base class for serving-layer failures."""
+
+
+class ServiceOverloadedError(ServeError):
+    """The admission queue is full — the request was rejected."""
+
+
+class ServiceClosedError(ServeError):
+    """The service no longer accepts requests."""
+
+
+class RequestTimeoutError(ServeError):
+    """The request's deadline passed before (or while) it ran."""
+
+
+class RequestCancelledError(ServeError):
+    """The request was cancelled before a worker picked it up."""
+
+
+_PENDING = "pending"
+_RUNNING = "running"
+_DONE = "done"
+_CANCELLED = "cancelled"
+
+
+class ServeFuture:
+    """Handle to one submitted request.
+
+    ``result(timeout)`` blocks for the :class:`ServeResult` (re-raising
+    the request's failure); ``cancel()`` succeeds only while the request
+    is still queued.
+    """
+
+    __slots__ = ("_event", "_lock", "_state", "_value", "_error")
+
+    def __init__(self):
+        self._event = threading.Event()
+        self._lock = threading.Lock()
+        self._state = _PENDING
+        self._value = None
+        self._error = None
+
+    # -- caller side -------------------------------------------------------------
+
+    def cancel(self):
+        """Cancel if still queued; True when the request will not run."""
+        with self._lock:
+            if self._state == _PENDING:
+                self._state = _CANCELLED
+                self._error = RequestCancelledError("request cancelled")
+                self._event.set()
+            return self._state == _CANCELLED
+
+    def cancelled(self):
+        return self._state == _CANCELLED
+
+    def done(self):
+        return self._event.is_set()
+
+    def result(self, timeout=None):
+        if not self._event.wait(timeout):
+            raise RequestTimeoutError(
+                "no result within %.3fs" % timeout
+            )
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+    def exception(self, timeout=None):
+        if not self._event.wait(timeout):
+            raise RequestTimeoutError(
+                "no result within %.3fs" % timeout
+            )
+        return self._error
+
+    # -- worker side -------------------------------------------------------------
+
+    def _claim(self):
+        """Transition pending→running; False when already cancelled."""
+        with self._lock:
+            if self._state != _PENDING:
+                return False
+            self._state = _RUNNING
+            return True
+
+    def _resolve(self, value):
+        with self._lock:
+            self._state = _DONE
+            self._value = value
+        self._event.set()
+
+    def _fail(self, error):
+        with self._lock:
+            self._state = _DONE
+            self._error = error
+        self._event.set()
+
+
+class ServeResult:
+    """A :class:`~repro.core.transform.TransformResult` plus the serving
+    metadata for this request: cache behaviour and queue/execute/total
+    latency split."""
+
+    __slots__ = ("transform", "cache_hit", "queue_wait_seconds",
+                 "execute_seconds", "total_seconds", "trace")
+
+    def __init__(self, transform, cache_hit, queue_wait_seconds,
+                 execute_seconds, total_seconds, trace=None):
+        #: the underlying TransformResult (rows, strategy, ledger, ...)
+        self.transform = transform
+        #: True when the compiled plan came from the cache
+        self.cache_hit = cache_hit
+        self.queue_wait_seconds = queue_wait_seconds
+        self.execute_seconds = execute_seconds
+        self.total_seconds = total_seconds
+        #: root span of this request's private trace
+        self.trace = trace
+
+    @property
+    def strategy(self):
+        return self.transform.strategy
+
+    @property
+    def rows(self):
+        return self.transform.rows
+
+    def serialized_rows(self, method="xml"):
+        return self.transform.serialized_rows(method=method)
+
+    def report(self):
+        return self.transform.report()
+
+    def explain(self, rewrite=False):
+        return self.transform.explain(rewrite=rewrite)
+
+
+class _Request:
+    __slots__ = ("future", "source", "stylesheet", "rewrite", "options",
+                 "params", "deadline", "submitted_at")
+
+    def __init__(self, future, source, stylesheet, rewrite, options, params,
+                 deadline, submitted_at):
+        self.future = future
+        self.source = source
+        self.stylesheet = stylesheet
+        self.rewrite = rewrite
+        self.options = options
+        self.params = params
+        self.deadline = deadline
+        self.submitted_at = submitted_at
+
+
+_SHUTDOWN = object()
+
+
+def source_fingerprint(source):
+    """The cache-key component describing a source's structural shape.
+
+    Uses the source's own ``fingerprint()`` (storages, views, queries)
+    when it has one; anything else gets a per-object token, which makes
+    equal-but-distinct anonymous sources miss rather than alias."""
+    fingerprint = getattr(source, "fingerprint", None)
+    if callable(fingerprint):
+        return fingerprint()
+    return "anon:%x" % id(source)
+
+
+def _stylesheet_key(stylesheet):
+    """Content hash for text; identity for pre-compiled objects (the
+    cached artifact keeps the object alive, so its id cannot be
+    reused while the entry is live)."""
+    if isinstance(stylesheet, Stylesheet):
+        return "ss-obj:%x" % id(stylesheet)
+    return "ss-text:%s" % hashlib.sha256(
+        stylesheet.encode("utf-8")
+    ).hexdigest()
+
+
+def _options_key(options):
+    if not options:
+        return ""
+    return repr(sorted(options.items()))
+
+
+class TransformService:
+    """Concurrent transformation service over one database.
+
+    :param db: the :class:`~repro.rdb.database.Database` to serve from.
+    :param workers: worker-thread count.
+    :param queue_size: admission-queue bound; a full queue rejects with
+        :class:`ServiceOverloadedError`.
+    :param cache: a :class:`~repro.serve.cache.PlanCache` (one is created
+        when omitted — ``cache_capacity``/``cache_ttl_seconds`` configure
+        it).
+    :param default_timeout: per-request deadline in seconds applied when
+        ``submit``/``transform`` don't pass one (None = no deadline).
+    :param trace_requests: give each request a private tracer so
+        ``ServeResult.trace`` carries its span tree; turn off to shave
+        per-request overhead.
+    """
+
+    def __init__(self, db, workers=4, queue_size=64, cache=None,
+                 cache_capacity=128, cache_ttl_seconds=None,
+                 default_timeout=None, metrics=None, trace_requests=True):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.db = db
+        self.metrics = metrics or global_metrics()
+        # explicit None test: an empty PlanCache is falsy (len() == 0)
+        self.cache = cache if cache is not None else PlanCache(
+            capacity=cache_capacity, ttl_seconds=cache_ttl_seconds,
+            metrics=self.metrics,
+        )
+        self.default_timeout = default_timeout
+        self.trace_requests = trace_requests
+        self._queue = queue.Queue(maxsize=queue_size)
+        self._closed = False
+        self._close_lock = threading.Lock()
+        self._workers = []
+        for n in range(workers):
+            worker = threading.Thread(
+                target=self._worker_loop,
+                name="repro-serve-%d" % n,
+                daemon=True,
+            )
+            worker.start()
+            self._workers.append(worker)
+
+    # -- client API --------------------------------------------------------------
+
+    def submit(self, source, stylesheet, rewrite=True, options=None,
+               params=None, timeout=None):
+        """Enqueue one request; returns a :class:`ServeFuture`.
+
+        ``timeout`` (seconds, default ``default_timeout``) bounds the
+        request's *total* life: a request still queued past its deadline
+        fails with :class:`RequestTimeoutError` instead of executing.
+        """
+        if self._closed:
+            raise ServiceClosedError("service is closed")
+        timeout = self.default_timeout if timeout is None else timeout
+        now = time.perf_counter()
+        request = _Request(
+            ServeFuture(), source, stylesheet, rewrite, options, params,
+            deadline=(now + timeout) if timeout else None,
+            submitted_at=now,
+        )
+        try:
+            self._queue.put_nowait(request)
+        except queue.Full:
+            self.metrics.counter("serve.rejected", reason="queue-full").inc()
+            raise ServiceOverloadedError(
+                "admission queue full (%d pending)" % self._queue.maxsize
+            )
+        self.metrics.counter("serve.requests").inc()
+        return request.future
+
+    def transform(self, source, stylesheet, rewrite=True, options=None,
+                  params=None, timeout=None):
+        """Synchronous submit+wait; returns the :class:`ServeResult`."""
+        future = self.submit(source, stylesheet, rewrite=rewrite,
+                             options=options, params=params, timeout=timeout)
+        # A deadline bounds queue wait + execution, both on the worker
+        # side; the caller waits without its own limit so in-flight
+        # execution can finish.
+        return future.result()
+
+    def invalidate(self, source=None, key=None, tag=None):
+        """Evict cached plans: every plan compiled against ``source``'s
+        current fingerprint, or by exact key/tag.  Call after DDL that
+        changes a source's schema, view definition or indexes."""
+        if source is not None:
+            return self.cache.invalidate(
+                fingerprint=source_fingerprint(source)
+            )
+        return self.cache.invalidate(key=key, tag=tag)
+
+    def stats(self):
+        """Cache statistics plus queue/worker occupancy."""
+        stats = self.cache.stats().as_dict()
+        stats["queue_depth"] = self._queue.qsize()
+        stats["workers"] = len(self._workers)
+        return stats
+
+    def close(self, wait=True):
+        """Stop accepting requests; drain queued work, stop workers."""
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+        for _ in self._workers:
+            self._queue.put(_SHUTDOWN)
+        if wait:
+            for worker in self._workers:
+                worker.join()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False
+
+    # -- worker side -------------------------------------------------------------
+
+    def _worker_loop(self):
+        while True:
+            item = self._queue.get()
+            try:
+                if item is _SHUTDOWN:
+                    return
+                self._handle(item)
+            finally:
+                self._queue.task_done()
+
+    def _handle(self, request):
+        started = time.perf_counter()
+        future = request.future
+        if request.deadline is not None and started >= request.deadline:
+            self.metrics.counter("serve.timeouts").inc()
+            future._fail(RequestTimeoutError(
+                "deadline exceeded after %.3fs in queue"
+                % (started - request.submitted_at)
+            ))
+            return
+        if not future._claim():
+            self.metrics.counter("serve.cancelled").inc()
+            return
+        queue_wait = started - request.submitted_at
+        self.metrics.histogram("serve.queue_wait_seconds").record(queue_wait)
+        tracer = Tracer(sinks=[InMemorySink()]) if self.trace_requests \
+            else Tracer(enabled=False)
+        try:
+            result = self._execute(request, tracer, queue_wait)
+        except BaseException as exc:
+            self.metrics.counter("serve.errors").inc()
+            future._fail(exc)
+            return
+        total = time.perf_counter() - request.submitted_at
+        result.total_seconds = total
+        self.metrics.histogram("serve.request_seconds").record(total)
+        self.metrics.counter(
+            "serve.completed",
+            strategy=result.strategy,
+            cache="hit" if result.cache_hit else "miss",
+        ).inc()
+        future._resolve(result)
+
+    def _execute(self, request, tracer, queue_wait):
+        with tracer.span(
+            "serve.request",
+            rewrite=bool(request.rewrite),
+            queue_wait_ms=round(queue_wait * 1000.0, 3),
+        ) as root:
+            compiled, hit = self._compiled_for(request, tracer)
+            execute_start = time.perf_counter()
+            with tracer.span("serve.execute"):
+                transform = execute_compiled(
+                    self.db, request.source, compiled,
+                    params=request.params, tracer=tracer,
+                    metrics=self.metrics, root=root,
+                )
+            execute_seconds = time.perf_counter() - execute_start
+            self.metrics.histogram("serve.execute_seconds").record(
+                execute_seconds
+            )
+            root.set_attr(cache_hit=hit, strategy=transform.strategy)
+        if root:
+            transform.trace = root
+        return ServeResult(
+            transform, hit,
+            queue_wait_seconds=queue_wait,
+            execute_seconds=execute_seconds,
+            total_seconds=None,  # stamped by _handle once resolved
+            trace=root if root else None,
+        )
+
+    def _compiled_for(self, request, tracer):
+        """The request's CompiledTransform, through the plan cache.
+
+        The compile (leader-only, stampede-suppressed) runs under *this*
+        request's tracer, so compile spans appear exactly once — in the
+        leader's trace — and cache-hit traces contain none.
+        """
+        fingerprint = source_fingerprint(request.source)
+        key = (
+            _stylesheet_key(request.stylesheet),
+            fingerprint,
+            bool(request.rewrite),
+            _options_key(request.options),
+        )
+        if request.rewrite:
+            def compile_fn():
+                self.metrics.counter("transform.rewrite_attempts").inc()
+                return compile_transform(
+                    self.db, request.source, request.stylesheet,
+                    options=request.options, tracer=tracer,
+                    metrics=self.metrics,
+                )
+        else:
+            def compile_fn():
+                stylesheet = request.stylesheet
+                if not isinstance(stylesheet, Stylesheet):
+                    with tracer.span("compile.stylesheet"):
+                        stylesheet = compile_stylesheet(stylesheet)
+                return CompiledTransform(
+                    stylesheet, STRATEGY_FUNCTIONAL,
+                    options=request.options,
+                )
+        return self.cache.get_or_compile(
+            key, compile_fn, fingerprint=fingerprint,
+            tags=("src:%x" % id(request.source),),
+        )

@@ -469,26 +469,31 @@ class XsltVM:
         }
 
     def _key_index(self, name, key, context):
+        # Keyed by key *name*, holding the document root alongside the
+        # index: a live reference keeps the root's id from being reused
+        # after GC (which would alias indexes across documents), and
+        # moving to the next document simply replaces the entry — the
+        # index is evicted together with the document it describes.
         root = context.node.root()
-        cache_key = (name, id(root))
-        index = self._key_indexes.get(cache_key)
-        if index is None:
-            index = {}
-            for node in root.iter_subtree():
-                candidates = [node]
-                if node.kind == NodeKind.ELEMENT:
-                    candidates.extend(node.attributes)
-                for candidate in candidates:
-                    if key.match.matches(candidate, context.with_node(candidate)):
-                        use_value = key.use.evaluate(context.with_node(candidate))
-                        if isinstance(use_value, list):
-                            values = [item.string_value() if isinstance(item, Node)
-                                      else to_string(item) for item in use_value]
-                        else:
-                            values = [to_string(use_value)]
-                        for value in values:
-                            index.setdefault(value, []).append(candidate)
-            self._key_indexes[cache_key] = index
+        cached = self._key_indexes.get(name)
+        if cached is not None and cached[0] is root:
+            return cached[1]
+        index = {}
+        for node in root.iter_subtree():
+            candidates = [node]
+            if node.kind == NodeKind.ELEMENT:
+                candidates.extend(node.attributes)
+            for candidate in candidates:
+                if key.match.matches(candidate, context.with_node(candidate)):
+                    use_value = key.use.evaluate(context.with_node(candidate))
+                    if isinstance(use_value, list):
+                        values = [item.string_value() if isinstance(item, Node)
+                                  else to_string(item) for item in use_value]
+                    else:
+                        values = [to_string(use_value)]
+                    for value in values:
+                        index.setdefault(value, []).append(candidate)
+        self._key_indexes[name] = (root, index)
         return index
 
 

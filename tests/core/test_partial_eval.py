@@ -175,3 +175,55 @@ class TestExecutionGraph:
         result = pe("")
         assert result.instantiated_templates == set()
         assert result.inline_mode
+
+
+class TestPredicateStripper:
+    """Per-compilation scoping of the strip memo (serving-process leak fix)."""
+
+    def test_each_compilation_gets_its_own_stripper(self):
+        first = pe(EXAMPLE1_STYLESHEET)
+        second = pe(EXAMPLE1_STYLESHEET)
+        assert first.stripper is not None
+        assert first.stripper is not second.stripper
+
+    def test_compilation_memo_is_populated_and_released(self):
+        result = pe(EXAMPLE1_STYLESHEET)
+        assert len(result.stripper) > 0
+        result.stripper.clear()
+        assert len(result.stripper) == 0
+
+    def test_instance_memoizes_by_identity(self):
+        from repro.core.partial_eval import PredicateStripper
+
+        stripper = PredicateStripper()
+        expr = parse_xpath("emp[sal > 2000]")
+        assert stripper.strip_expr(expr) is stripper.strip_expr(expr)
+        # an equal-but-distinct parse gets its own stripped copy
+        other = parse_xpath("emp[sal > 2000]")
+        assert stripper.strip_expr(other) is not stripper.strip_expr(expr)
+
+    def test_instance_memoizes_patterns(self):
+        from repro.core.partial_eval import PredicateStripper
+
+        stripper = PredicateStripper()
+        pattern = parse_pattern("emp[sal > 2000]/empno")
+        assert stripper.strip_pattern(pattern) is stripper.strip_pattern(
+            pattern
+        )
+        assert stripper.strip_pattern(pattern).to_text() == "emp/empno"
+
+    def test_bounded_memo_resets_at_capacity(self):
+        from repro.core.partial_eval import PredicateStripper
+
+        stripper = PredicateStripper(max_entries=4)
+        exprs = [parse_xpath("a[%d]" % n) for n in range(10)]
+        for expr in exprs:
+            stripper.strip_expr(expr)
+        # the memo never grows past its bound (it resets, keeping the
+        # module-level default from leaking in a long-lived process)
+        assert len(stripper) <= 5
+
+    def test_module_default_is_bounded(self):
+        from repro.core.partial_eval import _DEFAULT_STRIPPER
+
+        assert _DEFAULT_STRIPPER.max_entries is not None

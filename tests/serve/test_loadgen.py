@@ -1,0 +1,114 @@
+"""Tests for the closed-loop load generator."""
+
+import pytest
+
+from repro.core import STRATEGY_SQL, xml_transform
+from repro.obs import MetricsRegistry
+from repro.rdb import Database, INT
+from repro.rdb.storage import ObjectRelationalStorage
+from repro.schema import schema_from_dtd
+from repro.serve import TransformService, WorkItem, run_load
+from repro.xmlmodel import parse_document
+
+from ..core.paper_example import (
+    DEPT_DTD,
+    DEPT_DOC_1,
+    DEPT_DOC_2,
+    EXAMPLE1_STYLESHEET,
+)
+
+XSL = 'xmlns:xsl="http://www.w3.org/1999/XSL/Transform"'
+
+BROKEN_STYLESHEET = "<not-a-stylesheet/>"
+
+
+def make_service():
+    db = Database()
+    storage = ObjectRelationalStorage(
+        db, schema_from_dtd(DEPT_DTD), "xd",
+        column_types={"sal": INT, "empno": INT},
+    )
+    storage.load(parse_document(DEPT_DOC_1))
+    storage.load(parse_document(DEPT_DOC_2))
+    service = TransformService(db, workers=4, metrics=MetricsRegistry())
+    return db, storage, service
+
+
+class TestRunLoad:
+    def test_report_counts_all_requests(self):
+        db, storage, service = make_service()
+        with service:
+            report = run_load(
+                service,
+                [WorkItem(storage, EXAMPLE1_STYLESHEET, name="ex1")],
+                clients=3, requests_per_client=5,
+            )
+        assert report.requests == 15
+        assert report.errors == 0
+        assert report.clients == 3
+        assert report.strategies == {STRATEGY_SQL: 15}
+        assert report.elapsed_seconds > 0
+        assert report.throughput_rps > 0
+
+    def test_single_item_workload_hits_after_first(self):
+        db, storage, service = make_service()
+        with service:
+            report = run_load(
+                service,
+                [WorkItem(storage, EXAMPLE1_STYLESHEET)],
+                clients=4, requests_per_client=5,
+            )
+        # exactly one cold compile across the whole run
+        assert service.cache.stats().compiles == 1
+        assert report.cache_hits >= report.requests - 4
+        assert report.hit_ratio > 0.5
+
+    def test_latency_percentiles_ordered(self):
+        db, storage, service = make_service()
+        with service:
+            report = run_load(
+                service,
+                [WorkItem(storage, EXAMPLE1_STYLESHEET)],
+                clients=2, requests_per_client=10,
+            )
+        p50, p95, p99 = (report.latency_ms(50), report.latency_ms(95),
+                         report.latency_ms(99))
+        assert p50 is not None and p50 > 0
+        assert p50 <= p95 <= p99
+        assert report.mean_latency_ms > 0
+        summary = report.as_dict()
+        assert summary["latency_ms"]["p50"] == p50
+        assert summary["requests"] == 20
+
+    def test_errors_counted_not_raised(self):
+        db, storage, service = make_service()
+        with service:
+            report = run_load(
+                service,
+                [
+                    WorkItem(storage, EXAMPLE1_STYLESHEET),
+                    WorkItem(storage, BROKEN_STYLESHEET, name="broken"),
+                ],
+                clients=2, requests_per_client=4,
+            )
+        assert report.errors == 4
+        assert report.requests == 4
+        assert sum(report.error_types.values()) == 4
+
+    def test_results_match_uncached_baseline(self):
+        db, storage, service = make_service()
+        baseline = xml_transform(
+            db, storage, EXAMPLE1_STYLESHEET
+        ).serialized_rows()
+        with service:
+            run_load(service, [WorkItem(storage, EXAMPLE1_STYLESHEET)],
+                     clients=2, requests_per_client=3)
+            served = service.transform(storage, EXAMPLE1_STYLESHEET)
+        assert served.cache_hit
+        assert served.serialized_rows() == baseline
+
+    def test_empty_workload_rejected(self):
+        db, storage, service = make_service()
+        with service:
+            with pytest.raises(ValueError):
+                run_load(service, [], clients=1)

@@ -113,6 +113,55 @@ class TestKeyFunction:
         vm.transform_document(parse_document(self.SOURCE))
         assert len(vm._key_indexes) == 1
 
+    def test_key_index_holds_document_root(self):
+        # The cache entry must keep a live reference to the document
+        # root: identity-only keys (id(root)) alias a freed document's
+        # index onto whatever object reuses its address.
+        from repro.xslt import XsltVM, compile_stylesheet
+        from repro.xmlmodel import parse_document
+
+        compiled = compile_stylesheet(sheet(
+            '<xsl:key name="by" match="i" use="@k"/>'
+            '<xsl:template match="/">'
+            "<xsl:value-of select=\"count(key('by', 'x'))\"/>"
+            "</xsl:template>"
+        ))
+        vm = XsltVM(compiled)
+        document = parse_document(self.SOURCE)
+        vm.transform_document(document)
+        root, _ = vm._key_indexes["by"]
+        assert root is document
+
+    def test_key_index_evicted_with_document(self):
+        # Moving to a new document replaces the cached index (no stale
+        # per-document entries accumulate), and each document sees only
+        # its own matches.
+        from repro.xslt import XsltVM, compile_stylesheet
+        from repro.xmlmodel import parse_document
+        from repro.xmlmodel.serializer import serialize
+
+        compiled = compile_stylesheet(sheet(
+            '<xsl:key name="by" match="i" use="@k"/>'
+            '<xsl:template match="/">'
+            "<xsl:for-each select=\"key('by', 'x')\">"
+            '<xsl:value-of select="."/></xsl:for-each></xsl:template>'
+        ))
+        vm = XsltVM(compiled)
+
+        def result_text(document):
+            result = vm.transform_document(document)
+            return "".join(serialize(child) for child in result.children)
+
+        doc_one = parse_document(self.SOURCE)
+        doc_two = parse_document('<l><i k="x">9</i></l>')
+        assert result_text(doc_one) == "13"
+        assert result_text(doc_two) == "9"
+        assert len(vm._key_indexes) == 1
+        cached_root, _ = vm._key_indexes["by"]
+        assert cached_root is doc_two
+        # returning to the first document rebuilds — never aliases
+        assert result_text(doc_one) == "13"
+
 
 class TestCurrentFunction:
     def test_current_equals_context_at_top_level(self):
