@@ -45,6 +45,7 @@ _ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 sys.path.insert(0, _ROOT)
 sys.path.insert(0, os.path.join(_ROOT, "src"))
 
+from repro.api import TransformOptions
 from repro.core.transform import xml_transform
 from repro.obs import MetricsRegistry, Tracer
 from repro.serve import TransformService, WorkItem, run_load
@@ -122,7 +123,8 @@ def run_serve_case(name, size, args, cases_out):
 
     # functional baseline — the regression gate's calibration clock
     functional = timed_loop(
-        lambda: xml_transform(db, storage, stylesheet, rewrite=False,
+        lambda: xml_transform(db, storage, stylesheet,
+                              options=TransformOptions(rewrite=False),
                               tracer=quiet, metrics=scratch),
         args.uncached_repeat,
     )

@@ -2,7 +2,7 @@
 """Quickstart: the paper's example 1, end to end.
 
 Creates the dept/emp tables (Tables 1–2), the dept_emp SQL/XML view
-(Table 3), and applies the Table-5 stylesheet through ``xml_transform`` —
+(Table 3), and applies the Table-5 stylesheet through ``Engine`` —
 first with the XSLT rewrite (partial evaluation → XQuery → SQL/XML), then
 functionally — showing the generated XQuery (Table 8), the merged SQL
 (Table 7), the transformation results (Table 6), and the execution
@@ -11,7 +11,7 @@ statistics that make the rewrite fast.
 Run:  python examples/quickstart.py
 """
 
-from repro.core import xml_transform
+from repro import Engine, TransformOptions
 from repro.rdb import Database
 
 STYLESHEET = """<?xml version="1.0"?><xsl:stylesheet version="1.0"
@@ -98,7 +98,8 @@ def main():
     print("=" * 72)
     print("XSLT rewrite path (partial evaluation -> XQuery -> SQL/XML)")
     print("=" * 72)
-    result = xml_transform(db, view, STYLESHEET, rewrite=True)
+    engine = Engine(db)
+    result = engine.transform(view, STYLESHEET)
     print("strategy:", result.strategy)
     print()
     print("--- generated XQuery (paper Table 8) ---")
@@ -115,7 +116,8 @@ def main():
     print("=" * 72)
     print("Functional (no-rewrite) path for comparison")
     print("=" * 72)
-    functional = xml_transform(db, view, STYLESHEET, rewrite=False)
+    functional = engine.transform(
+        view, STYLESHEET, options=TransformOptions(rewrite=False))
     print("strategy:", functional.strategy)
     print("execution statistics:", functional.stats)
     print()

@@ -16,7 +16,7 @@ Run:  python examples/schema_transform.py [doc_count]
 import sys
 import time
 
-from repro.core import xml_transform
+from repro import Engine, TransformOptions
 from repro.rdb import Database, INT
 from repro.rdb.storage import ObjectRelationalStorage
 from repro.schema import schema_from_dtd
@@ -80,12 +80,14 @@ def main():
         storage.load(make_order(index))
     storage.create_value_index("qty")
 
+    engine = Engine(db)
     start = time.perf_counter()
-    rewritten = xml_transform(db, storage, CONVERT, rewrite=True)
+    rewritten = engine.transform(storage, CONVERT)
     rewrite_seconds = time.perf_counter() - start
 
     start = time.perf_counter()
-    functional = xml_transform(db, storage, CONVERT, rewrite=False)
+    functional = engine.transform(
+        storage, CONVERT, options=TransformOptions(rewrite=False))
     functional_seconds = time.perf_counter() - start
 
     print()

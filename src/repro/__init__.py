@@ -1,13 +1,24 @@
 """repro — reproduction of "Efficient XSLT Processing in Relational
 Database System" (Liu & Novoselsky, VLDB 2006).
 
-The paper's front door lives in :mod:`repro.core`:
+The documented front door is :class:`repro.api.Engine` (re-exported
+here) with :class:`repro.api.TransformOptions` as the one options
+object::
+
+    from repro import Database, Engine
+
+    engine = Engine(db)
+    result = engine.transform(storage, stylesheet)      # materialized
+    for chunk in engine.transform_stream(storage, stylesheet):
+        ...                                             # streaming
+
+The legacy entry points delegate to it:
 
 * :func:`repro.core.transform.xml_transform` — the ``XMLTransform()``
-  equivalent, with ``rewrite=True`` (XSLT→XQuery→SQL/XML) or
-  ``rewrite=False`` (functional DOM evaluation);
+  equivalent (one-shot compile + execute);
 * :class:`repro.core.pipeline.XsltRewriter` — the XSLT→XQuery partial
   evaluator;
+* :class:`repro.serve.TransformService` — the concurrent serving tier;
 
 with the substrates in :mod:`repro.xmlmodel`, :mod:`repro.xpath`,
 :mod:`repro.xslt`, :mod:`repro.xquery`, :mod:`repro.schema` and
@@ -26,13 +37,17 @@ from repro.core import (  # noqa: E402
     rewrite_xml_exists,
     rewrite_xquery_over_view,
     rewrite_xslt_over_xquery,
+    transform_many,
     xml_transform,
 )
+from repro.api import Engine, TransformOptions  # noqa: E402
 from repro.rdb import Database  # noqa: E402
 
 __all__ = [
     "Database",
+    "Engine",
     "RewriteOptions",
+    "TransformOptions",
     "TransformResult",
     "XsltRewriter",
     "rewrite_combined",
@@ -40,5 +55,6 @@ __all__ = [
     "rewrite_xml_exists",
     "rewrite_xquery_over_view",
     "rewrite_xslt_over_xquery",
+    "transform_many",
     "xml_transform",
 ]

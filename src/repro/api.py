@@ -1,0 +1,328 @@
+"""repro.api — the unified public facade over the transform pipeline.
+
+Three PRs of organic growth left four overlapping entry points
+(``xml_transform``, ``compile_transform``/``execute_compiled``,
+``XsltRewriter.compile``, ``TransformService.transform``) with divergent
+keyword arguments.  This module is the consolidation:
+
+* :class:`Engine` — one object owning a database plus tracer/metrics,
+  with the five verbs a caller needs: :meth:`Engine.compile`,
+  :meth:`Engine.transform`, :meth:`Engine.transform_stream`,
+  :meth:`Engine.transform_many` and :meth:`Engine.explain`;
+* :class:`TransformOptions` — the one options dataclass every entry
+  point accepts (``rewrite``, ``inline``, ``explain``, ``deadline``,
+  ``batch_size``, ...), replacing the loose kwargs, which keep working
+  through a deprecation shim (:func:`warn_legacy`, one
+  :class:`DeprecationWarning` per call site).
+
+The legacy entry points delegate here, so behaviour (spans, metrics,
+fallback accounting) is identical whichever door a caller uses::
+
+    from repro import Engine, TransformOptions
+
+    engine = Engine(db)
+    result = engine.transform(storage, stylesheet)
+    for chunk in engine.transform_stream(storage, stylesheet):
+        send(chunk)
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+import warnings
+from dataclasses import dataclass, replace as _dc_replace
+
+from repro.core.transform import (
+    DEFAULT_CHUNK_CHARS,
+    STRATEGY_FUNCTIONAL,
+    CompiledTransform,
+    TransformResult,
+    _compile_impl,
+    _functional,
+    execute_compiled,
+    execute_compiled_stream,
+    transform_many as _transform_many,
+)
+from repro.core.xquery_gen import RewriteOptions
+from repro.obs import get_tracer, global_metrics
+from repro.xslt.stylesheet import Stylesheet, compile_stylesheet
+
+__all__ = [
+    "Engine",
+    "TransformOptions",
+    "warn_legacy",
+]
+
+
+# -- deprecation shim --------------------------------------------------------------
+
+_PKG_DIR = os.path.dirname(os.path.abspath(__file__))
+_warned_sites = set()
+_warned_lock = threading.Lock()
+
+
+def warn_legacy(entry_point, what):
+    """Emit a :class:`DeprecationWarning` for a legacy kwarg — once per
+    (entry point, caller file, caller line), so a hot loop over an old
+    call site warns a single time.
+
+    The caller site is the first stack frame outside the ``repro``
+    package, and the warning's ``stacklevel`` points at it, so ``python
+    -W error::DeprecationWarning`` blames the right line.
+    """
+    depth = 1
+    frame = sys._getframe(depth)
+    while frame is not None and frame.f_code.co_filename.startswith(_PKG_DIR):
+        depth += 1
+        frame = frame.f_back
+    if frame is None:  # pragma: no cover - internal-only call chains
+        frame = sys._getframe(1)
+        depth = 1
+    site = (entry_point, what, frame.f_code.co_filename, frame.f_lineno)
+    with _warned_lock:
+        if site in _warned_sites:
+            return
+        _warned_sites.add(site)
+    warnings.warn(
+        "%s: passing %s is deprecated; pass options=TransformOptions(...) "
+        "instead" % (entry_point, what),
+        DeprecationWarning,
+        stacklevel=depth + 1,
+    )
+
+
+def _reset_warned_sites():
+    """Test hook: forget which call sites already warned."""
+    with _warned_lock:
+        _warned_sites.clear()
+
+
+# -- options -----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TransformOptions:
+    """The one options object every transform entry point accepts.
+
+    :param rewrite: attempt the XSLT→XQuery→SQL/XML rewrite (falling
+        back functionally on unsupported constructs); False forces
+        functional evaluation.
+    :param inline: force the rewrite's inline mode on/off (None lets the
+        pipeline decide, see RewriteOptions.inline_templates §4.4).
+        Ignored when ``rewrite_options`` is given.
+    :param explain: ``XsltRewriter.compile(..., options=...)`` returns
+        the rewrite-decision ledger instead of the outcome (EXPLAIN
+        REWRITE without touching data).
+    :param deadline: per-request deadline in seconds
+        (:class:`repro.serve.TransformService` only — enforced at
+        dequeue time).
+    :param batch_size: rows per batch on the vectorized executor path.
+        None is automatic: row-at-a-time pull for materialized
+        execution (``transform``), ``DEFAULT_BATCH_SIZE`` batches for
+        ``transform_stream``.
+    :param chunk_chars: coalescing target for streamed output chunks.
+    :param profile_plan: collect per-plan-node EXPLAIN ANALYZE counters
+        on the rewrite path (skipped whenever tracing is disabled).
+    :param rewrite_options: a full
+        :class:`~repro.core.xquery_gen.RewriteOptions` for per-technique
+        ablation; overrides ``inline``.
+    """
+
+    rewrite: bool = True
+    inline: bool = None
+    explain: bool = False
+    deadline: float = None
+    batch_size: int = None
+    chunk_chars: int = DEFAULT_CHUNK_CHARS
+    profile_plan: bool = True
+    rewrite_options: RewriteOptions = None
+
+    @classmethod
+    def coerce(cls, value, entry_point=None):
+        """Normalize what callers pass as ``options``: None → defaults,
+        a :class:`TransformOptions` → itself, a dict → keyword arguments,
+        and a legacy :class:`RewriteOptions` → wrapped (with a
+        deprecation warning when ``entry_point`` names the caller)."""
+        if value is None:
+            return cls()
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, RewriteOptions):
+            if entry_point:
+                warn_legacy(entry_point, "options=RewriteOptions(...)")
+            return cls(rewrite_options=value)
+        if isinstance(value, dict):
+            return cls(**value)
+        raise TypeError(
+            "options must be a TransformOptions, RewriteOptions, dict or "
+            "None, not %r" % type(value).__name__
+        )
+
+    def replace(self, **changes):
+        """A copy with ``changes`` applied (the dataclass is frozen)."""
+        return _dc_replace(self, **changes)
+
+    def resolved_rewrite_options(self):
+        """The :class:`RewriteOptions` the pipeline should run with, or
+        None for the defaults."""
+        if self.rewrite_options is not None:
+            return self.rewrite_options
+        if self.inline is None:
+            return None
+        return RewriteOptions(inline_templates=bool(self.inline))
+
+    def cache_key(self):
+        """The compile-relevant part of these options, as a stable string
+        — the serving layer's plan-cache key component.  Runtime-only
+        fields (deadline, batch/chunk sizes, profiling) are excluded so
+        they never fragment the cache."""
+        rewrite_options = self.resolved_rewrite_options()
+        token = ""
+        if rewrite_options is not None:
+            token = ",".join(
+                "%s=%r" % (name, getattr(rewrite_options, name))
+                for name in RewriteOptions.__slots__
+            )
+        return "rw=%d;%s" % (bool(self.rewrite), token)
+
+
+# -- the facade --------------------------------------------------------------------
+
+
+class Engine:
+    """The documented front door: one database, five verbs.
+
+    Owns the tracer/metrics pair every operation reports through
+    (defaulting to the process-wide instances), so the spans and
+    counters are identical whichever entry point — this facade or a
+    legacy wrapper — a caller uses.
+    """
+
+    __slots__ = ("db", "tracer", "metrics")
+
+    def __init__(self, db, tracer=None, metrics=None):
+        self.db = db
+        self.tracer = tracer or get_tracer()
+        self.metrics = metrics or global_metrics()
+
+    # -- compile ------------------------------------------------------------------
+
+    def compile(self, source, stylesheet, options=None):
+        """The compile half, for reuse: stylesheet compilation, the
+        three rewrite stages and plan optimization against this engine's
+        database.  Never raises :class:`~repro.errors.RewriteError` — a
+        failed rewrite returns a functional-strategy
+        :class:`~repro.core.transform.CompiledTransform` carrying the
+        categorized error (negative caching)."""
+        opts = TransformOptions.coerce(options, entry_point="Engine.compile")
+        if not opts.rewrite:
+            if not isinstance(stylesheet, Stylesheet):
+                with self.tracer.span("compile.stylesheet"):
+                    stylesheet = compile_stylesheet(stylesheet)
+            return CompiledTransform(stylesheet, STRATEGY_FUNCTIONAL)
+        return _compile_impl(
+            self.db, source, stylesheet,
+            options=opts.resolved_rewrite_options(),
+            tracer=self.tracer, metrics=self.metrics,
+        )
+
+    # -- execute ------------------------------------------------------------------
+
+    def transform(self, source, stylesheet, options=None, params=None):
+        """Apply ``stylesheet`` to every XMLType instance of ``source``;
+        returns a :class:`~repro.core.transform.TransformResult`.
+
+        ``stylesheet`` may be markup or a pre-compiled
+        :class:`~repro.xslt.stylesheet.Stylesheet`; a pre-compiled
+        artifact from :meth:`compile` goes through
+        :meth:`execute` instead."""
+        opts = TransformOptions.coerce(options,
+                                       entry_point="Engine.transform")
+        tracer, metrics = self.tracer, self.metrics
+        with tracer.span("xml_transform", rewrite=bool(opts.rewrite)) as root:
+            if opts.rewrite and not params:
+                metrics.counter("transform.rewrite_attempts").inc()
+                compiled = self.compile(source, stylesheet, options=opts)
+                result = execute_compiled(
+                    self.db, source, compiled, params=params, tracer=tracer,
+                    metrics=metrics, profile_plan=opts.profile_plan,
+                    root=root, batch_size=opts.batch_size,
+                )
+            else:
+                if not isinstance(stylesheet, Stylesheet):
+                    with tracer.span("compile.stylesheet"):
+                        stylesheet = compile_stylesheet(stylesheet)
+                result = _functional(self.db, source, stylesheet, params,
+                                     tracer)
+            root.set_attr(strategy=result.strategy)
+        if root:
+            result.trace = root
+        return result
+
+    def execute(self, source, compiled, options=None, params=None):
+        """Run one request over a pre-compiled artifact from
+        :meth:`compile` (what the serving layer pays per cache hit)."""
+        opts = TransformOptions.coerce(options, entry_point="Engine.execute")
+        return execute_compiled(
+            self.db, source, compiled, params=params, tracer=self.tracer,
+            metrics=self.metrics, profile_plan=opts.profile_plan,
+            batch_size=opts.batch_size,
+        )
+
+    def transform_stream(self, source, stylesheet, options=None,
+                         params=None):
+        """Streaming transform: returns a
+        :class:`~repro.core.transform.TransformStream` yielding
+        serialized output chunks.  On the SQL strategy no result DOM is
+        built — ``stream.stats.docs_materialized`` stays 0 and peak
+        buffering is bounded by ``options.chunk_chars`` (tracked in
+        ``stream.stats.peak_buffered_bytes``)."""
+        opts = TransformOptions.coerce(
+            options, entry_point="Engine.transform_stream"
+        )
+        if opts.rewrite and not params:
+            self.metrics.counter("transform.rewrite_attempts").inc()
+            compiled = self.compile(source, stylesheet, options=opts)
+        else:
+            stylesheet_obj = stylesheet
+            if not isinstance(stylesheet_obj, Stylesheet):
+                with self.tracer.span("compile.stylesheet"):
+                    stylesheet_obj = compile_stylesheet(stylesheet_obj)
+            compiled = CompiledTransform(stylesheet_obj, STRATEGY_FUNCTIONAL)
+        return execute_compiled_stream(
+            self.db, source, compiled, params=params, tracer=self.tracer,
+            metrics=self.metrics, profile_plan=opts.profile_plan,
+            batch_size=opts.batch_size, chunk_chars=opts.chunk_chars,
+        )
+
+    def transform_many(self, sources, stylesheet, options=None, params=None):
+        """One stylesheet over many sources, compiling once per distinct
+        source shape; returns the list of results in input order."""
+        return _transform_many(
+            self.db, sources, stylesheet, options=options, params=params,
+            tracer=self.tracer, metrics=self.metrics,
+        )
+
+    # -- explain ------------------------------------------------------------------
+
+    def explain(self, source, stylesheet, options=None, analyze=False):
+        """EXPLAIN (REWRITE) of the transform as a string, without
+        executing it; ``analyze=True`` executes and annotates every plan
+        node with actual rows/batches/timings (EXPLAIN ANALYZE)."""
+        opts = TransformOptions.coerce(options, entry_point="Engine.explain")
+        compiled = self.compile(source, stylesheet, options=opts)
+        if analyze:
+            result = execute_compiled(
+                self.db, source, compiled, tracer=self.tracer,
+                metrics=self.metrics, profile_plan=True,
+                batch_size=opts.batch_size,
+            )
+            return result.explain(rewrite=True)
+        shadow = TransformResult([], compiled.strategy, None)
+        shadow.executed_query = compiled.query
+        shadow.ledger = compiled.ledger
+        if compiled.error is not None:
+            shadow.fallback_reason = "compile: %s" % compiled.error
+        return shadow.explain(rewrite=True)

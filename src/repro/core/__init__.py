@@ -22,7 +22,13 @@ from repro.core.pipeline import RewriteOutcome, XsltRewriter
 from repro.core.transform import (
     STRATEGY_FUNCTIONAL,
     STRATEGY_SQL,
+    CompiledTransform,
     TransformResult,
+    TransformStream,
+    compile_transform,
+    execute_compiled,
+    execute_compiled_stream,
+    transform_many,
     xml_transform,
 )
 from repro.core.combined import (
@@ -34,14 +40,19 @@ from repro.core.combined import (
 from repro.core.xmlquery import rewrite_extract, rewrite_xml_exists
 
 __all__ = [
+    "CompiledTransform",
     "PartialEvaluation",
     "RewriteOptions",
     "RewriteOutcome",
     "STRATEGY_FUNCTIONAL",
     "STRATEGY_SQL",
     "TransformResult",
+    "TransformStream",
     "XsltRewriter",
+    "compile_transform",
     "compose_modules",
+    "execute_compiled",
+    "execute_compiled_stream",
     "generate_xquery",
     "partially_evaluate",
     "rewrite_combined",
@@ -49,5 +60,6 @@ __all__ = [
     "rewrite_xml_exists",
     "rewrite_xquery_over_view",
     "rewrite_xslt_over_xquery",
+    "transform_many",
     "xml_transform",
 ]

@@ -64,11 +64,31 @@ class RewriteOutcome:
         return self.sql_query.to_sql()
 
 
+def _resolve_rewrite_options(options):
+    """Normalize the rewriter's options: None → defaults, RewriteOptions
+    → as-is, and the unified :class:`repro.api.TransformOptions` →
+    its resolved rewrite options."""
+    if options is None:
+        return RewriteOptions()
+    if isinstance(options, RewriteOptions):
+        return options
+    # imported lazily: repro.api imports repro.core.transform, which
+    # imports this module
+    from repro.api import TransformOptions
+
+    if isinstance(options, TransformOptions):
+        return options.resolved_rewrite_options() or RewriteOptions()
+    raise TypeError(
+        "options must be a RewriteOptions, TransformOptions or None, "
+        "not %r" % type(options).__name__
+    )
+
+
 class XsltRewriter:
     """Compile-time XSLT rewrite driver."""
 
     def __init__(self, options=None, tracer=None, metrics=None, ledger=None):
-        self.options = options or RewriteOptions()
+        self.options = _resolve_rewrite_options(options)
         self.tracer = tracer or get_tracer()
         self.metrics = metrics or global_metrics()
         #: DecisionLedger every stage records into.  Callers (the front
@@ -76,7 +96,8 @@ class XsltRewriter:
         #: stage survive onto the fallback result.
         self.ledger = ledger if ledger is not None else DecisionLedger()
 
-    def compile(self, stylesheet, view_query=None, explain=False):
+    def compile(self, stylesheet, view_query=None, explain=False,
+                options=None):
         """Compile without executing.
 
         ``compile(stylesheet)`` compiles just the stylesheet (markup →
@@ -86,7 +107,25 @@ class XsltRewriter:
         ``explain=True`` the rewrite-decision ledger
         (:class:`repro.obs.decisions.DecisionLedger`) is returned instead:
         EXPLAIN REWRITE without touching any data.
+
+        ``options`` — a :class:`repro.api.TransformOptions` applied for
+        this call only: its ``explain`` flag folds into ``explain`` and
+        its rewrite options (``inline``/``rewrite_options``) override the
+        rewriter's own for this compilation.
         """
+        if options is not None:
+            from repro.api import TransformOptions
+
+            opts = TransformOptions.coerce(
+                options, entry_point="XsltRewriter.compile"
+            )
+            explain = explain or opts.explain
+            resolved = opts.resolved_rewrite_options()
+            if resolved is not None and resolved is not self.options:
+                return XsltRewriter(
+                    resolved, tracer=self.tracer, metrics=self.metrics,
+                    ledger=self.ledger,
+                ).compile(stylesheet, view_query, explain=explain)
         if view_query is None:
             if explain:
                 raise ValueError(

@@ -36,12 +36,15 @@ from repro.obs import NULL_SPAN, get_tracer, global_metrics, render_tree
 from repro.obs.decisions import DecisionLedger
 from repro.rdb.database import View
 from repro.rdb.plan import (
+    DEFAULT_BATCH_SIZE,
     ExecutionStats,
     PlanProfiler,
     Query,
     _fmt_stat,
     explain,
+    record_plan_metrics,
 )
+from repro.rdb.sqlxml import plain_text
 from repro.rdb.storage import ClobStorage, ObjectRelationalStorage
 from repro.xmlmodel.builder import TreeBuilder
 from repro.xmlmodel.nodes import Node
@@ -52,6 +55,12 @@ from repro.core.pipeline import XsltRewriter
 
 STRATEGY_SQL = "sql-rewrite"
 STRATEGY_FUNCTIONAL = "functional"
+
+#: coalescing target for streamed output chunks, in characters (ASCII
+#: output makes characters == bytes, which is what the corpus produces)
+DEFAULT_CHUNK_CHARS = 8192
+
+_UNSET = object()
 
 FALLBACK_PHASE_COMPILE = "compile"
 FALLBACK_PHASE_EXECUTE = "execute"
@@ -182,12 +191,9 @@ def _plan_line_node_id(line):
         return None
 
 
-def _text(value):
-    if isinstance(value, float) and value == int(value):
-        return str(int(value))
-    if value is None:
-        return ""
-    return str(value)
+# Top-level row items render with the same unescaped text function the
+# streaming emitter uses, so chunked and materialized output agree.
+_text = plain_text
 
 
 def categorize_fallback(exc):
@@ -251,13 +257,30 @@ def compile_transform(db, source, stylesheet, options=None, tracer=None,
                       metrics=None):
     """Run the compile half of ``xml_transform`` once, for reuse.
 
-    Compiles the stylesheet (when given as markup), runs the three
-    rewrite stages, optimizes the merged plan against ``db`` and resolves
-    the decision ledger's provenance into the optimized plan.  Never
-    raises :class:`RewriteError`: a failed rewrite returns a
+    Delegates to :meth:`repro.api.Engine.compile` — ``options`` may be a
+    :class:`repro.api.TransformOptions` (preferred), a legacy
+    :class:`~repro.core.xquery_gen.RewriteOptions` (deprecated) or None.
+    Never raises :class:`RewriteError`: a failed rewrite returns a
     functional-strategy :class:`CompiledTransform` carrying the error, so
     the failure is categorized once and replayed per execution — negative
     caching for the serving layer.
+    """
+    from repro.api import Engine
+
+    return Engine(db, tracer=tracer, metrics=metrics).compile(
+        source, stylesheet, options=options
+    )
+
+
+def _compile_impl(db, source, stylesheet, options=None, tracer=None,
+                  metrics=None):
+    """The compile worker behind :meth:`repro.api.Engine.compile`.
+
+    Compiles the stylesheet (when given as markup), runs the three
+    rewrite stages, optimizes the merged plan against ``db`` and resolves
+    the decision ledger's provenance into the optimized plan.  ``options``
+    is a resolved :class:`~repro.core.xquery_gen.RewriteOptions` (or
+    None).
     """
     tracer = tracer or get_tracer()
     metrics = metrics or global_metrics()
@@ -285,7 +308,8 @@ def compile_transform(db, source, stylesheet, options=None, tracer=None,
 
 
 def execute_compiled(db, source, compiled, params=None, tracer=None,
-                     metrics=None, profile_plan=True, root=None):
+                     metrics=None, profile_plan=True, root=None,
+                     batch_size=None):
     """Execute one request over a :class:`CompiledTransform`.
 
     The SQL strategy runs the cached optimized plan; an execute-phase
@@ -294,6 +318,8 @@ def execute_compiled(db, source, compiled, params=None, tracer=None,
     fallback artifact replays its recorded error (counter + warning +
     result annotations) and evaluates functionally.  ``root`` is the span
     fallback attributes land on (defaults to the tracer's current span).
+    ``batch_size`` switches plan execution to the vectorized
+    ``iter_batches`` path (None keeps the row-at-a-time pull loop).
     """
     tracer = tracer or get_tracer()
     metrics = metrics or global_metrics()
@@ -302,7 +328,7 @@ def execute_compiled(db, source, compiled, params=None, tracer=None,
     if compiled.is_rewritten and not params:
         try:
             result = _execute_plan(db, compiled, tracer, metrics,
-                                   profile_plan)
+                                   profile_plan, batch_size=batch_size)
             metrics.counter("transform.rewrite_success").inc()
         except RewriteError as exc:
             result = _fallback(db, source, compiled.stylesheet, params, exc,
@@ -316,47 +342,43 @@ def execute_compiled(db, source, compiled, params=None, tracer=None,
     return result
 
 
-def xml_transform(db, source, stylesheet, rewrite=True, options=None,
-                  params=None, tracer=None, metrics=None, profile_plan=True):
+def xml_transform(db, source, stylesheet, rewrite=_UNSET, options=None,
+                  params=None, tracer=None, metrics=None,
+                  profile_plan=_UNSET):
     """Apply ``stylesheet`` to every XMLType instance of ``source``.
 
-    ``tracer``/``metrics`` default to the process-wide instances
-    (:func:`repro.obs.get_tracer` / :func:`repro.obs.global_metrics`);
-    ``profile_plan=False`` skips per-plan-node profiling on the rewrite
-    path (it is also skipped whenever tracing is disabled).
+    This is a compatibility wrapper over :meth:`repro.api.Engine.
+    transform`, the documented entry point.  ``options`` should be a
+    :class:`repro.api.TransformOptions`; the loose ``rewrite=`` /
+    ``profile_plan=`` kwargs (and a bare
+    :class:`~repro.core.xquery_gen.RewriteOptions` as ``options``) keep
+    working but emit a :class:`DeprecationWarning` once per call site.
 
     Every call compiles from scratch.  A long-lived process serving many
     calls should go through :class:`repro.serve.TransformService`, which
     caches the :class:`CompiledTransform` produced by
     :func:`compile_transform` and only pays :func:`execute_compiled` per
-    request.
+    request; one stylesheet over many documents should go through
+    :func:`transform_many`.
     """
-    tracer = tracer or get_tracer()
-    metrics = metrics or global_metrics()
-    with tracer.span("xml_transform", rewrite=bool(rewrite)) as root:
-        if rewrite and not params:
-            metrics.counter("transform.rewrite_attempts").inc()
-            compiled = compile_transform(db, source, stylesheet,
-                                         options=options, tracer=tracer,
-                                         metrics=metrics)
-            result = execute_compiled(db, source, compiled, params=params,
-                                      tracer=tracer, metrics=metrics,
-                                      profile_plan=profile_plan, root=root)
-        else:
-            if not isinstance(stylesheet, Stylesheet):
-                with tracer.span("compile.stylesheet"):
-                    stylesheet = compile_stylesheet(stylesheet)
-            result = _functional(db, source, stylesheet, params, tracer)
-        root.set_attr(strategy=result.strategy)
-    if root:
-        result.trace = root
-    return result
+    from repro.api import Engine, TransformOptions, warn_legacy
+
+    opts = TransformOptions.coerce(options, entry_point="xml_transform")
+    if rewrite is not _UNSET:
+        warn_legacy("xml_transform", "rewrite=")
+        opts = opts.replace(rewrite=bool(rewrite))
+    if profile_plan is not _UNSET:
+        warn_legacy("xml_transform", "profile_plan=")
+        opts = opts.replace(profile_plan=bool(profile_plan))
+    return Engine(db, tracer=tracer, metrics=metrics).transform(
+        source, stylesheet, options=opts, params=params
+    )
 
 
-def _fallback(db, source, stylesheet, params, exc, tracer, metrics, root):
-    """Functional evaluation after a failed rewrite — loudly: categorize
-    the failure, bump the fallback counter, warn through the obs logger
-    and annotate the span."""
+def _note_fallback(exc, metrics, root):
+    """The loud part of falling back: categorize the failure, bump the
+    fallback counter, warn through the obs logger and annotate the span.
+    Returns (phase, category)."""
     phase = getattr(exc, "phase", None) or FALLBACK_PHASE_COMPILE
     stage = getattr(exc, "stage", None)
     category = categorize_fallback(exc)
@@ -368,6 +390,12 @@ def _fallback(db, source, stylesheet, params, exc, tracer, metrics, root):
     )
     root.set_attr(fallback_phase=phase, fallback_category=category,
                   fallback_reason=str(exc))
+    return phase, category
+
+
+def _fallback(db, source, stylesheet, params, exc, tracer, metrics, root):
+    """Functional evaluation after a failed rewrite — loudly."""
+    phase, category = _note_fallback(exc, metrics, root)
     result = _functional(db, source, stylesheet, params, tracer)
     result.fallback_reason = "%s: %s" % (phase, exc)
     result.fallback_phase = phase
@@ -400,7 +428,8 @@ def _is_document_store(source):
     return hasattr(source, "document_ids") and hasattr(source, "materialize")
 
 
-def _execute_plan(db, compiled, tracer, metrics, profile_plan):
+def _execute_plan(db, compiled, tracer, metrics, profile_plan,
+                  batch_size=None):
     """Run the cached optimized plan of a SQL-strategy artifact."""
     query = compiled.query
     with tracer.span("plan.execute") as span:
@@ -409,7 +438,11 @@ def _execute_plan(db, compiled, tracer, metrics, profile_plan):
         if profile_plan and tracer.enabled:
             profiler = stats.profiler = PlanProfiler()
         try:
-            rows, stats = query.execute(db, stats=stats)
+            if batch_size is None:
+                rows, stats = query.execute(db, stats=stats)
+            else:
+                rows, stats = query.execute(db, stats=stats,
+                                            batch_size=batch_size)
         except RewriteError as exc:
             # A RewriteError escaping *plan execution* is a run-time
             # failure, not a compile failure — tag it so the fallback
@@ -424,6 +457,7 @@ def _execute_plan(db, compiled, tracer, metrics, profile_plan):
             elapsed_ms=round(stats.elapsed_seconds * 1000.0, 3),
         )
     metrics.histogram("plan.execute_seconds").record(stats.elapsed_seconds)
+    record_plan_metrics(query, profiler, metrics)
     result_rows = [_as_items(row[0]) for row in rows]
     result = TransformResult(result_rows, STRATEGY_SQL, stats,
                              outcome=compiled.outcome)
@@ -493,3 +527,263 @@ def _wrap_document(value):
     elif isinstance(value, Node):
         builder.copy_node(value)
     return builder.finish()
+
+
+# -- streaming execution ----------------------------------------------------------
+
+
+class TransformStream:
+    """An iterator of serialized output chunks plus execution metadata.
+
+    Produced by :func:`execute_compiled_stream`.  Yields non-empty
+    ``str`` chunks whose concatenation is byte-identical to
+    ``"".join(result.serialized_rows())`` of the equivalent materialized
+    call.  Metadata is *live*: ``stats`` counters grow while chunks are
+    consumed and — like ``strategy`` and the fallback fields, which an
+    execute-phase fallback may still change before the first chunk — are
+    final once the iterator is exhausted.  ``text()`` drains the stream
+    and returns the whole output.
+    """
+
+    __slots__ = ("compiled", "strategy", "stats", "ledger", "executed_query",
+                 "plan_profile", "vm_stats", "fallback_reason",
+                 "fallback_phase", "fallback_category", "_chunks")
+
+    def __init__(self, compiled):
+        self.compiled = compiled
+        self.strategy = compiled.strategy
+        self.stats = None
+        self.ledger = compiled.ledger
+        self.executed_query = None
+        self.plan_profile = None
+        self.vm_stats = None
+        self.fallback_reason = None
+        self.fallback_phase = None
+        self.fallback_category = None
+        self._chunks = iter(())
+
+    def __iter__(self):
+        return self
+
+    def __next__(self):
+        return next(self._chunks)
+
+    def text(self):
+        """Drain the stream; the full serialized output."""
+        return "".join(self)
+
+
+def execute_compiled_stream(db, source, compiled, params=None, tracer=None,
+                            metrics=None, profile_plan=True, root=None,
+                            batch_size=None, chunk_chars=None):
+    """Streaming twin of :func:`execute_compiled`: returns a
+    :class:`TransformStream` yielding serialized output chunks.
+
+    On the SQL strategy the optimized plan runs vectorized
+    (``iter_batches``, ``batch_size`` rows per batch) and its result
+    column streams through the incremental SQL/XML emitter — no result
+    DOM is ever built (``stats.docs_materialized`` stays 0) and at most
+    ``chunk_chars`` characters of output are buffered at once, tracked
+    in ``stats.peak_buffered_bytes``.  A :class:`RewriteError` raised
+    before the first chunk was emitted falls back to the functional
+    strategy with the categorized accounting of :func:`xml_transform`;
+    after the first chunk it propagates (output was already sent).  The
+    functional strategy streams per transformed document, which still
+    materializes each source DOM first.
+    """
+    tracer = tracer or get_tracer()
+    metrics = metrics or global_metrics()
+    if root is None:
+        root = tracer.current() or NULL_SPAN
+    batch_size = batch_size or DEFAULT_BATCH_SIZE
+    chunk_chars = chunk_chars or DEFAULT_CHUNK_CHARS
+    stream = TransformStream(compiled)
+    if compiled.is_rewritten and not params:
+        chunks = _stream_sql(db, source, compiled, stream, params, tracer,
+                             metrics, profile_plan, root, batch_size,
+                             chunk_chars)
+    elif compiled.error is not None:
+        chunks = _stream_fallback(db, source, compiled.stylesheet, params,
+                                  compiled.error, tracer, metrics, root,
+                                  stream, chunk_chars)
+    else:
+        chunks = _stream_functional(db, source, compiled.stylesheet, params,
+                                    tracer, stream, chunk_chars)
+    stream._chunks = chunks
+    return stream
+
+
+def _coalesce(pieces, stats, chunk_chars):
+    """Coalesce small emitter pieces into ~chunk_chars chunks, tracking
+    the buffering high-water mark in ``stats.peak_buffered_bytes``."""
+    buffer = []
+    buffered = 0
+    for piece in pieces:
+        if not piece:
+            continue
+        buffer.append(piece)
+        buffered += len(piece)
+        if buffered > stats.peak_buffered_bytes:
+            stats.peak_buffered_bytes = buffered
+        if buffered >= chunk_chars:
+            yield "".join(buffer)
+            buffer = []
+            buffered = 0
+    if buffer:
+        yield "".join(buffer)
+
+
+def _stream_sql(db, source, compiled, stream, params, tracer, metrics,
+                profile_plan, root, batch_size, chunk_chars):
+    """Chunk generator for the SQL strategy."""
+    stats = ExecutionStats()
+    profiler = None
+    if profile_plan and tracer.enabled:
+        profiler = stats.profiler = PlanProfiler()
+    stream.strategy = STRATEGY_SQL
+    stream.stats = stats
+    stream.executed_query = compiled.query
+    stream.plan_profile = profiler
+    chunks = _coalesce(
+        compiled.query.stream_pieces(db, stats=stats, batch_size=batch_size),
+        stats, chunk_chars,
+    )
+    emitted = False
+    try:
+        while True:
+            start = time.perf_counter()
+            try:
+                chunk = next(chunks)
+            except StopIteration:
+                stats.elapsed_seconds += time.perf_counter() - start
+                break
+            stats.elapsed_seconds += time.perf_counter() - start
+            emitted = True
+            yield chunk
+    except RewriteError as exc:
+        if getattr(exc, "phase", None) is None:
+            exc.phase = FALLBACK_PHASE_EXECUTE
+        if emitted:
+            # Output already reached the consumer; a silent strategy
+            # switch would corrupt it.  Let the caller handle the error.
+            raise
+        stream.executed_query = None
+        stream.plan_profile = None
+        for chunk in _stream_fallback(db, source, compiled.stylesheet,
+                                      params, exc, tracer, metrics, root,
+                                      stream, chunk_chars):
+            yield chunk
+        return
+    metrics.counter("transform.rewrite_success").inc()
+    metrics.histogram("plan.execute_seconds").record(stats.elapsed_seconds)
+    record_plan_metrics(compiled.query, profiler, metrics)
+
+
+def _stream_fallback(db, source, stylesheet, params, exc, tracer, metrics,
+                     root, stream, chunk_chars):
+    """Functional chunk generator after a failed rewrite — loudly."""
+    phase, category = _note_fallback(exc, metrics, root)
+    stream.fallback_reason = "%s: %s" % (phase, exc)
+    stream.fallback_phase = phase
+    stream.fallback_category = category
+    for chunk in _stream_functional(db, source, stylesheet, params, tracer,
+                                    stream, chunk_chars):
+        yield chunk
+
+
+def _stream_functional(db, source, stylesheet, params, tracer, stream,
+                       chunk_chars):
+    """Chunk generator for functional evaluation: each document is
+    materialized and transformed by the VM (that cost is inherent to the
+    strategy), but its output serializes straight into chunks instead of
+    being kept as rows."""
+    stats = ExecutionStats()
+    stream.strategy = STRATEGY_FUNCTIONAL
+    stream.stats = stats
+    vm = XsltVM(stylesheet)
+
+    def pieces():
+        start = time.perf_counter()
+        for document in _materialize_documents(db, source, stats):
+            result = vm.transform_document(document, params=params)
+            stats.output_rows += 1
+            for item in result.children:
+                yield serialize(item) if isinstance(item, Node) \
+                    else _text(item)
+        stats.elapsed_seconds = time.perf_counter() - start
+        stream.vm_stats = {
+            "instructions_executed": vm.instructions_executed,
+            "templates_dispatched": vm.templates_dispatched,
+        }
+
+    return _coalesce(pieces(), stats, chunk_chars)
+
+
+# -- batch API --------------------------------------------------------------------
+
+
+def transform_many(db, sources, stylesheet, options=None, params=None,
+                   tracer=None, metrics=None):
+    """Apply one stylesheet across many sources, compiling once per
+    distinct source *shape*.
+
+    ``sources`` is an iterable of sources, or of ``(db, source)`` pairs
+    when the documents live in different databases.  The stylesheet is
+    compiled once and the rewrite runs once per distinct source
+    fingerprint (see :func:`repro.serve.service.source_fingerprint`) —
+    N same-shaped documents pay one compile and N plan executions, which
+    is what makes this ≥2× faster than N independent
+    :func:`xml_transform` calls.  Returns the list of
+    :class:`TransformResult`, in input order.
+    """
+    from repro.api import Engine, TransformOptions
+
+    opts = TransformOptions.coerce(options, entry_point="transform_many")
+    tracer = tracer or get_tracer()
+    metrics = metrics or global_metrics()
+    if not isinstance(stylesheet, Stylesheet):
+        with tracer.span("compile.stylesheet"):
+            stylesheet = compile_stylesheet(stylesheet)
+    engine_cache = {}
+    compiled_cache = {}
+    results = []
+    for entry in sources:
+        target_db, source = entry if isinstance(entry, tuple) else (db, entry)
+        engine = engine_cache.get(id(target_db))
+        if engine is None:
+            engine = engine_cache[id(target_db)] = Engine(
+                target_db, tracer=tracer, metrics=metrics
+            )
+        with tracer.span("xml_transform", rewrite=bool(opts.rewrite)) as root:
+            if opts.rewrite and not params:
+                key = _source_key(source)
+                compiled = compiled_cache.get(key)
+                if compiled is None:
+                    metrics.counter("transform.rewrite_attempts").inc()
+                    compiled = engine.compile(source, stylesheet,
+                                              options=opts)
+                    compiled_cache[key] = compiled
+                result = execute_compiled(
+                    target_db, source, compiled, params=params,
+                    tracer=tracer, metrics=metrics,
+                    profile_plan=opts.profile_plan, root=root,
+                    batch_size=opts.batch_size,
+                )
+            else:
+                result = _functional(target_db, source, stylesheet, params,
+                                     tracer)
+            root.set_attr(strategy=result.strategy)
+        if root:
+            result.trace = root
+        results.append(result)
+    return results
+
+
+def _source_key(source):
+    """Plan-reuse key for one source: its structural fingerprint when it
+    has one (two same-shaped storages share a compiled plan), else a
+    per-object token."""
+    fingerprint = getattr(source, "fingerprint", None)
+    if callable(fingerprint):
+        return fingerprint()
+    return "anon:%x" % id(source)

@@ -6,6 +6,14 @@ Plan nodes yield *environments*: ``{alias: {column: value}}`` dicts.  A
 are collected per run — benchmarks and tests assert on them to prove plan
 shape, e.g. that the rewritten Figure-2 query probes the B-tree instead of
 scanning.
+
+Every operator also supports **vectorized** execution through
+``iter_batches(db, env, stats, batch_size)``: row environments flow in
+lists of up to ``batch_size`` instead of one generator hop per row.
+:meth:`Query.execute_batches` drives a whole query that way, and
+:meth:`Query.stream_pieces` couples it with the incremental SQL/XML
+emitter (:mod:`repro.rdb.sqlxml`) so serialized output leaves the
+executor in chunks without the result document ever being materialized.
 """
 
 from __future__ import annotations
@@ -13,7 +21,15 @@ from __future__ import annotations
 import time
 
 from repro.errors import DatabaseError, PlanError
-from repro.rdb.sqlxml import AGG_STATE, find_aggregates
+from repro.rdb.sqlxml import (
+    AGG_STATE,
+    find_aggregates,
+    stream_expr_pieces,
+    stream_value_pieces,
+)
+
+#: Default row count per batch on the vectorized/streaming path.
+DEFAULT_BATCH_SIZE = 256
 
 
 class ExecutionStats:
@@ -31,7 +47,8 @@ class ExecutionStats:
     _FIELDS = (
         "rows_scanned", "index_probes", "index_entries", "output_rows",
         "xml_elements", "subquery_executions", "btree_node_visits",
-        "docs_materialized", "elapsed_seconds",
+        "docs_materialized", "batches", "peak_buffered_bytes",
+        "elapsed_seconds",
     )
 
     __slots__ = _FIELDS + ("profiler",)
@@ -45,6 +62,11 @@ class ExecutionStats:
         self.subquery_executions = 0
         self.btree_node_visits = 0
         self.docs_materialized = 0
+        #: row batches emitted by the top-level plan on the vectorized path
+        self.batches = 0
+        #: high-water mark of serialized output buffered at once on the
+        #: streaming path (0 when execution materialized the result)
+        self.peak_buffered_bytes = 0
         self.elapsed_seconds = 0.0
         self.profiler = None
 
@@ -67,11 +89,13 @@ def _fmt_stat(value):
 class NodeProfile:
     """Per-plan-node counters for one profiled execution."""
 
-    __slots__ = ("rows_out", "opens", "total_seconds")
+    __slots__ = ("rows_out", "opens", "batches", "total_seconds")
 
     def __init__(self):
         self.rows_out = 0
         self.opens = 0
+        #: batches emitted when the node ran on the vectorized path
+        self.batches = 0
         self.total_seconds = 0.0
 
 
@@ -111,6 +135,23 @@ class PlanProfiler:
             profile.rows_out += 1
             yield row
 
+    def wrap_batches(self, node, iterator):
+        """Like :meth:`wrap` but over a batch iterator: counts whole
+        batches and the rows inside them."""
+        profile = self.profile_of(node)
+        profile.opens += 1
+        while True:
+            start = time.perf_counter()
+            try:
+                batch = next(iterator)
+            except StopIteration:
+                profile.total_seconds += time.perf_counter() - start
+                return
+            profile.total_seconds += time.perf_counter() - start
+            profile.batches += 1
+            profile.rows_out += len(batch)
+            yield batch
+
     def self_seconds(self, node):
         """Total time minus the direct children's total time."""
         profile = self.get(node)
@@ -139,6 +180,34 @@ class PlanNode:
             return self.rows(db, env, stats)
         return profiler.wrap(self, self.rows(db, env, stats))
 
+    def batches(self, db, env, stats, batch_size=DEFAULT_BATCH_SIZE):
+        """Yield row environments in lists of up to ``batch_size``.
+
+        The base implementation chunks :meth:`rows`; operators with a
+        genuinely vectorized inner loop override this to build batches
+        without a per-row generator hop.
+        """
+        batch = []
+        for row_env in self.rows(db, env, stats):
+            batch.append(row_env)
+            if len(batch) >= batch_size:
+                yield batch
+                batch = []
+        if batch:
+            yield batch
+
+    def iter_batches(self, db, env, stats, batch_size=DEFAULT_BATCH_SIZE):
+        """Open this node's batch stream (profiled like
+        :meth:`iter_rows`).  Parents on the vectorized path iterate
+        children through this so per-node batch/row counts are
+        collected."""
+        profiler = getattr(stats, "profiler", None)
+        if profiler is None:
+            return self.batches(db, env, stats, batch_size)
+        return profiler.wrap_batches(
+            self, self.batches(db, env, stats, batch_size)
+        )
+
     def children(self):
         return ()
 
@@ -164,6 +233,22 @@ class Scan(PlanNode):
             merged = dict(env)
             merged[self.alias] = dict(zip(names, row))
             yield merged
+
+    def batches(self, db, env, stats, batch_size=DEFAULT_BATCH_SIZE):
+        table = db.table(self.table_name)
+        names = table.schema.column_names()
+        alias = self.alias
+        batch = []
+        for _, row in table.scan():
+            stats.rows_scanned += 1
+            merged = dict(env)
+            merged[alias] = dict(zip(names, row))
+            batch.append(merged)
+            if len(batch) >= batch_size:
+                yield batch
+                batch = []
+        if batch:
+            yield batch
 
 
 class IndexScan(PlanNode):
@@ -191,6 +276,25 @@ class IndexScan(PlanNode):
             merged[self.alias] = dict(zip(names, row))
             yield merged
 
+    def batches(self, db, env, stats, batch_size=DEFAULT_BATCH_SIZE):
+        table = db.table(self.table_name)
+        index = db.index(self.index_name)
+        key = self.key_expr.evaluate(env, db, stats)
+        key = table.schema.column(index.column_name).coerce(key)
+        names = table.schema.column_names()
+        alias = self.alias
+        batch = []
+        for row_id in index.lookup_op(self.op, key, stats=stats):
+            stats.rows_scanned += 1
+            merged = dict(env)
+            merged[alias] = dict(zip(names, table.fetch(row_id)))
+            batch.append(merged)
+            if len(batch) >= batch_size:
+                yield batch
+                batch = []
+        if batch:
+            yield batch
+
 
 class Filter(PlanNode):
     """Row filter over a child plan."""
@@ -206,6 +310,20 @@ class Filter(PlanNode):
         for row_env in self.child.iter_rows(db, env, stats):
             if bool(self.predicate.evaluate(row_env, db, stats)):
                 yield row_env
+
+    def batches(self, db, env, stats, batch_size=DEFAULT_BATCH_SIZE):
+        predicate = self.predicate
+        batch = []
+        for child_batch in self.child.iter_batches(db, env, stats,
+                                                   batch_size):
+            for row_env in child_batch:
+                if bool(predicate.evaluate(row_env, db, stats)):
+                    batch.append(row_env)
+            if len(batch) >= batch_size:
+                yield batch
+                batch = []
+        if batch:
+            yield batch
 
 
 class NestedLoopJoin(PlanNode):
@@ -227,6 +345,24 @@ class NestedLoopJoin(PlanNode):
                 ):
                     yield joined
 
+    def batches(self, db, env, stats, batch_size=DEFAULT_BATCH_SIZE):
+        condition = self.condition
+        batch = []
+        for left_batch in self.left.iter_batches(db, env, stats, batch_size):
+            for left_env in left_batch:
+                # right side stays row-driven: it is re-opened per left
+                # row (correlated), so there is no inner batch to reuse
+                for joined in self.right.iter_rows(db, left_env, stats):
+                    if condition is None or bool(
+                        condition.evaluate(joined, db, stats)
+                    ):
+                        batch.append(joined)
+                        if len(batch) >= batch_size:
+                            yield batch
+                            batch = []
+        if batch:
+            yield batch
+
 
 class Sort(PlanNode):
     """Materialising sort."""
@@ -239,19 +375,32 @@ class Sort(PlanNode):
         return (self.child,)
 
     def rows(self, db, env, stats):
-        materialised = list(self.child.iter_rows(db, env, stats))
-        decorated = []
-        for row_env in materialised:
-            key_row = [expr.evaluate(row_env, db, stats) for expr, _ in self.keys]
-            decorated.append((key_row, row_env))
+        for _, row_env in self._decorated(db, env, stats):
+            yield row_env
+
+    def batches(self, db, env, stats, batch_size=DEFAULT_BATCH_SIZE):
+        decorated = self._decorated(db, env, stats)
+        for start in range(0, len(decorated), batch_size):
+            yield [row_env
+                   for _, row_env in decorated[start:start + batch_size]]
+
+    def _decorated(self, db, env, stats):
+        """Sorted ``(key_row, row_env)`` pairs.  This node is the sole
+        consumer of the child's row stream, so rows are decorated in the
+        same pass that drains it — no intermediate copy of the full row
+        list before decoration."""
+        decorated = [
+            ([expr.evaluate(row_env, db, stats) for expr, _ in self.keys],
+             row_env)
+            for row_env in self.child.iter_rows(db, env, stats)
+        ]
         for position in range(len(self.keys) - 1, -1, -1):
             descending = self.keys[position][1]
             decorated.sort(
                 key=lambda pair: _null_safe(pair[0][position]),
                 reverse=descending,
             )
-        for _, row_env in decorated:
-            yield row_env
+        return decorated
 
 
 def _null_safe(value):
@@ -329,6 +478,17 @@ class Limit(PlanNode):
             remaining -= 1
             yield row_env
 
+    def batches(self, db, env, stats, batch_size=DEFAULT_BATCH_SIZE):
+        remaining = self.count
+        if remaining <= 0:
+            return
+        for batch in self.child.iter_batches(db, env, stats, batch_size):
+            if len(batch) >= remaining:
+                yield batch[:remaining]
+                return
+            remaining -= len(batch)
+            yield batch
+
 
 class Query:
     """A plan plus output expressions; the unit the database executes."""
@@ -340,16 +500,77 @@ class Query:
     def is_aggregate(self):
         return any(find_aggregates(expr) for _, expr in self.outputs)
 
-    def execute(self, db, env=None, stats=None):
+    def execute(self, db, env=None, stats=None, batch_size=None):
         """Run the query; returns (rows, stats).  Each row is a tuple of
-        output values in declaration order."""
+        output values in declaration order.  With ``batch_size`` the plan
+        runs on the vectorized path (``iter_batches``) instead of the
+        row-at-a-time pull loop."""
         env = env or {}
         stats = stats or ExecutionStats()
         start = time.perf_counter()
-        rows = list(self._iterate(db, env, stats))
+        if batch_size:
+            rows = []
+            for batch in self.execute_batches(db, env=env, stats=stats,
+                                              batch_size=batch_size,
+                                              _timed=False):
+                rows.extend(batch)
+        else:
+            rows = list(self._iterate(db, env, stats))
         stats.elapsed_seconds += time.perf_counter() - start
         stats.output_rows += len(rows)
         return rows, stats
+
+    def execute_batches(self, db, env=None, stats=None,
+                        batch_size=DEFAULT_BATCH_SIZE, _timed=True):
+        """Yield lists of output-row tuples, at most ``batch_size`` each.
+
+        The whole operator tree runs batched: every plan node hands its
+        parent a list of row environments instead of one row per
+        ``next()``.  ``stats.batches`` counts the top-level batches.
+        """
+        env = env or {}
+        stats = stats or ExecutionStats()
+        start = time.perf_counter() if _timed else None
+        if self.is_aggregate():
+            final_env = self._accumulate(db, env, stats, batch_size)
+            out = [tuple(
+                expr.evaluate(final_env, db, stats)
+                for _, expr in self.outputs
+            )]
+            stats.batches += 1
+            if _timed:
+                stats.elapsed_seconds += time.perf_counter() - start
+                stats.output_rows += 1
+            yield out
+            return
+        outputs = self.outputs
+        for batch in self.plan.iter_batches(db, env, stats, batch_size):
+            out = [
+                tuple(expr.evaluate(row_env, db, stats)
+                      for _, expr in outputs)
+                for row_env in batch
+            ]
+            stats.batches += 1
+            if _timed:
+                stats.output_rows += len(out)
+            yield out
+        if _timed:
+            stats.elapsed_seconds += time.perf_counter() - start
+
+    def _accumulate(self, db, env, stats, batch_size=DEFAULT_BATCH_SIZE):
+        """Drain the plan into aggregate states (vectorized); returns the
+        final environment carrying ``AGG_STATE``."""
+        aggregates = []
+        for _, expr in self.outputs:
+            aggregates.extend(find_aggregates(expr))
+        states = {id(agg): agg.new_state() for agg in aggregates}
+        for batch in self.plan.iter_batches(db, env, stats, batch_size):
+            for row_env in batch:
+                for agg in aggregates:
+                    agg.accumulate(states[id(agg)], row_env, db, stats)
+        final_env = dict(env)
+        final_env[AGG_STATE] = states
+        return final_env
 
     def _iterate(self, db, env, stats):
         if self.is_aggregate():
@@ -370,6 +591,63 @@ class Query:
             yield tuple(
                 expr.evaluate(row_env, db, stats) for _, expr in self.outputs
             )
+
+    # -- streaming ------------------------------------------------------------
+
+    def stream_pieces(self, db, env=None, stats=None,
+                      batch_size=DEFAULT_BATCH_SIZE):
+        """Yield serialized text pieces of the first output column of
+        every row, in row order.
+
+        This is the incremental SQL/XML publishing path: the result
+        column (the ``xml_content`` construction in rewritten plans)
+        streams through :func:`repro.rdb.sqlxml.stream_expr_pieces`
+        instead of building result DOMs, so the concatenation of the
+        pieces is byte-identical to executing the query and serializing
+        ``row[0]`` of every row — exactly what ``core.transform``
+        renders — while no piece ever spans more than one bounded
+        subtree.  Row flow underneath is batched (``iter_batches``).
+        """
+        env = env or {}
+        stats = stats or ExecutionStats()
+        if not self.outputs:
+            raise PlanError("cannot stream a query with no outputs")
+        expr = self.outputs[0][1]
+        if self.is_aggregate():
+            final_env = self._accumulate(db, env, stats, batch_size)
+            stats.batches += 1
+            stats.output_rows += 1
+            for piece in stream_expr_pieces(expr, final_env, db, stats,
+                                            escape=False):
+                yield piece
+            return
+        for batch in self.plan.iter_batches(db, env, stats, batch_size):
+            stats.batches += 1
+            stats.output_rows += len(batch)
+            for row_env in batch:
+                for piece in stream_expr_pieces(expr, row_env, db, stats,
+                                                escape=False):
+                    yield piece
+
+    def stream_scalar_pieces(self, db, env, stats, escape=True,
+                             batch_size=DEFAULT_BATCH_SIZE):
+        """Streaming twin of :meth:`execute_scalar`: yield serialized
+        pieces of the single output value instead of materializing it.
+        Aggregate outputs (the correlated XMLAgg subqueries the SQL merge
+        builds per repeating element) stream straight out of the
+        accumulated group — no per-group result DOM."""
+        if len(self.outputs) != 1:
+            raise PlanError("scalar subquery must have one output column")
+        if not self.is_aggregate():
+            value = self.execute_scalar(db, env, stats)
+            for piece in stream_value_pieces(value, escape=escape):
+                yield piece
+            return
+        stats.subquery_executions += 1
+        final_env = self._accumulate(db, env, stats, batch_size)
+        for piece in stream_expr_pieces(self.outputs[0][1], final_env, db,
+                                        stats, escape=escape):
+            yield piece
 
     def execute_scalar(self, db, env, stats):
         """Scalar-subquery evaluation: exactly one output column."""
@@ -571,9 +849,38 @@ def _profile_note(plan, profile):
     node_profile = profile.get(plan)
     if node_profile is None:
         return "  (never executed)"
-    return "  (actual rows=%d opens=%d total=%.3fms self=%.3fms)" % (
+    batches = ""
+    if node_profile.batches:
+        batches = " batches=%d" % node_profile.batches
+    return "  (actual rows=%d%s opens=%d total=%.3fms self=%.3fms)" % (
         node_profile.rows_out,
+        batches,
         node_profile.opens,
         node_profile.total_seconds * 1000.0,
         profile.self_seconds(plan) * 1000.0,
     )
+
+
+def record_plan_metrics(query, profiler, metrics):
+    """Export a profiled execution's per-operator counters into an obs
+    :class:`~repro.obs.metrics.MetricsRegistry` —
+    ``plan.operator_rows{op=...}`` for every executed node and
+    ``plan.operator_batches{op=...}`` for nodes that ran vectorized, so
+    dashboards can see how much of the plan went through the batched
+    path."""
+    if profiler is None or metrics is None:
+        return
+    plan = query.plan if isinstance(query, Query) else query
+    nodes = [plan]
+    while nodes:
+        node = nodes.pop()
+        nodes.extend(node.children())
+        profile = profiler.get(node)
+        if profile is None:
+            continue
+        op = type(node).__name__
+        metrics.counter("plan.operator_rows", op=op).inc(profile.rows_out)
+        if profile.batches:
+            metrics.counter(
+                "plan.operator_batches", op=op
+            ).inc(profile.batches)

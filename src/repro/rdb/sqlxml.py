@@ -7,14 +7,31 @@ expressions evaluated by the executor's aggregate machinery.
 
 XML values flowing through the engine are DOM nodes (or lists of nodes);
 scalar values inserted into XML content become text nodes.
+
+Every publishing function supports two evaluation modes:
+
+* ``evaluate(env, db, stats)`` — materialize the value as DOM nodes (the
+  classic path, used by predicates, functional comparison and callers
+  that need the tree);
+* ``stream_pieces(env, db, stats, escape)`` — the incremental emitter:
+  yield serialized markup pieces directly, never building the result
+  subtree.  Concatenating the pieces is byte-identical to serializing
+  the ``evaluate`` result, but peak memory is bounded by the largest
+  *single* piece (one scalar, one attribute list, one copied stored
+  subtree) instead of the whole result document.  ``XMLAgg`` keeps its
+  group *lazily* — it accumulates ``(order keys, row environment)``
+  pairs and only renders each row when finalized, so the streaming path
+  (:meth:`repro.rdb.plan.Query.stream_pieces`) emits one aggregated
+  element at a time.
 """
 
 from __future__ import annotations
 
 from repro.errors import DatabaseError
 from repro.xmlmodel.builder import TreeBuilder
-from repro.xmlmodel.nodes import Node, NodeKind
-from repro.rdb.expressions import SqlExpr, _text
+from repro.xmlmodel.nodes import Node, NodeKind, QName
+from repro.xmlmodel.serializer import escape_attribute, escape_text, serialize
+from repro.rdb.expressions import ScalarSubquery, SqlExpr, _text
 
 # env key under which aggregate accumulator state is passed during the
 # final evaluation of an aggregate query.
@@ -42,6 +59,76 @@ def append_xml_value(builder, value):
         builder.text(_text(value))
 
 
+def plain_text(value):
+    """Top-level scalar rendering: unescaped, SQL floats carrying integral
+    values printed as integers.  This is how ``TransformResult.
+    serialized_rows`` renders non-node row items, so the streaming path
+    must use the same function for byte-identical output."""
+    if isinstance(value, float) and value == int(value):
+        return str(int(value))
+    if value is None:
+        return ""
+    return str(value)
+
+
+def _lexical(name):
+    """The serialized tag/attribute name for a string or QName."""
+    return name.lexical if isinstance(name, QName) else str(name)
+
+
+def stream_value_pieces(value, escape=True):
+    """Yield serialized pieces of an already-evaluated SQL value.
+
+    ``escape=True`` renders the value as *element content* (the
+    :func:`append_xml_value` + serializer semantics: nodes serialize,
+    scalars become escaped text, ``None`` disappears).  ``escape=False``
+    is the top-level row mode used by :meth:`repro.rdb.plan.Query.
+    stream_pieces`, matching how ``core.transform`` renders result rows
+    (nodes serialize, scalars stay unescaped :func:`plain_text`).
+    """
+    if value is None:
+        return
+    if isinstance(value, Node):
+        if value.kind == NodeKind.DOCUMENT:
+            for child in value.children:
+                yield serialize(child)
+        elif value.kind == NodeKind.ATTRIBUTE:
+            # Materialization splices attribute nodes into the enclosing
+            # start tag; a piece stream has already emitted it.  No plan
+            # the rewrite generates puts attribute nodes in content.
+            raise DatabaseError(
+                "cannot stream an attribute node as element content"
+            )
+        else:
+            yield serialize(value)
+    elif isinstance(value, list):
+        for item in value:
+            for piece in stream_value_pieces(item, escape=escape):
+                yield piece
+    elif escape:
+        yield escape_text(_text(value))
+    else:
+        yield plain_text(value)
+
+
+def stream_expr_pieces(expr, env, db, stats, escape=True):
+    """Yield serialized pieces of ``expr`` evaluated against ``env``.
+
+    Publishing functions stream natively (their ``stream_pieces``
+    method); correlated scalar subqueries stream through
+    :meth:`repro.rdb.plan.Query.stream_scalar_pieces` so aggregated
+    groups (the per-repeating-element ``XMLAgg`` subqueries the SQL
+    merge builds) never materialize; every other expression is evaluated
+    and rendered by :func:`stream_value_pieces`.
+    """
+    stream = getattr(expr, "stream_pieces", None)
+    if stream is not None:
+        return stream(env, db, stats, escape=escape)
+    if isinstance(expr, ScalarSubquery):
+        return expr.query.stream_scalar_pieces(db, env, stats, escape=escape)
+    return stream_value_pieces(expr.evaluate(env, db, stats), escape=escape)
+
+
 class XMLElement(XmlExpr):
     """``XMLElement("name", XMLAttributes(...), content...)``."""
 
@@ -66,6 +153,35 @@ class XMLElement(XmlExpr):
         if stats is not None:
             stats.xml_elements += 1
         return builder.finish().children[0]
+
+    def stream_pieces(self, env, db, stats, escape=True):
+        """Incremental twin of :meth:`evaluate`: yield the element's
+        markup piece by piece.  Attributes are evaluated eagerly (they
+        belong to the start tag); content streams recursively, and the
+        start tag is closed lazily so an element whose content renders
+        empty self-closes exactly like the serializer would."""
+        tag = _lexical(self.name)
+        head = ["<%s" % tag]
+        for attr_name, expr in self.attributes:
+            value = expr.evaluate(env, db, stats)
+            if value is not None:
+                head.append(' %s="%s"' % (
+                    _lexical(attr_name), escape_attribute(_text(value))
+                ))
+        yield "".join(head)
+        opened = False
+        for expr in self.content:
+            for piece in stream_expr_pieces(expr, env, db, stats,
+                                            escape=True):
+                if not piece:
+                    continue
+                if not opened:
+                    opened = True
+                    yield ">"
+                yield piece
+        if stats is not None:
+            stats.xml_elements += 1
+        yield "</%s>" % tag if opened else "/>"
 
     def to_sql(self):
         parts = ['"%s"' % self.name]
@@ -103,6 +219,25 @@ class XMLForest(XmlExpr):
             out.append(builder.finish().children[0])
         return out
 
+    def stream_pieces(self, env, db, stats, escape=True):
+        for name, expr in self.items:
+            value = expr.evaluate(env, db, stats)
+            if value is None:
+                continue
+            tag = _lexical(name)
+            yield "<%s" % tag
+            opened = False
+            for piece in stream_value_pieces(value, escape=True):
+                if not piece:
+                    continue
+                if not opened:
+                    opened = True
+                    yield ">"
+                yield piece
+            if stats is not None:
+                stats.xml_elements += 1
+            yield "</%s>" % tag if opened else "/>"
+
     def to_sql(self):
         return "XMLForest(%s)" % ", ".join(
             '%s AS "%s"' % (expr.to_sql(), name) for name, expr in self.items
@@ -130,6 +265,12 @@ class XMLConcat(XmlExpr):
                 out.append(value)
         return out
 
+    def stream_pieces(self, env, db, stats, escape=True):
+        for expr in self.items:
+            for piece in stream_expr_pieces(expr, env, db, stats,
+                                            escape=escape):
+                yield piece
+
     def to_sql(self):
         return "XMLConcat(%s)" % ", ".join(expr.to_sql() for expr in self.items)
 
@@ -145,6 +286,9 @@ class XMLComment(XmlExpr):
         builder = TreeBuilder()
         builder.comment(_text(self.expr.evaluate(env, db, stats)))
         return builder.finish().children[0]
+
+    def stream_pieces(self, env, db, stats, escape=True):
+        yield "<!--%s-->" % _text(self.expr.evaluate(env, db, stats))
 
     def to_sql(self):
         return "XMLComment(%s)" % self.expr.to_sql()
@@ -163,6 +307,11 @@ class XMLText(XmlExpr):
         value = self.expr.evaluate(env, db, stats)
         return None if value is None else _text(value)
 
+    def stream_pieces(self, env, db, stats, escape=True):
+        for piece in stream_value_pieces(self.evaluate(env, db, stats),
+                                         escape=escape):
+            yield piece
+
     def to_sql(self):
         return self.expr.to_sql()
 
@@ -171,7 +320,12 @@ class XMLText(XmlExpr):
 
 
 class AggregateExpr(SqlExpr):
-    """Base for aggregate expressions; the executor drives accumulation."""
+    """Base for aggregate expressions; the executor drives accumulation.
+
+    ``final`` receives ``db``/``stats`` because :class:`XMLAgg` defers
+    rendering its group to finalization (see below); the scalar
+    aggregates ignore both.
+    """
 
     def new_state(self):
         raise NotImplementedError
@@ -179,21 +333,32 @@ class AggregateExpr(SqlExpr):
     def accumulate(self, state, env, db, stats):
         raise NotImplementedError
 
-    def final(self, state):
+    def final(self, state, db, stats):
         raise NotImplementedError
 
-    def evaluate(self, env, db, stats):
+    def _state(self, env):
         states = env.get(AGG_STATE)
         if states is None or id(self) not in states:
             raise DatabaseError(
                 "aggregate %s used outside an aggregate query" % self.to_sql()
             )
-        return self.final(states[id(self)])
+        return states[id(self)]
+
+    def evaluate(self, env, db, stats):
+        return self.final(self._state(env), db, stats)
 
 
 class XMLAgg(AggregateExpr):
     """``XMLAgg(xml_expr [ORDER BY ...])`` — aggregates XML values into a
-    sequence (document order of the group)."""
+    sequence (document order of the group).
+
+    Accumulation is *lazy*: the state holds ``(order keys, row env)``
+    pairs, and the per-row XML value is only rendered at finalization —
+    or, on the streaming path, emitted one row at a time by
+    :meth:`stream_pieces` without ever building the group's nodes.  Row
+    environments are safe to retain: plan operators yield fresh dicts
+    and never mutate a row after yielding it.
+    """
 
     def __init__(self, expr, order_by=None):
         self.expr = expr
@@ -206,13 +371,12 @@ class XMLAgg(AggregateExpr):
         return []
 
     def accumulate(self, state, env, db, stats):
-        value = self.expr.evaluate(env, db, stats)
         keys = tuple(
             expr.evaluate(env, db, stats) for expr, _ in self.order_by
         )
-        state.append((keys, value))
+        state.append((keys, env))
 
-    def final(self, state):
+    def _ordered(self, state):
         rows = state
         if self.order_by:
             for position in range(len(self.order_by) - 1, -1, -1):
@@ -220,8 +384,12 @@ class XMLAgg(AggregateExpr):
                 rows = sorted(
                     rows, key=lambda row: row[0][position], reverse=descending
                 )
+        return rows
+
+    def final(self, state, db, stats):
         out = []
-        for _, value in rows:
+        for _, env in self._ordered(state):
+            value = self.expr.evaluate(env, db, stats)
             if value is None:
                 continue
             if isinstance(value, list):
@@ -229,6 +397,12 @@ class XMLAgg(AggregateExpr):
             else:
                 out.append(value)
         return out
+
+    def stream_pieces(self, env, db, stats, escape=True):
+        for _, row_env in self._ordered(self._state(env)):
+            for piece in stream_expr_pieces(self.expr, row_env, db, stats,
+                                            escape=escape):
+                yield piece
 
     def to_sql(self):
         text = "XMLAgg(%s" % self.expr.to_sql()
@@ -263,7 +437,7 @@ class AggCall(AggregateExpr):
         if value is not None:
             state.append(value)
 
-    def final(self, state):
+    def final(self, state, db=None, stats=None):
         if self.name == "COUNT":
             return float(len(state))
         if not state:
@@ -301,7 +475,7 @@ class ListAgg(AggregateExpr):
         keys = tuple(expr.evaluate(env, db, stats) for expr, _ in self.order_by)
         state.append((keys, _text(value)))
 
-    def final(self, state):
+    def final(self, state, db=None, stats=None):
         rows = state
         if self.order_by:
             for position in range(len(self.order_by) - 1, -1, -1):

@@ -17,6 +17,8 @@ from __future__ import annotations
 import threading
 import time
 
+from repro.api import TransformOptions
+
 
 class WorkItem:
     """One request template the generator replays."""
@@ -119,11 +121,16 @@ def run_load(service, workload, clients=4, requests_per_client=25,
         local_errors = {}
         for n in range(requests_per_client):
             item = workload[(client_index + n) % len(workload)]
+            kwargs = dict(item.kwargs)
+            opts = TransformOptions.coerce(kwargs.pop("options", None))
+            if "rewrite" in kwargs:
+                opts = opts.replace(rewrite=bool(kwargs.pop("rewrite")))
+            if timeout is not None:
+                opts = opts.replace(deadline=timeout)
             start = time.perf_counter()
             try:
                 result = service.transform(
-                    item.source, item.stylesheet, timeout=timeout,
-                    **item.kwargs
+                    item.source, item.stylesheet, options=opts, **kwargs
                 )
             except Exception as exc:
                 name = type(exc).__name__

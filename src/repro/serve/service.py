@@ -39,16 +39,14 @@ import queue
 import threading
 import time
 
-from repro.core.transform import (
-    STRATEGY_FUNCTIONAL,
-    CompiledTransform,
-    compile_transform,
-    execute_compiled,
-)
+from repro.api import Engine, TransformOptions, warn_legacy
+from repro.core.transform import execute_compiled, execute_compiled_stream
 from repro.errors import ReproError
 from repro.obs import InMemorySink, Tracer, global_metrics
 from repro.serve.cache import PlanCache
-from repro.xslt.stylesheet import Stylesheet, compile_stylesheet
+from repro.xslt.stylesheet import Stylesheet
+
+_UNSET = object()
 
 
 class ServeError(ReproError):
@@ -189,16 +187,15 @@ class ServeResult:
 
 
 class _Request:
-    __slots__ = ("future", "source", "stylesheet", "rewrite", "options",
-                 "params", "deadline", "submitted_at")
+    __slots__ = ("future", "source", "stylesheet", "options", "params",
+                 "deadline", "submitted_at")
 
-    def __init__(self, future, source, stylesheet, rewrite, options, params,
+    def __init__(self, future, source, stylesheet, options, params,
                  deadline, submitted_at):
         self.future = future
         self.source = source
         self.stylesheet = stylesheet
-        self.rewrite = rewrite
-        self.options = options
+        self.options = options  # always a TransformOptions
         self.params = params
         self.deadline = deadline
         self.submitted_at = submitted_at
@@ -231,9 +228,15 @@ def _stylesheet_key(stylesheet):
 
 
 def _options_key(options):
-    if not options:
+    """Cache-key component of a request's options — only the
+    compile-relevant fields (see :meth:`TransformOptions.cache_key`)."""
+    if options is None:
         return ""
-    return repr(sorted(options.items()))
+    if isinstance(options, TransformOptions):
+        return options.cache_key()
+    if isinstance(options, dict):
+        return repr(sorted(options.items()))
+    return repr(options)
 
 
 class TransformService:
@@ -282,21 +285,41 @@ class TransformService:
 
     # -- client API --------------------------------------------------------------
 
-    def submit(self, source, stylesheet, rewrite=True, options=None,
-               params=None, timeout=None):
+    def _effective_options(self, entry_point, options, rewrite, timeout):
+        """Normalize ``options`` plus the deprecated loose kwargs into
+        one :class:`TransformOptions`."""
+        opts = TransformOptions.coerce(options, entry_point=entry_point)
+        if rewrite is not _UNSET:
+            warn_legacy(entry_point, "rewrite=")
+            opts = opts.replace(rewrite=bool(rewrite))
+        if timeout is not _UNSET:
+            warn_legacy(entry_point, "timeout=")
+            opts = opts.replace(deadline=timeout)
+        return opts
+
+    def submit(self, source, stylesheet, rewrite=_UNSET, options=None,
+               params=None, timeout=_UNSET):
         """Enqueue one request; returns a :class:`ServeFuture`.
 
-        ``timeout`` (seconds, default ``default_timeout``) bounds the
-        request's *total* life: a request still queued past its deadline
-        fails with :class:`RequestTimeoutError` instead of executing.
+        ``options.deadline`` (seconds, default ``default_timeout``)
+        bounds the request's *total* life: a request still queued past
+        its deadline fails with :class:`RequestTimeoutError` instead of
+        executing.  The loose ``rewrite=``/``timeout=`` kwargs are
+        deprecated shims over :class:`repro.api.TransformOptions`.
         """
+        opts = self._effective_options("TransformService.submit", options,
+                                       rewrite, timeout)
+        return self._submit(source, stylesheet, opts, params)
+
+    def _submit(self, source, stylesheet, opts, params):
         if self._closed:
             raise ServiceClosedError("service is closed")
-        timeout = self.default_timeout if timeout is None else timeout
+        deadline_s = opts.deadline if opts.deadline is not None \
+            else self.default_timeout
         now = time.perf_counter()
         request = _Request(
-            ServeFuture(), source, stylesheet, rewrite, options, params,
-            deadline=(now + timeout) if timeout else None,
+            ServeFuture(), source, stylesheet, opts, params,
+            deadline=(now + deadline_s) if deadline_s else None,
             submitted_at=now,
         )
         try:
@@ -309,15 +332,45 @@ class TransformService:
         self.metrics.counter("serve.requests").inc()
         return request.future
 
-    def transform(self, source, stylesheet, rewrite=True, options=None,
-                  params=None, timeout=None):
+    def transform(self, source, stylesheet, rewrite=_UNSET, options=None,
+                  params=None, timeout=_UNSET):
         """Synchronous submit+wait; returns the :class:`ServeResult`."""
-        future = self.submit(source, stylesheet, rewrite=rewrite,
-                             options=options, params=params, timeout=timeout)
+        opts = self._effective_options("TransformService.transform", options,
+                                       rewrite, timeout)
+        future = self._submit(source, stylesheet, opts, params)
         # A deadline bounds queue wait + execution, both on the worker
         # side; the caller waits without its own limit so in-flight
         # execution can finish.
         return future.result()
+
+    def transform_stream(self, source, stylesheet, options=None,
+                         params=None):
+        """Streaming transform: returns a
+        :class:`~repro.core.transform.TransformStream` of serialized
+        output chunks.
+
+        Runs on the *caller's* thread (the worker pool stays free for
+        materialized requests — a slow chunk consumer must not occupy a
+        worker), but shares the compiled-plan cache, so a hot
+        (stylesheet, source) pair streams without compiling anything.
+        """
+        if self._closed:
+            raise ServiceClosedError("service is closed")
+        opts = TransformOptions.coerce(
+            options, entry_point="TransformService.transform_stream"
+        )
+        self.metrics.counter("serve.stream_requests").inc()
+        tracer = Tracer(sinks=[InMemorySink()]) if self.trace_requests \
+            else Tracer(enabled=False)
+        compiled, hit = self._compiled_for(source, stylesheet, opts, tracer)
+        self.metrics.counter(
+            "serve.stream_cache", cache="hit" if hit else "miss"
+        ).inc()
+        return execute_compiled_stream(
+            self.db, source, compiled, params=params, tracer=tracer,
+            metrics=self.metrics, batch_size=opts.batch_size,
+            chunk_chars=opts.chunk_chars,
+        )
 
     def invalidate(self, source=None, key=None, tag=None):
         """Evict cached plans: every plan compiled against ``source``'s
@@ -401,12 +454,15 @@ class TransformService:
         future._resolve(result)
 
     def _execute(self, request, tracer, queue_wait):
+        opts = request.options
         with tracer.span(
             "serve.request",
-            rewrite=bool(request.rewrite),
+            rewrite=bool(opts.rewrite),
             queue_wait_ms=round(queue_wait * 1000.0, 3),
         ) as root:
-            compiled, hit = self._compiled_for(request, tracer)
+            compiled, hit = self._compiled_for(
+                request.source, request.stylesheet, opts, tracer
+            )
             execute_start = time.perf_counter()
             with tracer.span("serve.execute"):
                 transform = execute_compiled(
@@ -429,39 +485,28 @@ class TransformService:
             trace=root if root else None,
         )
 
-    def _compiled_for(self, request, tracer):
+    def _compiled_for(self, source, stylesheet, opts, tracer):
         """The request's CompiledTransform, through the plan cache.
 
         The compile (leader-only, stampede-suppressed) runs under *this*
         request's tracer, so compile spans appear exactly once — in the
         leader's trace — and cache-hit traces contain none.
         """
-        fingerprint = source_fingerprint(request.source)
+        fingerprint = source_fingerprint(source)
         key = (
-            _stylesheet_key(request.stylesheet),
+            _stylesheet_key(stylesheet),
             fingerprint,
-            bool(request.rewrite),
-            _options_key(request.options),
+            bool(opts.rewrite),
+            _options_key(opts),
         )
-        if request.rewrite:
-            def compile_fn():
+        engine = Engine(self.db, tracer=tracer, metrics=self.metrics)
+
+        def compile_fn():
+            if opts.rewrite:
                 self.metrics.counter("transform.rewrite_attempts").inc()
-                return compile_transform(
-                    self.db, request.source, request.stylesheet,
-                    options=request.options, tracer=tracer,
-                    metrics=self.metrics,
-                )
-        else:
-            def compile_fn():
-                stylesheet = request.stylesheet
-                if not isinstance(stylesheet, Stylesheet):
-                    with tracer.span("compile.stylesheet"):
-                        stylesheet = compile_stylesheet(stylesheet)
-                return CompiledTransform(
-                    stylesheet, STRATEGY_FUNCTIONAL,
-                    options=request.options,
-                )
+            return engine.compile(source, stylesheet, options=opts)
+
         return self.cache.get_or_compile(
             key, compile_fn, fingerprint=fingerprint,
-            tags=("src:%x" % id(request.source),),
+            tags=("src:%x" % id(source),),
         )

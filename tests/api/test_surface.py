@@ -1,0 +1,109 @@
+"""API-surface snapshot: the public names and signatures callers rely on.
+
+A failing test here means a breaking change to the documented facade —
+update the snapshot deliberately, alongside README/DESIGN, never as a
+side effect.
+"""
+
+import inspect
+
+import repro
+from repro.api import Engine, TransformOptions
+
+
+class TestPackageSurface:
+    def test_top_level_all(self):
+        assert repro.__all__ == [
+            "Database",
+            "Engine",
+            "RewriteOptions",
+            "TransformOptions",
+            "TransformResult",
+            "XsltRewriter",
+            "rewrite_combined",
+            "rewrite_extract",
+            "rewrite_xml_exists",
+            "rewrite_xquery_over_view",
+            "rewrite_xslt_over_xquery",
+            "transform_many",
+            "xml_transform",
+        ]
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_facade_reexported(self):
+        assert repro.Engine is Engine
+        assert repro.TransformOptions is TransformOptions
+
+
+class TestEngineSurface:
+    def test_public_attributes(self):
+        public = {name for name in dir(Engine) if not name.startswith("_")}
+        assert public == {
+            "compile", "transform", "transform_stream", "transform_many",
+            "execute", "explain", "db", "tracer", "metrics",
+        }
+
+    def test_constructor_signature(self):
+        params = list(inspect.signature(Engine.__init__).parameters)
+        assert params == ["self", "db", "tracer", "metrics"]
+
+    def test_verb_signatures(self):
+        expected = {
+            "compile": ["self", "source", "stylesheet", "options"],
+            "transform": ["self", "source", "stylesheet", "options",
+                          "params"],
+            "execute": ["self", "source", "compiled", "options", "params"],
+            "transform_stream": ["self", "source", "stylesheet", "options",
+                                 "params"],
+            "transform_many": ["self", "sources", "stylesheet", "options",
+                               "params"],
+            "explain": ["self", "source", "stylesheet", "options",
+                        "analyze"],
+        }
+        for verb, params in expected.items():
+            signature = inspect.signature(getattr(Engine, verb))
+            assert list(signature.parameters) == params, verb
+
+    def test_every_verb_defaults_options_to_none(self):
+        for verb in ("compile", "transform", "execute", "transform_stream",
+                     "transform_many", "explain"):
+            signature = inspect.signature(getattr(Engine, verb))
+            assert signature.parameters["options"].default is None, verb
+
+
+class TestOptionsSurface:
+    def test_fields_and_defaults(self):
+        opts = TransformOptions()
+        assert opts.rewrite is True
+        assert opts.inline is None
+        assert opts.explain is False
+        assert opts.deadline is None
+        assert opts.batch_size is None
+        assert opts.chunk_chars == 8192
+        assert opts.profile_plan is True
+        assert opts.rewrite_options is None
+
+    def test_field_order_is_stable(self):
+        # positional construction is allowed; the order is part of the API
+        names = [f for f in TransformOptions.__dataclass_fields__]
+        assert names == ["rewrite", "inline", "explain", "deadline",
+                         "batch_size", "chunk_chars", "profile_plan",
+                         "rewrite_options"]
+
+
+class TestLegacyEntryPointsAcceptOptions:
+    """Every legacy door takes the same ``options=`` object."""
+
+    def test_signatures_accept_options(self):
+        from repro.core.pipeline import XsltRewriter
+        from repro.core.transform import compile_transform, xml_transform
+        from repro.serve.service import TransformService
+
+        for fn in (xml_transform, compile_transform,
+                   XsltRewriter.compile, TransformService.transform,
+                   TransformService.submit,
+                   TransformService.transform_stream):
+            assert "options" in inspect.signature(fn).parameters, fn

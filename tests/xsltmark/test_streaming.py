@@ -1,0 +1,108 @@
+"""Streaming-vs-materialized equivalence over the whole xsltmark corpus.
+
+The acceptance bar for the streaming executor: for every case, chunk
+concatenation is byte-identical to the materialized transform, and on
+the SQL strategy no result document is ever built.
+"""
+
+import pytest
+
+from repro.api import Engine, TransformOptions
+from repro.core import STRATEGY_SQL
+from repro.xsltmark import ALL_CASES, get_case
+from repro.xsltmark.runner import prepare_case
+
+SIZE = 40
+
+
+@pytest.mark.parametrize("case", ALL_CASES, ids=lambda case: case.name)
+def test_stream_matches_materialized(case):
+    prepared = prepare_case(case, SIZE)
+    engine = Engine(prepared.db)
+    materialized = engine.transform(prepared.storage, prepared.stylesheet)
+    stream = engine.transform_stream(prepared.storage, prepared.stylesheet)
+    text = stream.text()
+    assert text == "".join(materialized.serialized_rows()), case.name
+    assert stream.strategy == materialized.strategy, case.name
+    if stream.strategy == STRATEGY_SQL:
+        assert stream.stats.docs_materialized == 0, case.name
+
+
+@pytest.mark.parametrize("batch_size", [1, 7, 256])
+def test_batch_size_does_not_change_output(batch_size):
+    case = get_case("total")
+    prepared = prepare_case(case, 50)
+    engine = Engine(prepared.db)
+    reference = engine.transform_stream(prepared.storage,
+                                        prepared.stylesheet).text()
+    stream = engine.transform_stream(
+        prepared.storage, prepared.stylesheet,
+        options=TransformOptions(batch_size=batch_size),
+    )
+    assert stream.text() == reference
+
+
+class TestStreamingBounds:
+    def test_large_case_streams_without_materializing(self):
+        """ISSUE acceptance: on a large SQL-strategy case the stream
+        never builds a result DOM and buffers < 1/4 of the output."""
+        case = get_case("chart")
+        prepared = prepare_case(case, 800)
+        engine = Engine(prepared.db)
+        stream = engine.transform_stream(
+            prepared.storage, prepared.stylesheet,
+            options=TransformOptions(chunk_chars=2048),
+        )
+        chunks = list(stream)
+        output = "".join(chunks)
+        assert stream.strategy == STRATEGY_SQL
+        assert stream.stats.docs_materialized == 0
+        assert len(output) > 8192
+        assert stream.stats.peak_buffered_bytes < len(output) / 4
+        materialized = engine.transform(prepared.storage,
+                                        prepared.stylesheet)
+        assert output == "".join(materialized.serialized_rows())
+
+    def test_chunks_respect_coalescing_target(self):
+        case = get_case("chart")
+        prepared = prepare_case(case, 400)
+        engine = Engine(prepared.db)
+        stream = engine.transform_stream(
+            prepared.storage, prepared.stylesheet,
+            options=TransformOptions(chunk_chars=1024),
+        )
+        chunks = list(stream)
+        assert len(chunks) > 1
+        # every chunk except the last reached the coalescing target
+        assert all(len(chunk) >= 1024 for chunk in chunks[:-1])
+        assert all(chunks)
+
+    def test_stats_live_while_consuming(self):
+        case = get_case("chart")
+        prepared = prepare_case(case, 400)
+        engine = Engine(prepared.db)
+        stream = engine.transform_stream(
+            prepared.storage, prepared.stylesheet,
+            options=TransformOptions(chunk_chars=512),
+        )
+        next(stream)
+        rows_after_first = stream.stats.output_rows
+        stream.text()
+        assert stream.stats.output_rows >= rows_after_first
+        assert stream.stats.output_rows > 0
+
+
+class TestFallbackStreaming:
+    def test_fallback_case_streams_functionally(self):
+        # "identity" cannot be partially evaluated -> functional strategy
+        case = get_case("identity")
+        prepared = prepare_case(case, SIZE)
+        engine = Engine(prepared.db)
+        stream = engine.transform_stream(prepared.storage,
+                                         prepared.stylesheet)
+        text = stream.text()
+        assert stream.strategy == "functional"
+        assert stream.fallback_reason is not None
+        materialized = engine.transform(prepared.storage,
+                                        prepared.stylesheet)
+        assert text == "".join(materialized.serialized_rows())
