@@ -1,0 +1,247 @@
+#!/usr/bin/env python
+"""Cost-based optimizer benchmark: hash joins, Top-N heaps, statistics.
+
+Usage::
+
+    python benchmarks/run_optimizer.py [--scales 500,1500,3000]
+                                       [--table7-size 400] [--repeat 2]
+                                       [--out BENCH_optimizer.json] [--smoke]
+
+Three case families, each timed at optimizer level ``cost`` (the new
+planner) against level ``rules`` (the seed behaviour):
+
+* **join** — a doc >< line equi-join with no index on the join column,
+  at several scale factors.  The rules planner can only nested-loop
+  (inner table re-scanned per outer row, O(N*M)); the cost planner
+  builds a hash table instead.  The largest scale must show at least a
+  **3x** speedup or the run exits non-zero.
+* **topn** — ``ORDER BY ... LIMIT k`` over a large table: full sort
+  versus the fused bounded-heap Top-N.
+* **table7** — the paper's Table 7 shape (dept >< emp join with a
+  selective filter, ordered, first rows only) driven through SQL, with
+  an EXPLAIN check that the ledger-recorded access-path/join decisions
+  and the estimated-vs-actual row annotations are really present.
+
+Every case also checks that both levels return identical rows; any
+check failure makes the run exit 1.
+
+The ``--out`` artifact (default ``BENCH_optimizer.json``) follows the
+``BENCH_obs.json`` shape — ``optimizer/<case>/<scale>`` entries whose
+``seconds`` blocks (``rewrite`` = cost level, ``no-rewrite`` = rules
+level, the calibration clock) feed ``check_regression.py`` — plus an
+``optimizer`` block with the speedup and chosen plan shapes.
+``--smoke`` shrinks everything for CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, _ROOT)
+sys.path.insert(0, os.path.join(_ROOT, "src"))
+
+from repro.obs.decisions import ACCESS_PATH, JOIN_STRATEGY, DecisionLedger
+from repro.rdb import Database, INT, TEXT
+from repro.rdb.plan import ExecutionStats, PlanProfiler, explain
+from repro.rdb.sql_parser import parse_select
+
+DEFAULT_SCALES = (500, 1500, 3000)
+SPEEDUP_FLOOR = 3.0  # required hash-vs-nested-loop ratio at the top scale
+
+
+def summarize(latencies):
+    """A histogram-summary-shaped dict (seconds) from raw samples."""
+    if not latencies:
+        return {"count": 0, "sum": 0.0, "min": None, "max": None,
+                "p50": None, "p95": None}
+    ordered = sorted(latencies)
+
+    def pct(p):
+        rank = max(0, min(len(ordered) - 1,
+                          int(round(p / 100.0 * len(ordered))) - 1))
+        return ordered[rank]
+
+    return {
+        "count": len(ordered),
+        "sum": sum(ordered),
+        "min": ordered[0],
+        "max": ordered[-1],
+        "p50": pct(50),
+        "p95": pct(95),
+    }
+
+
+def timed(db, query, level, repeat):
+    """(per-call seconds, rows) for ``repeat`` optimize+execute calls."""
+    samples, rows = [], None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        rows, _ = db.execute(query, level=level)
+        samples.append(time.perf_counter() - start)
+    return samples, rows
+
+
+def plan_shape(db, query, level):
+    plan = db.optimize(query, level=level).plan
+    names = []
+    for node in plan.iter_plan():
+        names.append(type(node).__name__)
+    return names
+
+
+def make_join_db(scale):
+    docs = max(10, scale // 10)
+    db = Database()
+    db.create_table("doc", [("id", INT), ("name", TEXT)])
+    db.create_index("doc", "id")
+    db.insert("doc", *[(i, "d%d" % i) for i in range(docs)])
+    # deliberately NO index on line.doc: the rules planner is stuck with
+    # a quadratic nested loop, the cost planner hashes the inner table
+    db.create_table("line", [("id", INT), ("doc", INT), ("qty", INT)])
+    db.insert("line", *[(i, i % docs, i % 100) for i in range(scale)])
+    return db
+
+
+JOIN_SQL = ("SELECT d.name, l.qty FROM doc d, line l "
+            "WHERE d.id = l.doc AND l.qty > 10")
+TOPN_SQL = "SELECT l.qty, l.id FROM line l ORDER BY l.qty DESC LIMIT 10"
+TABLE7_SQL = ("SELECT d.name, l.qty FROM doc d, line l "
+              "WHERE d.id = l.doc AND l.qty > 90 "
+              "ORDER BY l.qty DESC LIMIT 10")
+
+
+def run_pair(db, sql, repeat, analyze=True):
+    """Time one query at rules vs cost level; entry dict + speedup."""
+    if analyze:
+        db.analyze()
+    query = parse_select(sql)
+    rules_seconds, rules_rows = timed(db, query, "rules", repeat)
+    cost_seconds, cost_rows = timed(db, query, "cost", repeat)
+    speedup = (min(rules_seconds) / min(cost_seconds)
+               if min(cost_seconds) > 0 else float("inf"))
+    entry = {
+        "seconds": {
+            "rewrite": summarize(cost_seconds),
+            "no-rewrite": summarize(rules_seconds),
+        },
+        "optimizer": {
+            "speedup": speedup,
+            "rows": len(cost_rows),
+            "cost_plan": plan_shape(db, query, "cost"),
+            "rules_plan": plan_shape(db, query, "rules"),
+        },
+        "checks": {"rows_match": cost_rows == rules_rows},
+    }
+    return entry, speedup
+
+
+def run_table7(db, repeat):
+    """The Table-7-shaped case plus its EXPLAIN/ledger evidence checks."""
+    entry, speedup = run_pair(db, TABLE7_SQL, repeat)
+    ledger = DecisionLedger()
+    query = db.optimize(parse_select(TABLE7_SQL), ledger=ledger)
+    ledger.attach_plan(query)
+    stats = ExecutionStats()
+    stats.profiler = PlanProfiler()
+    analyzed = explain(query, analyze=True, db=db, stats=stats)
+    kinds = {decision.kind for decision in ledger}
+    entry["checks"].update({
+        "access_path_recorded": ACCESS_PATH in kinds,
+        "join_strategy_recorded": JOIN_STRATEGY in kinds,
+        "estimates_rendered": "est rows=" in analyzed,
+        "actuals_rendered": "actual" in analyzed,
+    })
+    entry["optimizer"]["decisions"] = [
+        "[%s] %s -> %s" % (decision.kind, decision.subject, decision.action)
+        for decision in ledger
+        if decision.stage == "plan-optimize"
+    ]
+    return entry, speedup
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scales", default=",".join(
+        str(scale) for scale in DEFAULT_SCALES))
+    parser.add_argument("--table7-size", type=int, default=400)
+    parser.add_argument("--repeat", type=int, default=2)
+    parser.add_argument("--out", default="BENCH_optimizer.json")
+    parser.add_argument("--smoke", action="store_true",
+                        help="minimal parameters for CI")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.scales = "500"
+        args.table7_size = 200
+        args.repeat = 1
+
+    scales = [int(scale) for scale in args.scales.split(",") if scale]
+    cases = {}
+    failures = []
+    print("Optimizer benchmark: scales %s, repeat %d"
+          % (scales, args.repeat))
+    print("%-28s %-10s %-10s %-8s %s"
+          % ("case", "rules-p50", "cost-p50", "speedup", "checks"))
+
+    def report(key, entry, speedup):
+        cases[key] = entry
+        ok = all(entry["checks"].values())
+        if not ok:
+            failures.append("%s: %s" % (key, entry["checks"]))
+        print("%-28s %-10.4f %-10.4f %-8.2f %s" % (
+            key,
+            entry["seconds"]["no-rewrite"]["p50"],
+            entry["seconds"]["rewrite"]["p50"],
+            speedup,
+            "ok" if ok else "FAIL",
+        ))
+        return ok
+
+    top_speedup = 0.0
+    for scale in scales:
+        db = make_join_db(scale)
+        entry, speedup = run_pair(db, JOIN_SQL, args.repeat)
+        report("optimizer/join/%d" % scale, entry, speedup)
+        if scale == max(scales):
+            top_speedup = speedup
+        entry, speedup = run_pair(db, TOPN_SQL, args.repeat)
+        report("optimizer/topn/%d" % scale, entry, speedup)
+
+    table7_db = make_join_db(args.table7_size)
+    entry, speedup = run_table7(table7_db, args.repeat)
+    report("optimizer/table7/%d" % args.table7_size, entry, speedup)
+
+    if not args.smoke and top_speedup < SPEEDUP_FLOOR:
+        failures.append(
+            "join speedup %.2fx at scale %d below the %.1fx floor"
+            % (top_speedup, max(scales), SPEEDUP_FLOOR))
+
+    artifact = {
+        "benchmark": "run_optimizer",
+        "config": {
+            "scales": scales,
+            "table7_size": args.table7_size,
+            "repeat": args.repeat,
+            "speedup_floor": SPEEDUP_FLOOR,
+            "cpu_count": os.cpu_count(),
+        },
+        "cases": cases,
+    }
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(artifact, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    print("wrote %s (%d case(s))" % (args.out, len(cases)))
+    if failures:
+        print("verification FAILED:")
+        for failure in failures:
+            print("  " + failure)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

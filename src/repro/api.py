@@ -128,6 +128,12 @@ class TransformOptions:
     :param rewrite_options: a full
         :class:`~repro.core.xquery_gen.RewriteOptions` for per-technique
         ablation; overrides ``inline``.
+    :param optimizer_level: plan-optimizer level — ``"off"`` (execute
+        the merged plan as emitted), ``"rules"`` (heuristic index
+        selection only) or ``"cost"`` (statistics-driven access-path and
+        join-strategy selection).  None uses the planner default
+        (``cost``).  Compile-relevant: distinct levels cache distinct
+        compiled plans.
     """
 
     rewrite: bool = True
@@ -138,6 +144,7 @@ class TransformOptions:
     chunk_chars: int = DEFAULT_CHUNK_CHARS
     profile_plan: bool = True
     rewrite_options: RewriteOptions = None
+    optimizer_level: str = None
 
     @classmethod
     def coerce(cls, value, entry_point=None):
@@ -178,6 +185,8 @@ class TransformOptions:
         — the serving layer's plan-cache key component.  Runtime-only
         fields (deadline, batch/chunk sizes, profiling) are excluded so
         they never fragment the cache."""
+        from repro.rdb.planner import normalize_level
+
         rewrite_options = self.resolved_rewrite_options()
         token = ""
         if rewrite_options is not None:
@@ -185,7 +194,10 @@ class TransformOptions:
                 "%s=%r" % (name, getattr(rewrite_options, name))
                 for name in RewriteOptions.__slots__
             )
-        return "rw=%d;%s" % (bool(self.rewrite), token)
+        # normalized so None and the explicit default level share a key
+        return "rw=%d;opt=%s;%s" % (
+            bool(self.rewrite), normalize_level(self.optimizer_level), token
+        )
 
 
 # -- the facade --------------------------------------------------------------------
@@ -226,6 +238,7 @@ class Engine:
             self.db, source, stylesheet,
             options=opts.resolved_rewrite_options(),
             tracer=self.tracer, metrics=self.metrics,
+            optimizer_level=opts.optimizer_level,
         )
 
     # -- execute ------------------------------------------------------------------

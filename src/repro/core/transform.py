@@ -273,12 +273,13 @@ def compile_transform(db, source, stylesheet, options=None, tracer=None,
 
 
 def _compile_impl(db, source, stylesheet, options=None, tracer=None,
-                  metrics=None):
+                  metrics=None, optimizer_level=None):
     """The compile worker behind :meth:`repro.api.Engine.compile`.
 
     Compiles the stylesheet (when given as markup), runs the three
-    rewrite stages, optimizes the merged plan against ``db`` and resolves
-    the decision ledger's provenance into the optimized plan.  ``options``
+    rewrite stages, optimizes the merged plan against ``db`` at
+    ``optimizer_level`` (None = the planner default) and resolves the
+    decision ledger's provenance into the optimized plan.  ``options``
     is a resolved :class:`~repro.core.xquery_gen.RewriteOptions` (or
     None).
     """
@@ -296,7 +297,8 @@ def _compile_impl(db, source, stylesheet, options=None, tracer=None,
                                 ledger=ledger)
         outcome = rewriter.rewrite_view(stylesheet, view_query)
         with tracer.span("compile.optimize"):
-            query = db.optimize(outcome.sql_query)
+            query = db.optimize(outcome.sql_query, level=optimizer_level,
+                                ledger=ledger)
             # re-resolve decision provenance against the *optimized* plan
             # (the one explain() renders and execution profiles)
             ledger.attach_plan(query)

@@ -37,6 +37,11 @@ CARDINALITY = "cardinality"                      # §3.4: FOR vs LET
 BACKWARD_STEP = "backward-step"                  # §3.5: parent tests removed
 BUILTIN_COMPACTION = "builtin-compaction"        # §3.6: string-join form
 
+# cost-based plan optimisation (repro.rdb.planner, not a paper section)
+ACCESS_PATH = "access-path"        # Scan vs IndexScan per filtered table
+JOIN_STRATEGY = "join-strategy"    # nested loop vs hash join
+TOPN_FUSION = "topn-fusion"        # Limit(Sort) fused into bounded-heap TopN
+
 KINDS = (
     TEMPLATE_INSTANTIATED,
     TEMPLATE_PRUNED,
@@ -45,6 +50,9 @@ KINDS = (
     CARDINALITY,
     BACKWARD_STEP,
     BUILTIN_COMPACTION,
+    ACCESS_PATH,
+    JOIN_STRATEGY,
+    TOPN_FUSION,
 )
 
 _SECTIONS = {
@@ -257,7 +265,7 @@ class DecisionLedger:
     """Ordered record of every rewrite decision of one compilation."""
 
     # the pipeline stages, in rendering order
-    STAGES = ("partial-eval", "xquery-gen", "sql-merge")
+    STAGES = ("partial-eval", "xquery-gen", "sql-merge", "plan-optimize")
 
     def __init__(self):
         self.decisions = []
@@ -315,11 +323,17 @@ class DecisionLedger:
             plan_node = self._bound_plan(variable)
             if plan_node is not None and plan_node not in extra:
                 extra.append(plan_node)
-        assign_plan_node_ids(query, extra_plans=extra)
+        ids = assign_plan_node_ids(query, extra_plans=extra)
         root = getattr(query, "plan", None)
         for decision in self.decisions:
             if decision.kind == TEMPLATE_PRUNED:
                 continue  # pruned templates produce no plan nodes
+            preset = decision.provenance.sql_node
+            if preset is not None and id(preset) in ids:
+                # the planner pinned this decision to the node it built
+                # (access-path / join-strategy choices); keep that anchor
+                decision.provenance.sql_node_id = ids[id(preset)]
+                continue
             variable = decision.detail.get("variable")
             node = self._bound_plan(variable) if variable else None
             if node is None:

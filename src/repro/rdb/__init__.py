@@ -20,6 +20,7 @@ from repro.rdb.plan import (
     Aggregate,
     ExecutionStats,
     Filter,
+    HashJoin,
     IndexScan,
     Limit,
     NestedLoopJoin,
@@ -27,28 +28,37 @@ from repro.rdb.plan import (
     Query,
     Scan,
     Sort,
+    TopN,
     explain,
 )
+from repro.rdb.planner import DEFAULT_LEVEL, LEVELS
+from repro.rdb.stats import StatisticsCatalog, TableStats
 from repro.rdb import expressions as expr
 from repro.rdb import sqlxml
 
 __all__ = [
     "Aggregate",
     "Column",
+    "DEFAULT_LEVEL",
     "Database",
     "ExecutionStats",
     "FLOAT",
     "Filter",
+    "HashJoin",
     "INT",
     "IndexScan",
+    "LEVELS",
     "Limit",
     "NestedLoopJoin",
     "PlanProfiler",
     "Query",
     "Scan",
     "Sort",
+    "StatisticsCatalog",
     "TEXT",
     "TableSchema",
+    "TableStats",
+    "TopN",
     "XML",
     "expr",
     "explain",

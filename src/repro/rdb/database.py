@@ -8,6 +8,7 @@ from repro.errors import CatalogError
 from repro.rdb.btree import BTreeIndex
 from repro.rdb.plan import ExecutionStats, Query
 from repro.rdb.planner import optimize_query
+from repro.rdb.stats import StatisticsCatalog
 from repro.rdb.table import HeapTable
 from repro.rdb.types import Column, TableSchema
 
@@ -52,6 +53,7 @@ class Database:
         self._indexes = {}
         self._views = {}
         self._index_names = itertools.count(1)
+        self.stats = StatisticsCatalog(self)
 
     # -- DDL ----------------------------------------------------------------
 
@@ -76,6 +78,7 @@ class Database:
             if index.table_name == name
         ]:
             del self._indexes[index_name]
+        self.stats.note_ddl(name)
 
     def create_index(self, table_name, column_name, index_name=None):
         """Build a B-tree index over existing rows; maintained on insert."""
@@ -90,6 +93,7 @@ class Database:
             (row[position], row_id) for row_id, row in table.scan()
         )
         self._indexes[index_name] = index
+        self.stats.note_ddl(table_name)
         return index
 
     def create_view(self, name, query, metadata=None):
@@ -112,6 +116,8 @@ class Database:
                 if index.table_name == table_name:
                     position = table.schema.position_of(index.column_name)
                     index.insert(stored[position], row_id)
+        if rows:
+            self.stats.note_dml(table_name)
         return row_ids
 
     # -- catalog lookups ------------------------------------------------------
@@ -120,6 +126,9 @@ class Database:
         if name not in self._tables:
             raise CatalogError("no table %r" % name)
         return self._tables[name]
+
+    def table_names(self):
+        return sorted(self._tables)
 
     def has_table(self, name):
         return name in self._tables
@@ -158,18 +167,45 @@ class Database:
     def has_view(self, name):
         return name in self._views
 
+    # -- statistics ------------------------------------------------------------
+
+    def analyze(self, table_name=None):
+        """Compute and cache optimizer statistics (ANALYZE)."""
+        return self.stats.analyze(table_name)
+
+    def stats_version(self):
+        """Monotonic statistics version; bumps on ANALYZE and on DML/DDL
+        that invalidates analyzed statistics.  Plan caches key on this."""
+        return self.stats.version
+
     # -- execution -------------------------------------------------------------
 
-    def execute(self, query, env=None, optimize=True, stats=None):
+    def execute(self, query, env=None, optimize=True, stats=None, level=None):
         """Execute a :class:`Query`; returns (rows, stats).  Pass a
         prepared :class:`ExecutionStats` (e.g. with a
         :class:`~repro.rdb.plan.PlanProfiler` attached) to collect into."""
         if optimize:
-            query = optimize_query(query, self)
+            query = optimize_query(query, self, level=level)
         return query.execute(self, env=env, stats=stats or ExecutionStats())
 
-    def optimize(self, query):
-        return optimize_query(query, self)
+    def optimize(self, query, level=None, ledger=None):
+        return optimize_query(query, self, level=level, ledger=ledger)
+
+    def explain(self, query, analyze=False, env=None, level=None):
+        """EXPLAIN (or EXPLAIN ANALYZE) a :class:`Query` or a SQL SELECT
+        string: the optimised operator tree with ``#n`` node ids and
+        per-node cost estimates; with ``analyze=True`` the query runs
+        and actual row counts/timings appear next to the estimates."""
+        from repro.rdb.plan import assign_plan_node_ids
+        from repro.rdb.plan import explain as render_plan
+
+        if isinstance(query, str):
+            from repro.rdb.sql_parser import parse_select
+
+            query = parse_select(query)
+        query = self.optimize(query, level=level)
+        assign_plan_node_ids(query)
+        return render_plan(query, analyze=analyze, db=self, env=env)
 
     def sql(self, statement, env=None):
         """Parse and execute one SQL statement (see

@@ -48,6 +48,7 @@ class ExecutionStats:
         "rows_scanned", "index_probes", "index_entries", "output_rows",
         "xml_elements", "subquery_executions", "btree_node_visits",
         "docs_materialized", "batches", "peak_buffered_bytes",
+        "hash_build_rows", "hash_probes", "topn_heap_rows",
         "elapsed_seconds",
     )
 
@@ -67,6 +68,12 @@ class ExecutionStats:
         #: high-water mark of serialized output buffered at once on the
         #: streaming path (0 when execution materialized the result)
         self.peak_buffered_bytes = 0
+        #: rows inserted into HashJoin build tables
+        self.hash_build_rows = 0
+        #: probe-side rows looked up in HashJoin tables
+        self.hash_probes = 0
+        #: rows pushed through TopN bounded heaps
+        self.topn_heap_rows = 0
         self.elapsed_seconds = 0.0
         self.profiler = None
 
@@ -364,6 +371,93 @@ class NestedLoopJoin(PlanNode):
             yield batch
 
 
+class HashJoin(PlanNode):
+    """Equi-join: build a hash table over the right side, probe with the
+    left side in order.
+
+    Output rows (and their order) are identical to the equivalent
+    ``NestedLoopJoin``: left rows drive in left order, and within one
+    probe the matches come back in right-side build order.  The right
+    side is evaluated exactly once against the outer environment, so the
+    planner only picks this operator when the right side is uncorrelated
+    with the left.  ``condition`` carries any residual (non-equi)
+    predicate evaluated against the joined environment.
+    """
+
+    def __init__(self, left, right, left_key, right_key, condition=None):
+        self.left = left
+        self.right = right
+        self.left_key = left_key
+        self.right_key = right_key
+        self.condition = condition
+
+    def children(self):
+        return (self.left, self.right)
+
+    def _build(self, db, env, stats):
+        """``{canonical key: [alias-additions in build order]}`` plus the
+        baseline env keys (to split right-introduced bindings out of the
+        built row environments)."""
+        table = {}
+        for row_env in self.right.iter_rows(db, env, stats):
+            key = _hash_key(self.right_key.evaluate(row_env, db, stats))
+            stats.hash_build_rows += 1
+            if key is None:
+                continue  # NULL never equi-joins
+            additions = {
+                alias: bindings
+                for alias, bindings in row_env.items()
+                if env.get(alias) is not bindings
+            }
+            table.setdefault(key, []).append(additions)
+        return table
+
+    def _probe(self, db, env, stats, table, left_env):
+        stats.hash_probes += 1
+        key = _hash_key(self.left_key.evaluate(left_env, db, stats))
+        if key is None:
+            return
+        for additions in table.get(key, ()):
+            joined = dict(left_env)
+            joined.update(additions)
+            if self.condition is None or bool(
+                self.condition.evaluate(joined, db, stats)
+            ):
+                yield joined
+
+    def rows(self, db, env, stats):
+        table = self._build(db, env, stats)
+        for left_env in self.left.iter_rows(db, env, stats):
+            for joined in self._probe(db, env, stats, table, left_env):
+                yield joined
+
+    def batches(self, db, env, stats, batch_size=DEFAULT_BATCH_SIZE):
+        table = self._build(db, env, stats)
+        batch = []
+        for left_batch in self.left.iter_batches(db, env, stats, batch_size):
+            for left_env in left_batch:
+                for joined in self._probe(db, env, stats, table, left_env):
+                    batch.append(joined)
+                    if len(batch) >= batch_size:
+                        yield batch
+                        batch = []
+        if batch:
+            yield batch
+
+
+def _hash_key(value):
+    """Canonical equi-join hash key, matching ``BinOp('=')`` semantics:
+    NULL joins nothing (None sentinel), and mixed-type operands compare
+    as SQL text — so every key hashes by its text rendering (integral
+    floats and ints collapse to the same string, exactly as ``=`` treats
+    them as equal)."""
+    from repro.rdb.expressions import _text
+
+    if value is None:
+        return None
+    return _text(value)
+
+
 class Sort(PlanNode):
     """Materialising sort."""
 
@@ -462,6 +556,64 @@ class Aggregate(PlanNode):
             yield result_env
 
 
+class TopN(PlanNode):
+    """Bounded-buffer fusion of ``Limit(Sort(child, keys), count)``.
+
+    Instead of materialising and fully sorting the child's output, a
+    buffer of at most ``2 * count`` decorated rows is kept: whenever it
+    overflows it is sorted (the same C-speed multi-pass stable sort the
+    full Sort operator uses) and truncated back to the best ``count``
+    rows.  Stable sorting preserves first-arrival order among ties, so
+    the emitted rows (and their order) are exactly what the unfused
+    ``Limit(Sort(...))`` pair produces — with O(count) memory.
+    """
+
+    def __init__(self, child, keys, count):
+        self.child = child
+        self.keys = keys    # list of (expr, descending), as Sort
+        self.count = count
+
+    def children(self):
+        return (self.child,)
+
+    def _prune(self, buffer):
+        """Stable multi-pass sort (Sort._decorated's strategy), then keep
+        only the best ``count`` decorated rows."""
+        for position in range(len(self.keys) - 1, -1, -1):
+            descending = self.keys[position][1]
+            buffer.sort(
+                key=lambda pair: _null_safe(pair[0][position]),
+                reverse=descending,
+            )
+        del buffer[self.count:]
+
+    def _top_rows(self, db, env, stats):
+        if self.count <= 0:
+            return []
+        threshold = max(self.count * 2, 64)
+        buffer = []
+        for row_env in self.child.iter_rows(db, env, stats):
+            stats.topn_heap_rows += 1
+            buffer.append((
+                [expr.evaluate(row_env, db, stats)
+                 for expr, _ in self.keys],
+                row_env,
+            ))
+            if len(buffer) >= threshold:
+                self._prune(buffer)
+        self._prune(buffer)
+        return [row_env for _, row_env in buffer]
+
+    def rows(self, db, env, stats):
+        for row_env in self._top_rows(db, env, stats):
+            yield row_env
+
+    def batches(self, db, env, stats, batch_size=DEFAULT_BATCH_SIZE):
+        top = self._top_rows(db, env, stats)
+        for start in range(0, len(top), batch_size):
+            yield top[start:start + batch_size]
+
+
 class Limit(PlanNode):
     def __init__(self, child, count):
         self.child = child
@@ -472,11 +624,13 @@ class Limit(PlanNode):
 
     def rows(self, db, env, stats):
         remaining = self.count
+        if remaining <= 0:
+            return
         for row_env in self.child.iter_rows(db, env, stats):
+            yield row_env
+            remaining -= 1
             if remaining <= 0:
                 return
-            remaining -= 1
-            yield row_env
 
     def batches(self, db, env, stats, batch_size=DEFAULT_BATCH_SIZE):
         remaining = self.count
@@ -698,7 +852,15 @@ class Query:
 def _render_plan(plan):
     """Render the supported plan shapes to FROM/WHERE/ORDER BY fragments."""
     order_clause = ""
-    if isinstance(plan, Sort):
+    rownum_limit = None
+    if isinstance(plan, TopN):
+        rownum_limit = plan.count
+        order_clause = ", ".join(
+            expr.to_sql() + (" DESC" if descending else "")
+            for expr, descending in plan.keys
+        )
+        plan = plan.child
+    elif isinstance(plan, Sort):
         order_clause = ", ".join(
             expr.to_sql() + (" DESC" if descending else "")
             for expr, descending in plan.keys
@@ -708,6 +870,8 @@ def _render_plan(plan):
     predicates = []
     sources = []
     _collect(plan, sources, predicates)
+    if rownum_limit is not None:
+        predicates.append("ROWNUM <= %d" % rownum_limit)
     from_clause = ", ".join(sources)
     where_clause = " AND ".join(predicates)
     return from_clause, where_clause, order_clause
@@ -737,6 +901,18 @@ def _collect(plan, sources, predicates):
         _collect(plan.right, sources, predicates)
         if plan.condition is not None:
             predicates.append(plan.condition.to_sql())
+    elif isinstance(plan, HashJoin):
+        _collect(plan.left, sources, predicates)
+        _collect(plan.right, sources, predicates)
+        predicates.append(
+            "%s = %s /*+ USE_HASH */"
+            % (plan.left_key.to_sql(), plan.right_key.to_sql())
+        )
+        if plan.condition is not None:
+            predicates.append(plan.condition.to_sql())
+    elif isinstance(plan, TopN):
+        _collect(plan.child, sources, predicates)
+        predicates.append("ROWNUM <= %d" % plan.count)
     elif isinstance(plan, Limit):
         _collect(plan.child, sources, predicates)
         predicates.append("ROWNUM <= %d" % plan.count)
@@ -835,12 +1011,39 @@ def explain(plan_or_query, indent=0, profile=None, analyze=False, db=None,
         detail = " predicate=%s" % plan.predicate.to_sql()
     elif isinstance(plan, Sort):
         detail = " keys=%s" % ", ".join(expr.to_sql() for expr, _ in plan.keys)
+    elif isinstance(plan, TopN):
+        detail = " keys=%s count=%d" % (
+            ", ".join(expr.to_sql() for expr, _ in plan.keys), plan.count,
+        )
+    elif isinstance(plan, HashJoin):
+        detail = " build=right key=%s = %s" % (
+            plan.left_key.to_sql(), plan.right_key.to_sql(),
+        )
     elif isinstance(plan, Aggregate):
         detail = " group_by=[%s]" % ", ".join(name for name, _ in plan.group_by)
-    lines = [pad + label + detail + _profile_note(plan, profile)]
+    lines = [pad + label + detail + _estimate_note(plan)
+             + _profile_note(plan, profile)]
     for child in plan.children():
         lines.append(explain(child, indent + 1, profile=profile))
     return "\n".join(lines)
+
+
+def _estimate_note(plan):
+    """Cost-based planner estimates, when the optimizer stamped them."""
+    estimated_rows = getattr(plan, "estimated_rows", None)
+    if estimated_rows is None:
+        return ""
+    estimated_cost = getattr(plan, "estimated_cost", None)
+    note = "  (est rows=%s" % _fmt_estimate(estimated_rows)
+    if estimated_cost is not None:
+        note += " cost=%s" % _fmt_estimate(estimated_cost)
+    return note + ")"
+
+
+def _fmt_estimate(value):
+    if float(value) == int(value):
+        return "%d" % int(value)
+    return "%.1f" % value
 
 
 def _profile_note(plan, profile):

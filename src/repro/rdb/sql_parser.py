@@ -30,7 +30,7 @@ from __future__ import annotations
 from repro.errors import DatabaseError, PlanError
 from repro.rdb import expressions as e
 from repro.rdb import sqlxml
-from repro.rdb.plan import Filter, NestedLoopJoin, Query, Scan, Sort
+from repro.rdb.plan import Filter, Limit, NestedLoopJoin, Query, Scan, Sort
 from repro.rdb.types import FLOAT, INT, TEXT, XML
 
 _TYPE_NAMES = {
@@ -193,6 +193,12 @@ class _Parser:
             self.advance()
             self.expect_keyword("table")
             statement = ("drop_table", self.expect_name())
+        elif self.at_keyword("analyze"):
+            self.advance()
+            table = None
+            if self.peek().kind in ("ident", "quoted"):
+                table = self.expect_name()
+            statement = ("analyze", table)
         else:
             raise SqlSyntaxError(
                 "unsupported statement starting with %r" % self.peek().value
@@ -304,6 +310,13 @@ class _Parser:
                 self.advance()
                 keys.append(self._parse_order_key())
             plan = Sort(plan, keys)
+        if self.at_keyword("limit"):
+            self.advance()
+            count = self.advance()
+            if count.kind != "number" or not isinstance(count.value, int) \
+                    or count.value < 0:
+                raise SqlSyntaxError("LIMIT expects a non-negative integer")
+            plan = Limit(plan, count.value)
         return Query(plan, outputs)
 
     def _parse_select_item(self):
@@ -313,7 +326,7 @@ class _Parser:
             self.advance()
             name = self.expect_name()
         elif self.peek().kind in ("ident", "quoted") and not self.at_keyword(
-            "from", "where", "order"
+            "from", "where", "order", "limit"
         ):
             name = self.expect_name()
         return (name, expr)
@@ -330,7 +343,7 @@ class _Parser:
         table = self.expect_name()
         alias = None
         if self.peek().kind in ("ident", "quoted") and not self.at_keyword(
-            "where", "order", "on", "group"
+            "where", "order", "on", "group", "limit"
         ):
             alias = self.expect_name()
         return Scan(table, alias)
@@ -659,4 +672,9 @@ def execute_sql(db, source, env=None):
     if kind == "drop_table":
         db.drop_table(statement[1])
         return "table %s dropped" % statement[1]
+    if kind == "analyze":
+        _, table = statement
+        computed = db.analyze(table)
+        analyzed = 1 if table is not None else len(computed)
+        return "%d table(s) analyzed" % analyzed
     raise DatabaseError("unhandled statement kind %r" % kind)

@@ -253,6 +253,15 @@ class ObjectRelationalStorage:
                 parts.append("index:%s:%s:%s" % (
                     index.table_name, index.column_name, index.name,
                 ))
+            # ANALYZE epoch: statistics changes the cost-based optimizer
+            # could act on must re-key cached plans.  Plain DML on a
+            # never-analyzed table contributes nothing (the planner was
+            # already running on live row counts).
+            table_stats = self.db.stats.table_stats(table.table_name)
+            if table_stats is not None:
+                parts.append("stats:%s:%d" % (
+                    table.table_name, table_stats.version,
+                ))
         return hashlib.sha256("\n".join(parts).encode("utf-8")).hexdigest()
 
     def binding_of(self, decl):

@@ -498,6 +498,9 @@ class TransformService:
             fingerprint,
             bool(opts.rewrite),
             _options_key(opts),
+            # ANALYZE (or DML invalidating analyzed stats) bumps this, so
+            # plans chosen under stale statistics are never served again
+            "stats:%d" % self.db.stats_version(),
         )
         engine = Engine(self.db, tracer=tracer, metrics=self.metrics)
 

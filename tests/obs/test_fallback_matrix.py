@@ -148,7 +148,8 @@ class TestExecutePhase:
         tracer, metrics = Tracer(), MetricsRegistry()
         db = make_database()
         monkeypatch.setattr(
-            Database, "optimize", lambda self, query: _ExplodingQuery()
+            Database, "optimize",
+            lambda self, query, **kwargs: _ExplodingQuery(),
         )
         result = xml_transform(db, dept_emp_view_query(),
                                EXAMPLE1_STYLESHEET,

@@ -116,7 +116,8 @@ class TestRunTimeFallback:
         tracer, metrics = fresh_obs()
         db = make_database()
         monkeypatch.setattr(
-            Database, "optimize", lambda self, query: _ExplodingQuery()
+            Database, "optimize",
+            lambda self, query, **kwargs: _ExplodingQuery(),
         )
         result = xml_transform(db, dept_emp_view_query(),
                                EXAMPLE1_STYLESHEET,
@@ -133,7 +134,8 @@ class TestRunTimeFallback:
         tracer, metrics = fresh_obs()
         db = make_database()
         monkeypatch.setattr(
-            Database, "optimize", lambda self, query: _ExplodingQuery()
+            Database, "optimize",
+            lambda self, query, **kwargs: _ExplodingQuery(),
         )
         result = xml_transform(db, dept_emp_view_query(),
                                EXAMPLE1_STYLESHEET,

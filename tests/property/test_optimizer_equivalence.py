@@ -1,0 +1,55 @@
+"""Optimizer-equivalence property over the whole xsltmark corpus.
+
+The cost-based planner may pick different physical plans (hash joins,
+index probes, Top-N heaps) but must never change results: for every
+case, every optimizer level produces byte-identical output and the
+same execution strategy.
+"""
+
+import pytest
+
+from repro.api import Engine, TransformOptions
+from repro.rdb.planner import LEVELS
+from repro.xsltmark import ALL_CASES, get_case
+from repro.xsltmark.runner import prepare_case
+
+SIZE = 30
+
+
+def outputs_by_level(case, size=SIZE):
+    prepared = prepare_case(case, size)
+    engine = Engine(prepared.db)
+    results = {}
+    for level in LEVELS:
+        result = engine.transform(
+            prepared.storage, prepared.stylesheet,
+            options=TransformOptions(optimizer_level=level),
+        )
+        results[level] = ("".join(result.serialized_rows()),
+                          result.strategy)
+    return results
+
+
+@pytest.mark.parametrize("case", ALL_CASES, ids=lambda case: case.name)
+def test_levels_are_byte_identical(case):
+    results = outputs_by_level(case)
+    baseline_text, baseline_strategy = results["off"]
+    for level in LEVELS:
+        text, strategy = results[level]
+        assert text == baseline_text, (case.name, level)
+        assert strategy == baseline_strategy, (case.name, level)
+
+
+def test_levels_survive_analyze():
+    """Statistics must sharpen estimates, never flip results."""
+    case = get_case("chart")
+    prepared = prepare_case(case, 120)
+    engine = Engine(prepared.db)
+    before = engine.transform(prepared.storage, prepared.stylesheet)
+    prepared.db.analyze()
+    after = engine.transform(
+        prepared.storage, prepared.stylesheet,
+        options=TransformOptions(optimizer_level="cost"),
+    )
+    assert "".join(after.serialized_rows()) == \
+        "".join(before.serialized_rows())

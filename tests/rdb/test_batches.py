@@ -8,17 +8,21 @@ from repro.rdb import (
     Aggregate,
     Database,
     Filter,
+    HashJoin,
+    IndexScan,
     Limit,
     NestedLoopJoin,
     Query,
     Scan,
     Sort,
+    TopN,
     INT,
     TEXT,
 )
 from repro.rdb.expressions import ScalarSubquery, col, const, eq, gt
 from repro.rdb.plan import DEFAULT_BATCH_SIZE, ExecutionStats, PlanProfiler
 from repro.rdb.sqlxml import (
+    AggCall,
     XMLAgg,
     XMLComment,
     XMLConcat,
@@ -114,6 +118,98 @@ class TestBatchedExecutionEquivalence:
         query = Query(Scan("emp"), [(None, col("ename"))])
         _, stats = batched(db, query, 2)
         assert stats.output_rows == 3
+
+
+def _audit_cases():
+    """One representative query per physical operator."""
+    return [
+        ("scan", Query(Scan("emp"), [(None, col("ename"))])),
+        ("filter", Query(
+            Filter(Scan("emp"), gt(col("sal"), const(2000))),
+            [(None, col("ename"))],
+        )),
+        ("index-scan", Query(
+            IndexScan("emp", "idx_emp_sal", ">", const(2000)),
+            [(None, col("ename"))],
+        )),
+        ("nested-loop", Query(
+            NestedLoopJoin(
+                Scan("dept", "d"), Scan("emp", "e"),
+                eq(col("deptno", "d"), col("deptno", "e")),
+            ),
+            [(None, col("dname", "d")), (None, col("ename", "e"))],
+        )),
+        ("hash-join", Query(
+            HashJoin(
+                Scan("dept", "d"), Scan("emp", "e"),
+                col("deptno", "d"), col("deptno", "e"),
+            ),
+            [(None, col("dname", "d")), (None, col("ename", "e"))],
+        )),
+        ("sort", Query(
+            Sort(Scan("emp"), [(col("sal"), True)]),
+            [(None, col("ename"))],
+        )),
+        ("top-n", Query(
+            TopN(Scan("emp"), [(col("sal"), True)], 2),
+            [(None, col("ename"))],
+        )),
+        ("limit", Query(Limit(Scan("emp"), 2), [(None, col("ename"))])),
+        ("aggregate", Query(
+            Aggregate(
+                Scan("emp"),
+                group_by=[("deptno", col("deptno"))],
+                outputs=[("total", AggCall("SUM", col("sal")))],
+            ),
+            [(None, col("deptno", "agg")), (None, col("total", "agg"))],
+        )),
+    ]
+
+
+class TestBatchesParityAudit:
+    """Regression audit: the batched path must report the exact same work
+    counters as the row-at-a-time path for every physical operator —
+    identical rows AND identical rows_scanned / index_probes /
+    index_entries / hash / top-n counters.  Only ``batches`` (zero on the
+    row path) and wall-clock time may differ."""
+
+    IGNORED = {"batches", "elapsed_seconds"}
+
+    @pytest.mark.parametrize(
+        "name,query", _audit_cases(), ids=[c[0] for c in _audit_cases()]
+    )
+    @pytest.mark.parametrize("batch_size", [1, 2, DEFAULT_BATCH_SIZE])
+    def test_counters_match_row_path(self, db, name, query, batch_size):
+        db.create_index("emp", "sal")
+        row_stats = ExecutionStats()
+        row_rows, row_stats = query.execute(db, stats=row_stats)
+        batch_rows, batch_stats = batched(db, query, batch_size)
+        assert batch_rows == row_rows
+        for field in ExecutionStats._FIELDS:
+            if field in self.IGNORED:
+                continue
+            batch_value = getattr(batch_stats, field)
+            row_value = getattr(row_stats, field)
+            if name == "limit" and field == "rows_scanned":
+                # a Limit can only stop pulling on batch boundaries, so the
+                # batched path may overscan by up to one batch
+                assert row_value <= batch_value < row_value + batch_size
+                continue
+            assert batch_value == row_value, \
+                "%s diverged on %r at batch_size=%d" % (field, name,
+                                                        batch_size)
+
+    def test_audit_covers_the_new_counters(self, db):
+        db.create_index("emp", "sal")
+        for name, query in _audit_cases():
+            _, stats = batched(db, query, 2)
+            if name == "hash-join":
+                assert stats.hash_build_rows == 3
+                assert stats.hash_probes == 2
+            if name == "top-n":
+                assert stats.topn_heap_rows == 3
+            if name == "index-scan":
+                assert stats.index_probes == 1
 
 
 class TestBatchProfile:

@@ -1,0 +1,128 @@
+"""Tests for the ANALYZE statistics subsystem (repro.rdb.stats)."""
+
+import pytest
+
+from repro.rdb import Database, INT, TEXT
+from repro.rdb.stats import Histogram
+
+
+@pytest.fixture
+def db():
+    db = Database()
+    db.create_table("line", [("id", INT), ("doc", INT), ("name", TEXT)])
+    db.create_index("line", "doc")
+    db.insert(
+        "line",
+        *[(i, i % 10, "n%d" % (i % 4)) for i in range(100)]
+    )
+    return db
+
+
+class TestAnalyze:
+    def test_table_stats_numbers(self, db):
+        stats = db.analyze("line")
+        assert stats.row_count == 100
+        assert stats.column("id").distinct == 100
+        assert stats.column("id").min == 0
+        assert stats.column("id").max == 99
+        assert stats.column("doc").distinct == 10
+        assert stats.column("name").distinct == 4
+        assert stats.column("name").null_count == 0
+
+    def test_text_min_max_are_strings(self, db):
+        stats = db.analyze("line")
+        assert stats.column("name").min == "n0"
+        assert stats.column("name").max == "n3"
+
+    def test_null_counting(self, db):
+        db.insert("line", (100, None, None))
+        stats = db.analyze("line")
+        assert stats.column("doc").null_count == 1
+        assert stats.column("name").null_count == 1
+        assert stats.row_count == 101
+
+    def test_histogram_only_on_indexed_numeric_columns(self, db):
+        stats = db.analyze("line")
+        assert stats.column("doc").histogram is not None   # indexed INT
+        assert stats.column("id").histogram is None        # not indexed
+        assert stats.column("name").histogram is None      # TEXT
+
+    def test_whole_database_analyze(self, db):
+        db.create_table("other", [("x", INT)])
+        computed = db.analyze()
+        assert set(computed) == {"line", "other"}
+        assert db.stats.table_stats("other").row_count == 0
+
+    def test_cached_until_invalidated(self, db):
+        first = db.analyze("line")
+        assert db.stats.table_stats("line") is first
+        db.insert("line", (200, 0, "x"))
+        assert db.stats.table_stats("line") is None
+
+    def test_as_dict_shape(self, db):
+        record = db.analyze("line").as_dict()
+        assert record["rows"] == 100
+        assert record["columns"]["doc"]["distinct"] == 10
+        assert record["columns"]["doc"]["histogram_buckets"] > 0
+
+
+class TestVersioning:
+    def test_analyze_bumps_version(self, db):
+        before = db.stats_version()
+        db.analyze("line")
+        assert db.stats_version() == before + 1
+
+    def test_dml_on_unanalyzed_table_does_not_bump(self, db):
+        before = db.stats_version()
+        db.insert("line", (300, 0, "x"))
+        assert db.stats_version() == before
+
+    def test_dml_on_analyzed_table_bumps_once(self, db):
+        db.analyze("line")
+        before = db.stats_version()
+        db.insert("line", (300, 0, "x"))
+        assert db.stats_version() == before + 1
+        db.insert("line", (301, 0, "y"))  # already invalidated: no bump
+        assert db.stats_version() == before + 1
+
+    def test_index_ddl_invalidates_stats(self, db):
+        db.analyze("line")
+        db.create_index("line", "id")
+        assert db.stats.table_stats("line") is None
+        # next ANALYZE covers the new index with a histogram
+        assert db.analyze("line").column("id").histogram is not None
+
+    def test_drop_table_invalidates(self, db):
+        db.analyze("line")
+        before = db.stats_version()
+        db.drop_table("line")
+        assert db.stats_version() == before + 1
+
+
+class TestHistogram:
+    def test_equi_width_counts(self):
+        histogram = Histogram(list(range(100)), buckets=10)
+        assert sum(histogram.counts) == 100
+        assert len(histogram.counts) == 10
+
+    def test_range_selectivity_interpolates(self):
+        histogram = Histogram(list(range(100)), buckets=10)
+        assert histogram.selectivity("<", 50) == pytest.approx(0.5, abs=0.06)
+        assert histogram.selectivity(">", 90) == pytest.approx(0.1, abs=0.06)
+        assert histogram.selectivity("<", -5) == 0.0
+        assert histogram.selectivity(">", 1000) == 0.0
+
+    def test_single_valued_column(self):
+        histogram = Histogram([7, 7, 7])
+        assert histogram.selectivity("=", 7) == 1.0
+        assert histogram.selectivity("=", 8) == 0.0
+
+
+class TestSqlAnalyzeStatement:
+    def test_analyze_one_table(self, db):
+        assert db.sql("ANALYZE line") == "1 table(s) analyzed"
+        assert db.stats.table_stats("line") is not None
+
+    def test_analyze_everything(self, db):
+        db.create_table("other", [("x", INT)])
+        assert db.sql("ANALYZE") == "2 table(s) analyzed"
