@@ -16,6 +16,11 @@ Then runs a stylesheet the rewrite cannot handle (``xsl:number``) to show
 the non-silent fallback: a categorized reason on the result, a warning on
 the ``repro.obs`` logger, and a labelled fallback counter.
 
+Finally demonstrates the **adaptive feedback loop**: the Q-error record
+every profiled execution produces, and what happens when a
+``FeedbackPolicy`` is enabled and the planner's estimates miss —
+auto-ANALYZE plus a ``plan-feedback`` ledger stage.
+
 Run:  python examples/observability.py
 """
 
@@ -23,6 +28,7 @@ import logging
 
 from repro.core import xml_transform
 from repro.obs import (
+    FeedbackPolicy,
     JsonLinesSink,
     MetricsRegistry,
     Tracer,
@@ -72,6 +78,32 @@ def main():
     fallback = xml_transform(db, view, UNSUPPORTED_STYLESHEET,
                              tracer=tracer, metrics=metrics)
     print(fallback.report())
+
+    print()
+    print("=" * 72)
+    print("Adaptive feedback: Q-error per plan node, actions on drift")
+    print("=" * 72)
+    if result.feedback is not None:
+        print("observe-only record from the first transform:")
+        for line in result.feedback.render():
+            print("  " + line)
+    policy = db.feedback.enable(FeedbackPolicy(node_threshold=2.0,
+                                               plan_threshold=2.0,
+                                               consecutive_misses=1))
+    print("enabled %r" % policy)
+    judged = xml_transform(db, view, STYLESHEET,
+                           tracer=tracer, metrics=metrics)
+    feedback = judged.feedback
+    if feedback is not None and feedback.triggered:
+        print("plan distrusted (max q=%.2f); actions:" % feedback.max_q_error)
+        for action in feedback.actions:
+            print("  " + action)
+        print("stats_version is now %d; EXPLAIN REWRITE gained a "
+              "plan-feedback stage" % db.stats_version())
+    else:
+        print("plan trusted (max q=%s) — estimates track actuals"
+              % ("%.2f" % feedback.max_q_error if feedback else "-"))
+    db.feedback.disable()
 
     print()
     print("=" * 72)

@@ -134,6 +134,12 @@ class TransformOptions:
         join-strategy selection).  None uses the planner default
         (``cost``).  Compile-relevant: distinct levels cache distinct
         compiled plans.
+    :param feedback: run the post-execution Q-error feedback loop
+        (:mod:`repro.obs.feedback`) on profiled rewrite executions —
+        estimates vs. actuals land in metrics and on
+        ``result.feedback``, and an enabled
+        :class:`~repro.obs.feedback.FeedbackPolicy` may auto-ANALYZE /
+        re-cost.  Runtime-only: never part of the plan-cache key.
     """
 
     rewrite: bool = True
@@ -145,6 +151,7 @@ class TransformOptions:
     profile_plan: bool = True
     rewrite_options: RewriteOptions = None
     optimizer_level: str = None
+    feedback: bool = True
 
     @classmethod
     def coerce(cls, value, entry_point=None):
@@ -262,6 +269,7 @@ class Engine:
                     self.db, source, compiled, params=params, tracer=tracer,
                     metrics=metrics, profile_plan=opts.profile_plan,
                     root=root, batch_size=opts.batch_size,
+                    feedback=opts.feedback,
                 )
             else:
                 if not isinstance(stylesheet, Stylesheet):
@@ -281,7 +289,7 @@ class Engine:
         return execute_compiled(
             self.db, source, compiled, params=params, tracer=self.tracer,
             metrics=self.metrics, profile_plan=opts.profile_plan,
-            batch_size=opts.batch_size,
+            batch_size=opts.batch_size, feedback=opts.feedback,
         )
 
     def transform_stream(self, source, stylesheet, options=None,
@@ -308,6 +316,7 @@ class Engine:
             self.db, source, compiled, params=params, tracer=self.tracer,
             metrics=self.metrics, profile_plan=opts.profile_plan,
             batch_size=opts.batch_size, chunk_chars=opts.chunk_chars,
+            feedback=opts.feedback,
         )
 
     def transform_many(self, sources, stylesheet, options=None, params=None):

@@ -98,6 +98,10 @@ class TransformResult:
         #: DecisionLedger of the rewrite attempt (also set on fallback,
         #: holding the decisions made before the failing stage)
         self.ledger = None
+        #: PlanFeedback (estimate-vs-actual Q-error) of this execution,
+        #: when the plan was profiled and the database has a feedback
+        #: controller
+        self.feedback = None
 
     def serialized_rows(self, method="xml"):
         """Each row rendered as markup text."""
@@ -140,6 +144,9 @@ class TransformResult:
             lines.append("plan (EXPLAIN ANALYZE):")
             rendered = explain(self.executed_query, profile=self.plan_profile)
             lines.extend("  " + line for line in rendered.splitlines())
+        if self.feedback is not None and self.feedback.nodes:
+            lines.append("plan feedback (Q-error):")
+            lines.extend("  " + line for line in self.feedback.render())
         return "\n".join(lines)
 
     def explain(self, rewrite=False):
@@ -236,7 +243,7 @@ class CompiledTransform:
     """
 
     __slots__ = ("stylesheet", "strategy", "outcome", "query", "ledger",
-                 "error", "options")
+                 "error", "options", "feedback")
 
     def __init__(self, stylesheet, strategy, outcome=None, query=None,
                  ledger=None, error=None, options=None):
@@ -247,6 +254,9 @@ class CompiledTransform:
         self.ledger = ledger
         self.error = error
         self.options = options
+        #: latest PlanFeedback recorded for an execution of this artifact
+        #: (the serve tier's re-cost predicate reads it)
+        self.feedback = None
 
     @property
     def is_rewritten(self):
@@ -311,7 +321,7 @@ def _compile_impl(db, source, stylesheet, options=None, tracer=None,
 
 def execute_compiled(db, source, compiled, params=None, tracer=None,
                      metrics=None, profile_plan=True, root=None,
-                     batch_size=None):
+                     batch_size=None, feedback=True):
     """Execute one request over a :class:`CompiledTransform`.
 
     The SQL strategy runs the cached optimized plan; an execute-phase
@@ -322,6 +332,7 @@ def execute_compiled(db, source, compiled, params=None, tracer=None,
     fallback attributes land on (defaults to the tracer's current span).
     ``batch_size`` switches plan execution to the vectorized
     ``iter_batches`` path (None keeps the row-at-a-time pull loop).
+    ``feedback=False`` skips the post-execution Q-error observation.
     """
     tracer = tracer or get_tracer()
     metrics = metrics or global_metrics()
@@ -330,7 +341,8 @@ def execute_compiled(db, source, compiled, params=None, tracer=None,
     if compiled.is_rewritten and not params:
         try:
             result = _execute_plan(db, compiled, tracer, metrics,
-                                   profile_plan, batch_size=batch_size)
+                                   profile_plan, batch_size=batch_size,
+                                   feedback=feedback)
             metrics.counter("transform.rewrite_success").inc()
         except RewriteError as exc:
             result = _fallback(db, source, compiled.stylesheet, params, exc,
@@ -430,8 +442,26 @@ def _is_document_store(source):
     return hasattr(source, "document_ids") and hasattr(source, "materialize")
 
 
+def _observe_feedback(db, compiled, profiler, metrics):
+    """Run the database's Q-error feedback loop over one profiled
+    execution; returns the PlanFeedback (or None when unavailable)."""
+    if profiler is None:
+        return None
+    controller = getattr(db, "feedback", None)
+    if controller is None:
+        return None
+    ledger = compiled.ledger
+    extra = ledger.bound_plans() if ledger is not None else ()
+    record = controller.observe(
+        compiled.query, profiler, metrics=metrics, ledger=ledger,
+        compiled=compiled, extra_plans=extra,
+    )
+    compiled.feedback = record
+    return record
+
+
 def _execute_plan(db, compiled, tracer, metrics, profile_plan,
-                  batch_size=None):
+                  batch_size=None, feedback=True):
     """Run the cached optimized plan of a SQL-strategy artifact."""
     query = compiled.query
     with tracer.span("plan.execute") as span:
@@ -465,6 +495,8 @@ def _execute_plan(db, compiled, tracer, metrics, profile_plan,
                              outcome=compiled.outcome)
     result.executed_query = query
     result.plan_profile = profiler
+    if feedback:
+        result.feedback = _observe_feedback(db, compiled, profiler, metrics)
     return result
 
 
@@ -549,7 +581,8 @@ class TransformStream:
 
     __slots__ = ("compiled", "strategy", "stats", "ledger", "executed_query",
                  "plan_profile", "vm_stats", "fallback_reason",
-                 "fallback_phase", "fallback_category", "_chunks")
+                 "fallback_phase", "fallback_category", "feedback",
+                 "_chunks")
 
     def __init__(self, compiled):
         self.compiled = compiled
@@ -562,6 +595,8 @@ class TransformStream:
         self.fallback_reason = None
         self.fallback_phase = None
         self.fallback_category = None
+        #: PlanFeedback of this execution, set once the stream is drained
+        self.feedback = None
         self._chunks = iter(())
 
     def __iter__(self):
@@ -577,7 +612,8 @@ class TransformStream:
 
 def execute_compiled_stream(db, source, compiled, params=None, tracer=None,
                             metrics=None, profile_plan=True, root=None,
-                            batch_size=None, chunk_chars=None):
+                            batch_size=None, chunk_chars=None,
+                            feedback=True):
     """Streaming twin of :func:`execute_compiled`: returns a
     :class:`TransformStream` yielding serialized output chunks.
 
@@ -603,7 +639,7 @@ def execute_compiled_stream(db, source, compiled, params=None, tracer=None,
     if compiled.is_rewritten and not params:
         chunks = _stream_sql(db, source, compiled, stream, params, tracer,
                              metrics, profile_plan, root, batch_size,
-                             chunk_chars)
+                             chunk_chars, feedback)
     elif compiled.error is not None:
         chunks = _stream_fallback(db, source, compiled.stylesheet, params,
                                   compiled.error, tracer, metrics, root,
@@ -636,7 +672,7 @@ def _coalesce(pieces, stats, chunk_chars):
 
 
 def _stream_sql(db, source, compiled, stream, params, tracer, metrics,
-                profile_plan, root, batch_size, chunk_chars):
+                profile_plan, root, batch_size, chunk_chars, feedback=True):
     """Chunk generator for the SQL strategy."""
     stats = ExecutionStats()
     profiler = None
@@ -679,6 +715,8 @@ def _stream_sql(db, source, compiled, stream, params, tracer, metrics,
     metrics.counter("transform.rewrite_success").inc()
     metrics.histogram("plan.execute_seconds").record(stats.elapsed_seconds)
     record_plan_metrics(compiled.query, profiler, metrics)
+    if feedback:
+        stream.feedback = _observe_feedback(db, compiled, profiler, metrics)
 
 
 def _stream_fallback(db, source, stylesheet, params, exc, tracer, metrics,
@@ -769,7 +807,7 @@ def transform_many(db, sources, stylesheet, options=None, params=None,
                     target_db, source, compiled, params=params,
                     tracer=tracer, metrics=metrics,
                     profile_plan=opts.profile_plan, root=root,
-                    batch_size=opts.batch_size,
+                    batch_size=opts.batch_size, feedback=opts.feedback,
                 )
             else:
                 result = _functional(target_db, source, stylesheet, params,

@@ -17,7 +17,11 @@ Three facilities, threaded through every layer (see README
   ``TransformResult.explain(rewrite=True)`` and
   ``XsltRewriter.compile(..., explain=True)``;
 * **exporters** (:mod:`repro.obs.export`) — Prometheus text format and
-  JSON Lines for metrics and span trees.
+  JSON Lines for metrics and span trees;
+* **adaptive feedback** (:mod:`repro.obs.feedback`) — after every
+  profiled execution, per-node/per-plan Q-error (estimate vs. actual
+  cardinality) is computed and exported; a :class:`FeedbackPolicy`
+  closes the loop with auto-ANALYZE and serve-cache re-costing.
 
 ``repro.core.transform.TransformResult.report()`` assembles the first
 three for one ``xml_transform`` call.
@@ -34,6 +38,17 @@ from repro.obs.export import (
     prometheus_text,
     spans_to_jsonl,
     write_prometheus,
+)
+from repro.obs.feedback import (
+    FeedbackController,
+    FeedbackEvent,
+    FeedbackPolicy,
+    NodeFeedback,
+    PlanFeedback,
+    compute_plan_feedback,
+    format_qerror,
+    q_error,
+    record_feedback_metrics,
 )
 from repro.obs.metrics import (
     Counter,
@@ -58,20 +73,29 @@ __all__ = [
     "Counter",
     "Decision",
     "DecisionLedger",
+    "FeedbackController",
+    "FeedbackEvent",
+    "FeedbackPolicy",
     "Histogram",
     "InMemorySink",
     "JsonLinesSink",
     "MetricsRegistry",
     "NULL_SPAN",
+    "NodeFeedback",
+    "PlanFeedback",
     "Provenance",
     "Span",
     "TextSink",
     "Tracer",
+    "compute_plan_feedback",
     "diff_ledgers",
+    "format_qerror",
     "get_tracer",
     "global_metrics",
     "metrics_to_jsonl",
     "prometheus_text",
+    "q_error",
+    "record_feedback_metrics",
     "render_tree",
     "set_metrics",
     "set_tracer",

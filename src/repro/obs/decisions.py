@@ -42,6 +42,14 @@ ACCESS_PATH = "access-path"        # Scan vs IndexScan per filtered table
 JOIN_STRATEGY = "join-strategy"    # nested loop vs hash join
 TOPN_FUSION = "topn-fusion"        # Limit(Sort) fused into bounded-heap TopN
 
+# adaptive feedback after execution (repro.obs.feedback)
+PLAN_QERROR = "plan-qerror"        # observed q-error distrusted the plan
+AUTO_ANALYZE = "auto-analyze"      # feedback ANALYZEd an unanalyzed table
+PLAN_RECOST = "plan-recost"        # serve tier asked to evict/re-cost
+
+#: the post-execution ledger stage the feedback loop records under
+FEEDBACK_STAGE = "plan-feedback"
+
 KINDS = (
     TEMPLATE_INSTANTIATED,
     TEMPLATE_PRUNED,
@@ -53,6 +61,9 @@ KINDS = (
     ACCESS_PATH,
     JOIN_STRATEGY,
     TOPN_FUSION,
+    PLAN_QERROR,
+    AUTO_ANALYZE,
+    PLAN_RECOST,
 )
 
 _SECTIONS = {
@@ -265,7 +276,8 @@ class DecisionLedger:
     """Ordered record of every rewrite decision of one compilation."""
 
     # the pipeline stages, in rendering order
-    STAGES = ("partial-eval", "xquery-gen", "sql-merge", "plan-optimize")
+    STAGES = ("partial-eval", "xquery-gen", "sql-merge", "plan-optimize",
+              FEEDBACK_STAGE)
 
     def __init__(self):
         self.decisions = []
@@ -308,6 +320,17 @@ class DecisionLedger:
             return inner.plan
         return binding  # bare plan node or None
 
+    def bound_plans(self):
+        """The subquery plan roots the SQL merge bound, in first-bound
+        order — the ``extra_plans`` the feedback loop judges alongside
+        the main plan."""
+        plans = []
+        for variable in self._sql_bindings:
+            plan_node = self._bound_plan(variable)
+            if plan_node is not None and plan_node not in plans:
+                plans.append(plan_node)
+        return plans
+
     def attach_plan(self, query):
         """Complete provenance after a successful SQL merge: assign plan
         node ids (main plan first, then the subquery plans the merge
@@ -318,12 +341,7 @@ class DecisionLedger:
         new plan."""
         from repro.rdb.plan import assign_plan_node_ids
 
-        extra = []
-        for variable in self._sql_bindings:
-            plan_node = self._bound_plan(variable)
-            if plan_node is not None and plan_node not in extra:
-                extra.append(plan_node)
-        ids = assign_plan_node_ids(query, extra_plans=extra)
+        ids = assign_plan_node_ids(query, extra_plans=self.bound_plans())
         root = getattr(query, "plan", None)
         for decision in self.decisions:
             if decision.kind == TEMPLATE_PRUNED:

@@ -67,13 +67,40 @@ def _number(value):
     return repr(value)
 
 
-def prometheus_text(registry):
+#: Default cumulative-bucket upper bounds: a 1/2.5/5 log grid wide
+#: enough for both second-scale latencies (1e-5 s and up) and Q-errors
+#: (1 .. QERROR_CAP).
+DEFAULT_BUCKET_BOUNDS = tuple(
+    mantissa * (10.0 ** exponent)
+    for exponent in range(-5, 7)
+    for mantissa in (1.0, 2.5, 5.0)
+)
+
+
+def _le(bound):
+    if bound == float("inf"):
+        return "+Inf"
+    return _number(bound)
+
+
+def prometheus_text(registry, bucket_bounds=DEFAULT_BUCKET_BOUNDS):
     """The registry in the Prometheus text exposition format (v0.0.4).
 
-    Counters get the ``_total`` suffix; histograms are exported as
-    summaries (``quantile="0.5"``/``"0.95"`` sample lines plus ``_sum``
-    and ``_count``).  Metrics sharing a name emit one ``# TYPE`` header
-    with one sample line per label set.
+    Counters get the ``_total`` suffix; histograms are exported twice:
+
+    * as summaries (``quantile="0.5"``/``"0.95"`` sample lines plus
+      ``_sum``/``_count``) under the metric's own name — the original
+      shape, kept for backward compatibility;
+    * as a sibling ``<name>_hist`` **histogram** family with proper
+      cumulative ``_bucket{le=...}`` samples over ``bucket_bounds``
+      (one name cannot legally carry both types, hence the sibling).
+      Bucket counts are scaled from the retained samples up to the true
+      observation count, so ``_bucket{le="+Inf"}`` always equals
+      ``_count``.
+
+    Metrics sharing a name emit one ``# TYPE`` header with one sample
+    line per label set.  Pass ``bucket_bounds=()`` to suppress the
+    histogram families.
     """
     lines = []
     by_name = {}
@@ -114,7 +141,33 @@ def prometheus_text(registry):
                     "%s_count%s %s"
                     % (name, labels, _number(histogram.count))
                 )
+            if bucket_bounds:
+                lines.extend(
+                    _histogram_family(name, metrics, bucket_bounds)
+                )
     return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _histogram_family(name, histograms, bounds):
+    """Cumulative-bucket rendering of one histogram name."""
+    family = name + "_hist"
+    lines = ["# TYPE %s histogram" % family]
+    for histogram in histograms:
+        items, total, count = histogram.buckets(bounds)
+        for bound, cumulative in items:
+            lines.append(
+                "%s_bucket%s %d"
+                % (
+                    family,
+                    _render_labels(histogram.labels,
+                                   extra=[("le", _le(bound))]),
+                    cumulative,
+                )
+            )
+        labels = _render_labels(histogram.labels)
+        lines.append("%s_sum%s %s" % (family, labels, _number(total)))
+        lines.append("%s_count%s %d" % (family, labels, count))
+    return lines
 
 
 def write_prometheus(registry, path_or_stream):

@@ -1,0 +1,509 @@
+"""Adaptive optimizer feedback: the Q-error loop.
+
+The cost planner (:mod:`repro.rdb.planner`) stamps every plan node with
+``estimated_rows``; the profiler (:class:`~repro.rdb.plan.PlanProfiler`)
+records what actually flowed.  This module pairs the two after a
+profiled execution and computes the **Q-error** of every estimate —
+``max(est/act, act/est)``, the standard multiplicative measure of
+cardinality-estimation quality — then closes the loop:
+
+* every observation lands in metrics (``planner.qerror`` histogram
+  labeled by operator kind, ``planner.qerror.max`` per plan) and on the
+  execution result, and EXPLAIN ANALYZE renders a ``q=`` column;
+* when a :class:`FeedbackPolicy` is enabled and a plan misses its
+  thresholds ``consecutive_misses`` times, the
+  :class:`FeedbackController` **distrusts** the plan: it records
+  ``plan-feedback`` decisions in the plan's
+  :class:`~repro.obs.decisions.DecisionLedger` (so EXPLAIN REWRITE
+  shows why), auto-ANALYZEs offending tables that have no statistics
+  (bumping ``stats_version``, which re-keys the serve plan cache), and
+  notifies listeners — the serve tier subscribes to evict/re-cost the
+  cached ``CompiledTransform``.
+
+Zero/missing handling is explicit: a node the planner never stamped
+(optimizer level ``off``) has Q-error ``None`` and is excluded from
+aggregation; ``est == actual == 0`` is a perfect estimate (1.0); one
+side zero with the other positive is an unbounded miss
+(``float("inf")``), capped at :data:`QERROR_CAP` before entering
+histograms so sums stay finite.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+from .metrics import global_metrics
+
+#: Q-error of a perfect estimate.
+QERROR_PERFECT = 1.0
+
+#: Finite stand-in for an infinite Q-error when recording into
+#: histograms (an ``inf`` sample would poison ``_sum``).
+QERROR_CAP = 1.0e6
+
+
+def q_error(estimated, actual):
+    """``max(est/act, act/est)`` with explicit zero/missing handling.
+
+    Returns ``None`` when there is no estimate to judge (the planner ran
+    at level ``off``), ``1.0`` when both sides are zero (the estimate
+    was exactly right), ``float("inf")`` when exactly one side is zero,
+    and the max ratio otherwise.
+    """
+    if estimated is None:
+        return None
+    estimated = float(estimated)
+    actual = float(actual)
+    if estimated <= 0.0 and actual <= 0.0:
+        return QERROR_PERFECT
+    if estimated <= 0.0 or actual <= 0.0:
+        return float("inf")
+    return max(estimated / actual, actual / estimated)
+
+
+def format_qerror(value):
+    """Human form of a Q-error: ``-`` missing, ``inf``, or ``12.50``."""
+    if value is None:
+        return "-"
+    if math.isinf(value):
+        return "inf"
+    return "%.2f" % value
+
+
+def _capped(value):
+    return min(value, QERROR_CAP)
+
+
+class NodeFeedback:
+    """One plan node's estimate vs. its observed cardinality.
+
+    ``table`` is the node's own base table (scans only); ``tables`` also
+    covers the base tables in the node's subtree, so a mis-estimated
+    Filter or Join still implicates the tables whose statistics would
+    have fixed its estimate.
+    """
+
+    __slots__ = ("node_id", "op", "table", "tables", "estimated_rows",
+                 "actual_rows", "opens", "q_error")
+
+    def __init__(self, node_id, op, table, estimated_rows, actual_rows,
+                 tables=(), opens=1):
+        self.node_id = node_id
+        self.op = op
+        self.table = table
+        self.tables = tuple(tables) if tables else (
+            (table,) if table else ())
+        self.estimated_rows = estimated_rows
+        # estimates are per open; a correlated inner plan re-opens once
+        # per outer row, so the comparable actual is rows / loops
+        self.opens = opens or 1
+        self.actual_rows = actual_rows / self.opens
+        self.q_error = q_error(estimated_rows, self.actual_rows)
+
+    def describe(self):
+        where = "#%d %s" % (self.node_id, self.op) if self.node_id \
+            else self.op
+        if self.table:
+            where += "(%s)" % self.table
+        loops = " loops=%d" % self.opens if self.opens > 1 else ""
+        if self.estimated_rows is None:
+            return "%s est=- actual=%g%s q=-" % (where, self.actual_rows,
+                                                 loops)
+        return "%s est=%s actual=%g%s q=%s" % (
+            where, "%g" % self.estimated_rows, self.actual_rows, loops,
+            format_qerror(self.q_error),
+        )
+
+    def as_dict(self):
+        return {
+            "node_id": self.node_id,
+            "op": self.op,
+            "table": self.table,
+            "tables": list(self.tables),
+            "estimated_rows": self.estimated_rows,
+            "actual_rows": self.actual_rows,
+            "opens": self.opens,
+            "q_error": self.q_error,
+        }
+
+    def __repr__(self):
+        return "NodeFeedback(%s)" % self.describe()
+
+
+class PlanFeedback:
+    """Q-error record of one profiled execution of one plan."""
+
+    __slots__ = ("nodes", "missing_estimates", "max_q_error", "worst",
+                 "triggered", "actions", "stats_version")
+
+    def __init__(self, nodes, missing_estimates):
+        self.nodes = nodes
+        self.missing_estimates = missing_estimates
+        self.max_q_error = None
+        self.worst = None
+        for node in nodes:
+            if node.q_error is None:
+                continue
+            if self.max_q_error is None or node.q_error > self.max_q_error:
+                self.max_q_error = node.q_error
+                self.worst = node
+        self.triggered = False
+        self.actions = []
+        self.stats_version = None
+
+    def offending(self, threshold):
+        """Nodes whose Q-error meets ``threshold``."""
+        return [node for node in self.nodes
+                if node.q_error is not None and node.q_error >= threshold]
+
+    def exceeds(self, policy):
+        """Does this record miss the policy's thresholds?"""
+        if self.max_q_error is None:
+            return False
+        if self.max_q_error >= policy.plan_threshold:
+            return True
+        return bool(self.offending(policy.node_threshold))
+
+    def render(self):
+        """Human-readable lines for ``TransformResult.report()``."""
+        lines = []
+        if self.max_q_error is None:
+            lines.append("q-error: no estimates to judge "
+                         "(%d node(s) profiled)" % len(self.nodes))
+        else:
+            lines.append("q-error max=%s at %s" % (
+                format_qerror(self.max_q_error), self.worst.describe()))
+        for node in self.nodes:
+            lines.append("  %s" % node.describe())
+        if self.missing_estimates:
+            lines.append("  (%d node(s) without estimates)"
+                         % self.missing_estimates)
+        for action in self.actions:
+            lines.append("action: %s" % action)
+        return lines
+
+    def as_dict(self):
+        return {
+            "max_q_error": self.max_q_error,
+            "missing_estimates": self.missing_estimates,
+            "triggered": self.triggered,
+            "actions": list(self.actions),
+            "stats_version": self.stats_version,
+            "nodes": [node.as_dict() for node in self.nodes],
+        }
+
+    def __repr__(self):
+        return "PlanFeedback(max=%s nodes=%d triggered=%r)" % (
+            format_qerror(self.max_q_error), len(self.nodes), self.triggered)
+
+
+def _subtree_tables(node):
+    """Base tables reachable from ``node``, in pre-order."""
+    tables = []
+    for descendant in node.iter_plan():
+        table = getattr(descendant, "table_name", None)
+        if table and table not in tables:
+            tables.append(table)
+    return tables
+
+
+def _iter_plans(query, extra_plans=()):
+    plan = getattr(query, "plan", None)
+    if plan is None:
+        plan = query
+    yield plan
+    for extra in extra_plans:
+        extra = getattr(extra, "plan", None) or extra
+        if extra is not plan:
+            yield extra
+
+
+def compute_plan_feedback(query, profiler, extra_plans=()):
+    """Walk the plan(s) pairing estimates with profiled actuals.
+
+    ``extra_plans`` carries subquery plans (from
+    ``DecisionLedger.bound_plans``) so the correlated inner queries the
+    XSLT rewrite produces are judged too.  Nodes the profiler never saw
+    (never-executed branches) are skipped — there is no actual to
+    compare.
+    """
+    nodes = []
+    missing = 0
+    seen = set()
+    for plan in _iter_plans(query, extra_plans):
+        for node in plan.iter_plan():
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            profile = profiler.get(node)
+            if profile is None:
+                continue
+            feedback = NodeFeedback(
+                getattr(node, "plan_node_id", None),
+                type(node).__name__,
+                getattr(node, "table_name", None),
+                getattr(node, "estimated_rows", None),
+                profile.rows_out,
+                tables=_subtree_tables(node),
+                opens=getattr(profile, "opens", 1),
+            )
+            if feedback.q_error is None:
+                missing += 1
+            nodes.append(feedback)
+    return PlanFeedback(nodes, missing)
+
+
+def record_feedback_metrics(feedback, metrics=None):
+    """Export a :class:`PlanFeedback` through the obs registry."""
+    metrics = metrics or global_metrics()
+    for node in feedback.nodes:
+        if node.q_error is None:
+            continue
+        metrics.histogram("planner.qerror", op=node.op).record(
+            _capped(node.q_error))
+    if feedback.max_q_error is not None:
+        metrics.histogram("planner.qerror.max").record(
+            _capped(feedback.max_q_error))
+    if feedback.missing_estimates:
+        metrics.counter("planner.qerror.missing_estimates").inc(
+            feedback.missing_estimates)
+    return feedback
+
+
+class FeedbackPolicy:
+    """When is a plan distrusted, and what do we do about it.
+
+    :param node_threshold: per-node Q-error at which a node counts as
+        *offending* (its table becomes an auto-ANALYZE candidate).
+    :param plan_threshold: aggregate (max) Q-error at which the whole
+        plan counts as missed.
+    :param consecutive_misses: how many profiled executions in a row
+        must miss before the controller acts — one noisy run does not
+        re-cost a warm cache.
+    :param auto_analyze: ANALYZE offending tables that have no usable
+        statistics (never analyzed, or invalidated by DML).
+    :param recost: notify listeners (the serve tier) so cached compiled
+        plans carrying the bad estimates are evicted/re-costed.
+    """
+
+    __slots__ = ("node_threshold", "plan_threshold", "consecutive_misses",
+                 "auto_analyze", "recost")
+
+    def __init__(self, node_threshold=4.0, plan_threshold=4.0,
+                 consecutive_misses=2, auto_analyze=True, recost=True):
+        if node_threshold < 1.0 or plan_threshold < 1.0:
+            raise ValueError("q-error thresholds are >= 1.0 by definition")
+        if consecutive_misses < 1:
+            raise ValueError("consecutive_misses must be >= 1")
+        self.node_threshold = node_threshold
+        self.plan_threshold = plan_threshold
+        self.consecutive_misses = consecutive_misses
+        self.auto_analyze = auto_analyze
+        self.recost = recost
+
+    def as_dict(self):
+        return {
+            "node_threshold": self.node_threshold,
+            "plan_threshold": self.plan_threshold,
+            "consecutive_misses": self.consecutive_misses,
+            "auto_analyze": self.auto_analyze,
+            "recost": self.recost,
+        }
+
+    def __repr__(self):
+        return ("FeedbackPolicy(node>=%.2f, plan>=%.2f, misses=%d, "
+                "auto_analyze=%r, recost=%r)") % (
+            self.node_threshold, self.plan_threshold,
+            self.consecutive_misses, self.auto_analyze, self.recost)
+
+
+class FeedbackEvent:
+    """What the controller did when it distrusted a plan."""
+
+    __slots__ = ("query", "compiled", "feedback", "analyzed",
+                 "stats_version")
+
+    def __init__(self, query, compiled, feedback, analyzed, stats_version):
+        self.query = query
+        self.compiled = compiled
+        self.feedback = feedback
+        self.analyzed = analyzed
+        self.stats_version = stats_version
+
+
+class FeedbackController:
+    """Per-database Q-error observer and corrective-action driver.
+
+    Created by :class:`~repro.rdb.database.Database` in *observe-only*
+    mode (``policy is None``): every profiled execution still records
+    metrics and produces a :class:`PlanFeedback`, but nothing is
+    analyzed or evicted until :meth:`enable` installs a policy.
+    Consecutive-miss state is keyed by the query's SQL fingerprint, so
+    the same cached plan accumulates misses across requests.
+    """
+
+    def __init__(self, db, policy=None, metrics=None):
+        self.db = db
+        self.policy = policy
+        self.metrics = metrics
+        self._lock = threading.Lock()
+        self._misses = {}
+        self._listeners = []
+
+    # -- configuration ----------------------------------------------------------
+
+    def enable(self, policy=None):
+        """Install (and return) a policy; actions are live from now on."""
+        self.policy = policy or FeedbackPolicy()
+        return self.policy
+
+    def disable(self):
+        """Back to observe-only; pending miss counts are dropped."""
+        self.policy = None
+        with self._lock:
+            self._misses.clear()
+
+    def add_listener(self, listener):
+        """``listener(event)`` is called after every corrective action."""
+        with self._lock:
+            if listener not in self._listeners:
+                self._listeners.append(listener)
+
+    def remove_listener(self, listener):
+        with self._lock:
+            if listener in self._listeners:
+                self._listeners.remove(listener)
+
+    # -- the loop ---------------------------------------------------------------
+
+    def observe(self, query, profiler, metrics=None, ledger=None,
+                compiled=None, extra_plans=()):
+        """Judge one profiled execution; act when the policy says so.
+
+        Returns the :class:`PlanFeedback` (always, even observe-only).
+        """
+        feedback = compute_plan_feedback(query, profiler,
+                                         extra_plans=extra_plans)
+        feedback.stats_version = self.db.stats_version()
+        record_feedback_metrics(feedback, metrics or self.metrics)
+        policy = self.policy
+        if policy is None or not feedback.nodes:
+            return feedback
+        key = self._plan_key(query)
+        if not feedback.exceeds(policy):
+            with self._lock:
+                self._misses.pop(key, None)
+            return feedback
+        with self._lock:
+            misses = self._misses.get(key, 0) + 1
+            self._misses[key] = misses
+        if misses < policy.consecutive_misses:
+            return feedback
+        with self._lock:
+            self._misses.pop(key, None)
+        self._act(query, feedback, policy, ledger, compiled,
+                  metrics or self.metrics)
+        return feedback
+
+    @staticmethod
+    def _plan_key(query):
+        fingerprint = getattr(query, "fingerprint", None)
+        if callable(fingerprint):
+            return fingerprint()
+        return "plan:%x" % id(query)
+
+    def _act(self, query, feedback, policy, ledger, compiled, metrics):
+        from .decisions import PLAN_QERROR, PLAN_RECOST, FEEDBACK_STAGE
+        metrics = metrics or global_metrics()
+        feedback.triggered = True
+        worst = feedback.worst
+        metrics.counter("planner.feedback.triggered").inc()
+        if ledger is not None:
+            self._record_once(
+                ledger, PLAN_QERROR, FEEDBACK_STAGE,
+                subject=worst.describe(),
+                action="distrust plan",
+                reason="observed q-error %s >= threshold %.2f"
+                       % (format_qerror(feedback.max_q_error),
+                          min(policy.plan_threshold, policy.node_threshold)),
+                detail={"stats_version": feedback.stats_version,
+                        "max_q_error": feedback.max_q_error},
+            )
+        analyzed = []
+        if policy.auto_analyze:
+            analyzed = self._auto_analyze(feedback, policy, ledger, metrics)
+        if analyzed:
+            feedback.actions.append(
+                "auto-analyze %s (stats v%d -> v%d)"
+                % (", ".join(analyzed), feedback.stats_version,
+                   self.db.stats_version()))
+        if policy.recost:
+            feedback.actions.append("recost: notified serve tier")
+            if ledger is not None:
+                self._record_once(
+                    ledger, PLAN_RECOST, FEEDBACK_STAGE,
+                    subject="compiled plan",
+                    action="evict from plan cache",
+                    reason="recorded q-error exceeded policy thresholds",
+                )
+            event = FeedbackEvent(query, compiled, feedback, analyzed,
+                                  self.db.stats_version())
+            with self._lock:
+                listeners = list(self._listeners)
+            for listener in listeners:
+                listener(event)
+
+    def _auto_analyze(self, feedback, policy, ledger, metrics):
+        from .decisions import AUTO_ANALYZE, FEEDBACK_STAGE
+        offending = feedback.offending(policy.node_threshold)
+        tables = []
+        for node in offending or [feedback.worst]:
+            for table in node.tables:
+                if table not in tables:
+                    tables.append(table)
+        if not tables:
+            # no base table implicated directly; consider every table
+            # the distrusted plan touches
+            for node in feedback.nodes:
+                for table in node.tables:
+                    if table not in tables:
+                        tables.append(table)
+        analyzed = []
+        for table in tables:
+            # Only tables with *no usable statistics* are analyzed: when
+            # fresh stats already exist, re-running ANALYZE would compute
+            # the same numbers and churn stats_version forever — the
+            # corrective action there is the re-cost, not re-ANALYZE.
+            if self.db.stats.table_stats(table) is not None:
+                continue
+            self.db.analyze(table)
+            analyzed.append(table)
+            metrics.counter("planner.feedback.auto_analyze",
+                            table=table).inc()
+            if ledger is not None:
+                ledger.record(
+                    AUTO_ANALYZE, FEEDBACK_STAGE,
+                    subject=table,
+                    action="ANALYZE",
+                    reason="estimates came from defaults; table had no "
+                           "statistics",
+                    detail={"stats_version": self.db.stats_version()},
+                )
+        return analyzed
+
+    @staticmethod
+    def _record_once(ledger, kind, stage, subject, action, reason,
+                     detail=None):
+        """Append a decision unless the ledger already tells this story.
+
+        Compiled plans are cached and re-executed many times; the ledger
+        travels with the plan, so an unconditional append would grow it
+        on every distrusted request.
+        """
+        for decision in ledger.decisions:
+            if decision.kind == kind and decision.subject == subject \
+                    and decision.stage == stage:
+                return decision
+        return ledger.record(kind, stage, subject=subject, action=action,
+                             reason=reason, detail=detail)

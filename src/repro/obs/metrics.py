@@ -99,23 +99,39 @@ class Histogram:
 
     # -- summaries --------------------------------------------------------------
 
+    def _read(self):
+        """Consistent (count, sum, retained values) under the lock.
+
+        Readers must never touch ``self._values`` directly: ``record``
+        replaces the list wholesale when it downsamples, and an unlocked
+        reader could observe a half-built state mid-swap.
+        """
+        with self._lock:
+            return self.count, self.sum, list(self._values)
+
     @property
     def min(self):
-        return min(self._values) if self._values else None
+        _, _, values = self._read()
+        return min(values) if values else None
 
     @property
     def max(self):
-        return max(self._values) if self._values else None
+        _, _, values = self._read()
+        return max(values) if values else None
 
-    def percentile(self, pct):
-        """Nearest-rank percentile over the retained samples."""
-        if not self._values:
-            return None
-        ordered = sorted(self._values)
+    @staticmethod
+    def _nearest_rank(ordered, pct):
         rank = max(
             0, min(len(ordered) - 1, int(round(pct / 100.0 * len(ordered))) - 1)
         )
         return ordered[rank]
+
+    def percentile(self, pct):
+        """Nearest-rank percentile over the retained samples."""
+        _, _, values = self._read()
+        if not values:
+            return None
+        return self._nearest_rank(sorted(values), pct)
 
     @property
     def p50(self):
@@ -126,14 +142,43 @@ class Histogram:
         return self.percentile(95)
 
     def summary(self):
+        count, total, values = self._read()
+        ordered = sorted(values)
         return {
-            "count": self.count,
-            "sum": self.sum,
-            "min": self.min,
-            "max": self.max,
-            "p50": self.p50,
-            "p95": self.p95,
+            "count": count,
+            "sum": total,
+            "min": ordered[0] if ordered else None,
+            "max": ordered[-1] if ordered else None,
+            "p50": self._nearest_rank(ordered, 50) if ordered else None,
+            "p95": self._nearest_rank(ordered, 95) if ordered else None,
         }
+
+    def buckets(self, bounds):
+        """Cumulative counts per upper bound, Prometheus-style.
+
+        Returns ``(items, total_sum, total_count)`` where ``items`` is a
+        list of ``(upper_bound, cumulative_count)`` ending with
+        ``(float("inf"), total_count)``.  Counts are scaled from the
+        retained samples up to the true observation count, so a
+        downsampled histogram still reports a distribution whose
+        ``+Inf`` bucket equals ``_count``.
+        """
+        count, total, values = self._read()
+        ordered = sorted(values)
+        items = []
+        scale = (count / float(len(ordered))) if ordered else 0.0
+        index = 0
+        for bound in sorted(bounds):
+            while index < len(ordered) and ordered[index] <= bound:
+                index += 1
+            items.append((bound, int(round(index * scale))))
+        items.append((float("inf"), count))
+        # scaling rounds independently per bound; clamp to monotone
+        for position in range(1, len(items)):
+            if items[position][1] < items[position - 1][1]:
+                items[position] = (items[position][0],
+                                   items[position - 1][1])
+        return items, total, count
 
     def key(self):
         return _render_key(self.name, self.labels)
@@ -195,15 +240,19 @@ class MetricsRegistry:
 
     def counters(self, name=None):
         """All counters, optionally filtered by name."""
+        with self._lock:
+            values = list(self._counters.values())
         return [
-            counter for counter in self._counters.values()
+            counter for counter in values
             if name is None or counter.name == name
         ]
 
     def histograms(self, name=None):
         """All histograms, optionally filtered by name."""
+        with self._lock:
+            values = list(self._histograms.values())
         return [
-            histogram for histogram in self._histograms.values()
+            histogram for histogram in values
             if name is None or histogram.name == name
         ]
 
@@ -212,21 +261,30 @@ class MetricsRegistry:
         return sum(counter.value for counter in self.counters(name))
 
     def snapshot(self):
-        """JSON-friendly dump of everything recorded so far."""
+        """JSON-friendly dump of everything recorded so far.
+
+        Taken against a locked copy of the instrument maps, so worker
+        threads registering or recording new instruments mid-snapshot
+        (the serve tier does both) never mutate the dicts under the
+        iteration.
+        """
+        with self._lock:
+            counters = list(self._counters.values())
+            histograms = list(self._histograms.values())
         return {
             "counters": {
-                counter.key(): counter.value
-                for counter in self._counters.values()
+                counter.key(): counter.value for counter in counters
             },
             "histograms": {
                 histogram.key(): histogram.summary()
-                for histogram in self._histograms.values()
+                for histogram in histograms
             },
         }
 
     def reset(self):
-        self._counters.clear()
-        self._histograms.clear()
+        with self._lock:
+            self._counters.clear()
+            self._histograms.clear()
 
 
 _GLOBAL_METRICS = MetricsRegistry()

@@ -5,6 +5,7 @@ from __future__ import annotations
 import itertools
 
 from repro.errors import CatalogError
+from repro.obs.feedback import FeedbackController
 from repro.rdb.btree import BTreeIndex
 from repro.rdb.plan import ExecutionStats, Query
 from repro.rdb.planner import optimize_query
@@ -54,6 +55,9 @@ class Database:
         self._views = {}
         self._index_names = itertools.count(1)
         self.stats = StatisticsCatalog(self)
+        # Q-error feedback loop; observe-only until a FeedbackPolicy is
+        # enabled (db.feedback.enable(...))
+        self.feedback = FeedbackController(self)
 
     # -- DDL ----------------------------------------------------------------
 

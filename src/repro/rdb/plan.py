@@ -1055,12 +1055,23 @@ def _profile_note(plan, profile):
     batches = ""
     if node_profile.batches:
         batches = " batches=%d" % node_profile.batches
-    return "  (actual rows=%d%s opens=%d total=%.3fms self=%.3fms)" % (
+    qnote = ""
+    if getattr(plan, "estimated_rows", None) is not None:
+        from repro.obs.feedback import format_qerror, q_error
+
+        # estimates are per open; a correlated inner plan re-opens per
+        # outer row, so judge the per-open actual (rows / loops)
+        opens = node_profile.opens or 1
+        qnote = " q=%s" % format_qerror(
+            q_error(plan.estimated_rows, node_profile.rows_out / opens)
+        )
+    return "  (actual rows=%d%s opens=%d total=%.3fms self=%.3fms%s)" % (
         node_profile.rows_out,
         batches,
         node_profile.opens,
         node_profile.total_seconds * 1000.0,
         profile.self_seconds(plan) * 1000.0,
+        qnote,
     )
 
 

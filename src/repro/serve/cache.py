@@ -38,6 +38,7 @@ from repro.obs import global_metrics
 EVICT_LRU = "lru"
 EVICT_TTL = "ttl"
 EVICT_INVALIDATED = "invalidated"
+EVICT_RECOST = "recost"  # evicted by the Q-error feedback loop
 
 
 class _Entry:
@@ -253,6 +254,25 @@ class PlanCache:
                 ):
                     del self._entries[existing]
                     self._count_eviction(EVICT_INVALIDATED)
+                    removed += 1
+        return removed
+
+    def invalidate_where(self, predicate, reason=EVICT_INVALIDATED):
+        """Evict every entry whose cached *value* satisfies ``predicate``.
+
+        The feedback loop uses this to drop compiled transforms whose
+        recorded Q-error crossed the policy threshold
+        (``reason=EVICT_RECOST``) — the artifacts to re-cost are known
+        only by inspection, not by key.  ``predicate`` runs under the
+        cache lock and must not call back into the cache.  Returns the
+        number of entries removed.
+        """
+        removed = 0
+        with self._lock:
+            for existing in list(self._entries):
+                if predicate(self._entries[existing].value):
+                    del self._entries[existing]
+                    self._count_eviction(reason)
                     removed += 1
         return removed
 

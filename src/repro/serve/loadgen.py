@@ -37,7 +37,7 @@ class LoadReport:
 
     __slots__ = ("clients", "requests", "errors", "elapsed_seconds",
                  "latencies_seconds", "cache_hits", "strategies",
-                 "error_types")
+                 "error_types", "service_latency")
 
     def __init__(self, clients):
         self.clients = clients
@@ -48,6 +48,10 @@ class LoadReport:
         self.cache_hits = 0
         self.strategies = {}
         self.error_types = {}
+        #: service-side ``serve.request.latency`` summaries keyed by
+        #: label set (``cache=hit``/``cache=miss``) — the shared
+        #: admission→response latency definition
+        self.service_latency = {}
 
     # -- summaries --------------------------------------------------------------
 
@@ -95,6 +99,7 @@ class LoadReport:
             },
             "strategies": dict(self.strategies),
             "error_types": dict(self.error_types),
+            "service_latency": dict(self.service_latency),
         }
 
 
@@ -167,4 +172,8 @@ def run_load(service, workload, clients=4, requests_per_client=25,
     for thread in threads:
         thread.join()
     report.elapsed_seconds = time.perf_counter() - start
+    metrics = getattr(service, "metrics", None)
+    if metrics is not None:
+        for histogram in metrics.histograms("serve.request.latency"):
+            report.service_latency[histogram.key()] = histogram.summary()
     return report

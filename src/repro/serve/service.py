@@ -28,8 +28,12 @@ Metrics (``repro.obs``): ``serve.requests``, ``serve.completed``
 (labelled by strategy and cache hit), ``serve.rejected{reason}``,
 ``serve.timeouts``, ``serve.cancelled``, ``serve.errors`` and the
 ``serve.queue_wait_seconds`` / ``serve.execute_seconds`` /
-``serve.request_seconds`` histograms, plus the cache's own
-``serve.cache.*`` family.
+``serve.request_seconds`` histograms, plus
+``serve.request.latency{cache=hit|miss}`` — the one end-to-end
+(admission→response) latency definition the load generator and the
+benches report — and the cache's own ``serve.cache.*`` family.  With a
+``feedback_policy``, distrusted plans are evicted under
+``serve.cache.evictions{reason="recost"}`` (total in ``serve.recost``).
 """
 
 from __future__ import annotations
@@ -43,7 +47,8 @@ from repro.api import Engine, TransformOptions, warn_legacy
 from repro.core.transform import execute_compiled, execute_compiled_stream
 from repro.errors import ReproError
 from repro.obs import InMemorySink, Tracer, global_metrics
-from repro.serve.cache import PlanCache
+from repro.obs.feedback import FeedbackPolicy
+from repro.serve.cache import EVICT_RECOST, PlanCache
 from repro.xslt.stylesheet import Stylesheet
 
 _UNSET = object()
@@ -254,11 +259,20 @@ class TransformService:
     :param trace_requests: give each request a private tracer so
         ``ServeResult.trace`` carries its span tree; turn off to shave
         per-request overhead.
+    :param feedback_policy: enable the database's Q-error feedback loop
+        for requests served here — a
+        :class:`~repro.obs.feedback.FeedbackPolicy`, or True for the
+        default thresholds.  When the loop distrusts a plan, the service
+        evicts the cached artifact (``serve.cache.evictions`` reason
+        ``recost``) so the next request re-costs against the corrected
+        statistics.  None leaves the controller as configured on the
+        database (observe-only by default).
     """
 
     def __init__(self, db, workers=4, queue_size=64, cache=None,
                  cache_capacity=128, cache_ttl_seconds=None,
-                 default_timeout=None, metrics=None, trace_requests=True):
+                 default_timeout=None, metrics=None, trace_requests=True,
+                 feedback_policy=None):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.db = db
@@ -270,6 +284,17 @@ class TransformService:
         )
         self.default_timeout = default_timeout
         self.trace_requests = trace_requests
+        self._feedback_controller = getattr(db, "feedback", None)
+        if feedback_policy is not None and self._feedback_controller \
+                is not None:
+            if feedback_policy is True:
+                feedback_policy = FeedbackPolicy()
+            self._feedback_controller.enable(feedback_policy)
+        if self._feedback_controller is not None:
+            # subscribe regardless of who enabled the policy, so a
+            # controller enabled directly on the database still re-costs
+            # this service's cache
+            self._feedback_controller.add_listener(self._on_feedback)
         self._queue = queue.Queue(maxsize=queue_size)
         self._closed = False
         self._close_lock = threading.Lock()
@@ -369,7 +394,7 @@ class TransformService:
         return execute_compiled_stream(
             self.db, source, compiled, params=params, tracer=tracer,
             metrics=self.metrics, batch_size=opts.batch_size,
-            chunk_chars=opts.chunk_chars,
+            chunk_chars=opts.chunk_chars, feedback=opts.feedback,
         )
 
     def invalidate(self, source=None, key=None, tag=None):
@@ -389,12 +414,32 @@ class TransformService:
         stats["workers"] = len(self._workers)
         return stats
 
+    def _on_feedback(self, event):
+        """Feedback-loop listener: re-cost by evicting every cached
+        artifact the loop distrusted — the one that just executed
+        (``event.compiled``) and any other whose recorded Q-error
+        triggered the policy.  The next request for them recompiles
+        under the post-ANALYZE statistics version."""
+        def distrusted(value):
+            if value is event.compiled:
+                return True
+            feedback = getattr(value, "feedback", None)
+            return feedback is not None and feedback.triggered
+
+        removed = self.cache.invalidate_where(distrusted,
+                                              reason=EVICT_RECOST)
+        if removed:
+            self.metrics.counter("serve.recost").inc(removed)
+        return removed
+
     def close(self, wait=True):
         """Stop accepting requests; drain queued work, stop workers."""
         with self._close_lock:
             if self._closed:
                 return
             self._closed = True
+        if self._feedback_controller is not None:
+            self._feedback_controller.remove_listener(self._on_feedback)
         for _ in self._workers:
             self._queue.put(_SHUTDOWN)
         if wait:
@@ -446,6 +491,12 @@ class TransformService:
         total = time.perf_counter() - request.submitted_at
         result.total_seconds = total
         self.metrics.histogram("serve.request_seconds").record(total)
+        # the one end-to-end latency definition (admission -> response)
+        # shared by BENCH_serve and BENCH_feedback, split by cache outcome
+        self.metrics.histogram(
+            "serve.request.latency",
+            cache="hit" if result.cache_hit else "miss",
+        ).record(total)
         self.metrics.counter(
             "serve.completed",
             strategy=result.strategy,
@@ -469,6 +520,8 @@ class TransformService:
                     self.db, request.source, compiled,
                     params=request.params, tracer=tracer,
                     metrics=self.metrics, root=root,
+                    profile_plan=opts.profile_plan,
+                    feedback=opts.feedback,
                 )
             execute_seconds = time.perf_counter() - execute_start
             self.metrics.histogram("serve.execute_seconds").record(

@@ -86,13 +86,14 @@ class TestOptionsSurface:
         assert opts.profile_plan is True
         assert opts.rewrite_options is None
         assert opts.optimizer_level is None
+        assert opts.feedback is True
 
     def test_field_order_is_stable(self):
         # positional construction is allowed; the order is part of the API
         names = [f for f in TransformOptions.__dataclass_fields__]
         assert names == ["rewrite", "inline", "explain", "deadline",
                          "batch_size", "chunk_chars", "profile_plan",
-                         "rewrite_options", "optimizer_level"]
+                         "rewrite_options", "optimizer_level", "feedback"]
 
 
 class TestLegacyEntryPointsAcceptOptions:

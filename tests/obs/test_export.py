@@ -142,6 +142,75 @@ class TestPrometheusText:
         assert quantile_values and all(
             math.isnan(value) for value in quantile_values)
 
+    def test_histogram_family_has_cumulative_buckets(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat", route="x")
+        for value in (0.5, 3.0, 7.0, 40.0):
+            histogram.record(value)
+        samples, types = parse_prometheus(
+            prometheus_text(registry, bucket_bounds=(1.0, 5.0, 10.0)))
+        assert types["lat_hist"] == "histogram"
+        base = ("route", "x")
+
+        def bucket(le):
+            return samples[("lat_hist_bucket", (base, ("le", le)))]
+
+        assert bucket("1") == 1.0       # 0.5
+        assert bucket("5") == 2.0       # + 3.0
+        assert bucket("10") == 3.0      # + 7.0
+        assert bucket("+Inf") == 4.0    # everything
+        assert samples[("lat_hist_count", (base,))] == 4.0
+        assert samples[("lat_hist_sum", (base,))] == pytest.approx(50.5)
+
+    def test_buckets_are_monotone_and_inf_equals_count(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h")
+        for value in range(100):
+            histogram.record(float(value))
+        samples, _ = parse_prometheus(prometheus_text(registry))
+        buckets = sorted(
+            (float(dict(labels)["le"].replace("+Inf", "inf")), value)
+            for (name, labels), value in samples.items()
+            if name == "h_hist_bucket"
+        )
+        values = [value for _, value in buckets]
+        assert values == sorted(values), "cumulative buckets must rise"
+        assert buckets[-1][0] == float("inf")
+        assert buckets[-1][1] == samples[("h_hist_count", ())] == 100.0
+
+    def test_capped_histogram_scales_bucket_counts(self):
+        # with the sample cap active, bucket counts are scaled from the
+        # retained samples up to the true count — never beyond it
+        registry = MetricsRegistry()
+        histogram = registry.histogram("capped")
+        histogram.max_samples = 64
+        for value in range(1000):
+            histogram.record(float(value))
+        samples, _ = parse_prometheus(prometheus_text(registry))
+        inf_bucket = [
+            value for (name, labels), value in samples.items()
+            if name == "capped_hist_bucket" and ("le", "+Inf") in labels
+        ]
+        assert inf_bucket == [1000.0]
+
+    def test_summary_lines_still_present_beside_histogram(self):
+        # the sibling _hist family is additive: existing summary
+        # consumers keep their quantile/_sum/_count lines untouched
+        samples, types = parse_prometheus(
+            prometheus_text(populated_registry()))
+        assert types["compile_seconds"] == "summary"
+        assert types["compile_seconds_hist"] == "histogram"
+        assert ("compile_seconds_count", (("stage", "xquery-gen"),)) \
+            in samples
+        assert ("compile_seconds_hist_count", (("stage", "xquery-gen"),)) \
+            in samples
+
+    def test_bucket_bounds_empty_suppresses_histogram_family(self):
+        text = prometheus_text(populated_registry(), bucket_bounds=())
+        assert "_hist" not in text
+        samples, types = parse_prometheus(text)
+        assert types["compile_seconds"] == "summary"
+
     def test_write_prometheus_to_stream_and_path(self, tmp_path):
         registry = populated_registry()
         stream = io.StringIO()

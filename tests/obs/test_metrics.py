@@ -110,3 +110,89 @@ class TestRegistry:
         finally:
             set_metrics(previous)
         assert global_metrics() is previous
+
+
+class TestRegistryThreadSafety:
+    """snapshot()/reset() race writers: no RuntimeError, no torn reads.
+
+    Before the lock fix, snapshot() iterated the registry dicts while
+    other threads created metrics ("dictionary changed size during
+    iteration") and Histogram.summary() read count/sum/values as three
+    unsynchronized loads (count=n with fewer samples visible).
+    """
+
+    def test_snapshot_and_reset_under_concurrent_writers(self):
+        import threading
+
+        registry = MetricsRegistry()
+        stop = threading.Event()
+        errors = []
+
+        def writer(worker):
+            n = 0
+            while not stop.is_set():
+                registry.counter("w%d.c%d" % (worker, n % 17)).inc()
+                registry.histogram("w%d.h%d" % (worker, n % 13)).record(n)
+                n += 1
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    snapshot = registry.snapshot()
+                    for summary in snapshot["histograms"].values():
+                        # a torn read shows count>0 with min/max None
+                        if summary["count"] > 0:
+                            assert summary["min"] is not None
+                            assert summary["max"] is not None
+                    registry.reset()
+                except Exception as exc:  # noqa: BLE001 — collect, don't die
+                    errors.append(exc)
+                    stop.set()
+
+        threads = [threading.Thread(target=writer, args=(i,))
+                   for i in range(4)]
+        threads.append(threading.Thread(target=reader))
+        for thread in threads:
+            thread.start()
+        import time
+        time.sleep(0.5)
+        stop.set()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+
+    def test_histogram_summary_is_consistent_under_writes(self):
+        import threading
+
+        registry = MetricsRegistry()
+        histogram = registry.histogram("contended")
+        stop = threading.Event()
+        errors = []
+
+        def writer():
+            while not stop.is_set():
+                histogram.record(1.0)
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    summary = histogram.summary()
+                    if summary["count"]:
+                        # every sample is 1.0: any torn count/sum pair
+                        # would break this identity
+                        assert summary["min"] == 1.0
+                        assert summary["max"] == 1.0
+                except Exception as exc:  # noqa: BLE001
+                    errors.append(exc)
+                    stop.set()
+
+        threads = [threading.Thread(target=writer) for _ in range(2)]
+        threads.append(threading.Thread(target=reader))
+        for thread in threads:
+            thread.start()
+        import time
+        time.sleep(0.3)
+        stop.set()
+        for thread in threads:
+            thread.join()
+        assert errors == []
