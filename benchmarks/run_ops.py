@@ -1,0 +1,232 @@
+#!/usr/bin/env python
+"""Observability-plane benchmark: trace connectivity and tracing cost.
+
+Usage::
+
+    python benchmarks/run_ops.py [--scales 100] [--repeat 20]
+                                 [--out BENCH_ops.json] [--smoke]
+
+Two case families over the scaled dept/emp corpus shared with
+``run_feedback.py``:
+
+* **trace** — the acceptance scenario: a cold-miss and a cached-hit
+  request (plus a streamed one) through a live
+  ``TransformService(ops_port=0)``.  Checks, all over the real HTTP
+  ops plane: each request yields ONE connected trace — every span
+  shares the request's trace id, the miss carries compile spans and
+  the hit none — retrievable via ``/debug/trace/<id>``; ``/metrics``,
+  ``/healthz`` and ``/debug/requests`` answer well-formed output.
+  This family carries no timings (like ``inline_stat``) so the
+  regression gate skips it.
+* **overhead** — what always-on tracing + flight recording costs on
+  the cached-hit path: ``rewrite`` times requests on a service with
+  per-request tracing and the recorder enabled, ``no-rewrite`` the
+  same requests with both disabled.  Check: best-of traced within 5%
+  of best-of untraced (plus an absolute 2ms jitter allowance),
+  re-measured up to 3 attempts so one noisy neighbour does not fail
+  CI.  These cases land in ``baseline.json`` and are gated by
+  ``check_regression.py`` like every other family.
+
+``--smoke`` shrinks everything for CI.  Exit status 1 when any check
+fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+import urllib.request
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, _ROOT)
+sys.path.insert(0, os.path.join(_ROOT, "src"))
+
+from benchmarks.run_feedback import make_storage, summarize
+
+from repro.obs import FlightRecorder, MetricsRegistry
+from repro.serve import TransformService
+
+from tests.core.paper_example import EXAMPLE1_STYLESHEET
+
+DEFAULT_SCALES = (100,)
+MARGIN = 1.05       # traced path must stay within 5% of untraced ...
+MIN_DELTA = 0.002   # ... plus this absolute scheduler-jitter allowance
+ATTEMPTS = 3
+
+
+def fetch(url):
+    """(status, content-type, body) of one GET against the ops plane."""
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return (response.status, response.headers.get("Content-Type"),
+                response.read().decode("utf-8"))
+
+
+def connected(payload, trace_id, expect_compile):
+    """True when a ``/debug/trace`` payload is one connected trace."""
+    spans = payload.get("spans") or []
+    if not spans:
+        return False
+    if {span.get("trace_id") for span in spans} != {trace_id}:
+        return False
+    names = {span.get("name") for span in spans}
+    if "serve.request" not in names or "serve.execute" not in names:
+        return False
+    return ("compile.stylesheet" in names) is expect_compile
+
+
+def run_trace(scale):
+    """Cold-miss / cached-hit / stream traces through the HTTP plane."""
+    db, storage = make_storage(scale)
+    checks = {}
+    with TransformService(db, workers=2, metrics=MetricsRegistry(),
+                          ops_port=0) as service:
+        cold = service.transform(storage, EXAMPLE1_STYLESHEET)
+        warm = service.transform(storage, EXAMPLE1_STYLESHEET)
+        stream = service.transform_stream(storage, EXAMPLE1_STYLESHEET)
+        stream.text()
+
+        def trace_payload(trace_id):
+            status, _, body = fetch("%s/debug/trace/%s"
+                                    % (service.ops.url, trace_id))
+            return json.loads(body) if status == 200 else {}
+
+        checks["miss_trace_connected"] = (
+            not cold.cache_hit
+            and connected(trace_payload(cold.trace_id), cold.trace_id,
+                          expect_compile=True))
+        checks["hit_trace_connected"] = (
+            warm.cache_hit
+            and cold.trace_id != warm.trace_id
+            and connected(trace_payload(warm.trace_id), warm.trace_id,
+                          expect_compile=False))
+        drain = trace_payload(stream.trace_id)
+        checks["stream_trace_connected"] = (
+            {span.get("trace_id") for span in drain.get("spans") or []}
+            == {stream.trace_id}
+            and "serve.stream.drain"
+            in {span.get("name") for span in drain.get("spans") or []})
+
+        status, content_type, body = fetch(service.ops.url + "/metrics")
+        metrics_ok = (status == 200
+                      and content_type.startswith("text/plain")
+                      and "serve_completed_total" in body
+                      and "serve_queue_capacity" in body)
+        status, content_type, body = fetch(service.ops.url + "/healthz")
+        health = json.loads(body) if status == 200 else {}
+        health_ok = (status == 200
+                     and content_type.startswith("application/json")
+                     and health.get("status") == "ok"
+                     and "saturation" in health.get("queue", {}))
+        status, _, body = fetch(service.ops.url + "/debug/requests?limit=10")
+        requests_ok = (status == 200
+                       and json.loads(body)["count"] >= 3)
+        checks["endpoints_ok"] = metrics_ok and health_ok and requests_ok
+    return {"checks": checks}
+
+
+def timed_requests(service, storage, repeat):
+    service.transform(storage, EXAMPLE1_STYLESHEET)  # warm the plan cache
+    samples = []
+    for _ in range(repeat):
+        start = time.perf_counter()
+        service.transform(storage, EXAMPLE1_STYLESHEET)
+        samples.append(time.perf_counter() - start)
+    return samples
+
+
+def measure_overhead(db, storage, repeat):
+    with TransformService(db, workers=1, metrics=MetricsRegistry(),
+                          trace_requests=False, recorder=False) as service:
+        off = timed_requests(service, storage, repeat)
+    recorder = FlightRecorder(slow_threshold_seconds=None)
+    with TransformService(db, workers=1, metrics=MetricsRegistry(),
+                          recorder=recorder) as service:
+        on = timed_requests(service, storage, repeat)
+    return off, on, len(recorder)
+
+
+def run_overhead(scale, repeat):
+    """Always-on tracing + recorder vs. bare serve, cached-hit path."""
+    db, storage = make_storage(scale)
+    for attempt in range(ATTEMPTS):
+        off, on, recorded = measure_overhead(db, storage, repeat)
+        overhead_ok = min(on) <= min(off) * MARGIN + MIN_DELTA
+        if overhead_ok:
+            break
+    return {
+        "seconds": {
+            "rewrite": summarize(on),        # traced + recorded
+            "no-rewrite": summarize(off),    # tracing and recorder off
+        },
+        "ops": {
+            "overhead_ratio": min(on) / min(off),
+            "recorded_requests": recorded,
+            "attempts": attempt + 1,
+        },
+        "checks": {
+            "overhead_ok": overhead_ok,
+            "recorder_saw_every_request": recorded == repeat + 1,
+        },
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scales", default=",".join(
+        str(scale) for scale in DEFAULT_SCALES))
+    parser.add_argument("--repeat", type=int, default=20)
+    parser.add_argument("--out", default="BENCH_ops.json")
+    parser.add_argument("--smoke", action="store_true",
+                        help="minimal parameters for CI")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.scales = "20"
+        args.repeat = 5
+
+    scales = [int(scale) for scale in args.scales.split(",") if scale]
+    cases = {}
+    failures = []
+    print("Ops-plane benchmark: scales %s, repeat %d, margin %.0f%%"
+          % (scales, args.repeat, (MARGIN - 1.0) * 100))
+
+    def report(key, entry, note=""):
+        cases[key] = entry
+        ok = all(entry["checks"].values())
+        if not ok:
+            failures.append("%s: %s" % (key, entry["checks"]))
+        print("%-20s %s %s" % (key, "ok" if ok else "FAIL", note))
+
+    for scale in scales:
+        report("ops/trace/%d" % scale, run_trace(scale))
+        entry = run_overhead(scale, args.repeat)
+        report("ops/overhead/%d" % scale, entry,
+               "traced/untraced %.3f" % entry["ops"]["overhead_ratio"])
+
+    artifact = {
+        "benchmark": "run_ops",
+        "config": {
+            "scales": scales,
+            "repeat": args.repeat,
+            "margin": MARGIN,
+            "min_delta": MIN_DELTA,
+            "cpu_count": os.cpu_count(),
+        },
+        "cases": cases,
+    }
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(artifact, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    print("wrote %s (%d case(s))" % (args.out, len(cases)))
+    if failures:
+        print("verification FAILED:")
+        for failure in failures:
+            print("  " + failure)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -216,15 +216,20 @@ class Engine:
     Owns the tracer/metrics pair every operation reports through
     (defaulting to the process-wide instances), so the spans and
     counters are identical whichever entry point — this facade or a
-    legacy wrapper — a caller uses.
+    legacy wrapper — a caller uses.  An optional
+    :class:`~repro.obs.recorder.FlightRecorder` additionally receives
+    one :class:`~repro.obs.recorder.RequestRecord` per
+    :meth:`transform` call (the serve tier wires its own recorder; pass
+    one here for engine-level use without a service).
     """
 
-    __slots__ = ("db", "tracer", "metrics")
+    __slots__ = ("db", "tracer", "metrics", "recorder")
 
-    def __init__(self, db, tracer=None, metrics=None):
+    def __init__(self, db, tracer=None, metrics=None, recorder=None):
         self.db = db
         self.tracer = tracer or get_tracer()
         self.metrics = metrics or global_metrics()
+        self.recorder = recorder
 
     # -- compile ------------------------------------------------------------------
 
@@ -280,7 +285,32 @@ class Engine:
             root.set_attr(strategy=result.strategy)
         if root:
             result.trace = root
+        if self.recorder is not None and root:
+            self._record(root, result)
         return result
+
+    def _record(self, root, result):
+        """Flight-record one finished :meth:`transform` call."""
+        from repro.obs.recorder import stage_seconds
+
+        spans = [span.to_dict() for span in root.iter_spans()]
+        feedback = result.feedback
+        self.recorder.record(
+            root.trace_id, name="xml_transform",
+            status="ok" if result.fallback_reason is None else "fallback",
+            strategy=result.strategy,
+            fallback_category=result.fallback_category,
+            execute_seconds=(result.stats.elapsed_seconds
+                             if result.stats is not None else None),
+            total_seconds=root.duration,
+            rows=len(result.rows),
+            q_error_max=(feedback.max_q_error
+                         if feedback is not None else None),
+            q_error_triggered=(feedback is not None and feedback.triggered),
+            stages=stage_seconds(spans), spans=spans,
+            detail_fn=lambda: "%s\n\nEXPLAIN REWRITE:\n%s" % (
+                result.report(), result.explain(rewrite=True)),
+        )
 
     def execute(self, source, compiled, options=None, params=None):
         """Run one request over a pre-compiled artifact from

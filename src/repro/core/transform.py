@@ -103,6 +103,12 @@ class TransformResult:
         #: controller
         self.feedback = None
 
+    @property
+    def trace_id(self):
+        """The trace id of this call's span tree (None when tracing is
+        disabled) — the key ``/debug/trace/<id>`` looks up."""
+        return self.trace.trace_id if self.trace is not None else None
+
     def serialized_rows(self, method="xml"):
         """Each row rendered as markup text."""
         out = []
@@ -582,7 +588,7 @@ class TransformStream:
     __slots__ = ("compiled", "strategy", "stats", "ledger", "executed_query",
                  "plan_profile", "vm_stats", "fallback_reason",
                  "fallback_phase", "fallback_category", "feedback",
-                 "_chunks")
+                 "trace_id", "_chunks")
 
     def __init__(self, compiled):
         self.compiled = compiled
@@ -597,6 +603,9 @@ class TransformStream:
         self.fallback_category = None
         #: PlanFeedback of this execution, set once the stream is drained
         self.feedback = None
+        #: trace id the compile and the drain spans share (set by the
+        #: serve tier; None outside it or with tracing disabled)
+        self.trace_id = None
         self._chunks = iter(())
 
     def __iter__(self):

@@ -50,12 +50,29 @@ from repro.obs.feedback import (
     q_error,
     record_feedback_metrics,
 )
+from repro.obs.logs import (
+    JsonLogFormatter,
+    JsonLogHandler,
+    configure_json_logging,
+)
 from repro.obs.metrics import (
     Counter,
+    Gauge,
     Histogram,
     MetricsRegistry,
     global_metrics,
     set_metrics,
+)
+from repro.obs.ops import (
+    OpsServer,
+    start_ops_server,
+)
+from repro.obs.recorder import (
+    DETAIL_SLOW,
+    DETAIL_TAIL_SAMPLE,
+    FlightRecorder,
+    RequestRecord,
+    stage_seconds,
 )
 from repro.obs.trace import (
     NULL_SPAN,
@@ -63,36 +80,64 @@ from repro.obs.trace import (
     JsonLinesSink,
     Span,
     TextSink,
+    TraceContext,
     Tracer,
+    activate_trace_context,
+    current_trace_context,
+    current_trace_id,
+    deactivate_trace_context,
+    format_traceparent,
     get_tracer,
+    new_span_id,
+    new_trace_id,
+    parse_traceparent,
     render_tree,
     set_tracer,
+    use_trace_context,
 )
 
 __all__ = [
     "Counter",
+    "DETAIL_SLOW",
+    "DETAIL_TAIL_SAMPLE",
     "Decision",
     "DecisionLedger",
     "FeedbackController",
     "FeedbackEvent",
     "FeedbackPolicy",
+    "FlightRecorder",
+    "Gauge",
     "Histogram",
     "InMemorySink",
     "JsonLinesSink",
+    "JsonLogFormatter",
+    "JsonLogHandler",
     "MetricsRegistry",
     "NULL_SPAN",
     "NodeFeedback",
+    "OpsServer",
     "PlanFeedback",
     "Provenance",
+    "RequestRecord",
     "Span",
     "TextSink",
+    "TraceContext",
     "Tracer",
+    "activate_trace_context",
     "compute_plan_feedback",
+    "configure_json_logging",
+    "current_trace_context",
+    "current_trace_id",
+    "deactivate_trace_context",
     "diff_ledgers",
     "format_qerror",
+    "format_traceparent",
     "get_tracer",
     "global_metrics",
     "metrics_to_jsonl",
+    "new_span_id",
+    "new_trace_id",
+    "parse_traceparent",
     "prometheus_text",
     "q_error",
     "record_feedback_metrics",
@@ -100,5 +145,8 @@ __all__ = [
     "set_metrics",
     "set_tracer",
     "spans_to_jsonl",
+    "stage_seconds",
+    "start_ops_server",
+    "use_trace_context",
     "write_prometheus",
 ]

@@ -106,6 +106,9 @@ def prometheus_text(registry, bucket_bounds=DEFAULT_BUCKET_BOUNDS):
     by_name = {}
     for counter in registry.counters():
         by_name.setdefault(("counter", counter.name), []).append(counter)
+    gauges = getattr(registry, "gauges", None)
+    for gauge in (gauges() if callable(gauges) else ()):
+        by_name.setdefault(("gauge", gauge.name), []).append(gauge)
     for histogram in registry.histograms():
         by_name.setdefault(("summary", histogram.name), []).append(histogram)
     for (kind, raw_name) in sorted(by_name):
@@ -119,6 +122,14 @@ def prometheus_text(registry, bucket_bounds=DEFAULT_BUCKET_BOUNDS):
                     "%s%s %s"
                     % (name, _render_labels(counter.labels),
                        _number(counter.value))
+                )
+        elif kind == "gauge":
+            lines.append("# TYPE %s gauge" % name)
+            for gauge in metrics:
+                lines.append(
+                    "%s%s %s"
+                    % (name, _render_labels(gauge.labels),
+                       _number(gauge.value))
                 )
         else:
             lines.append("# TYPE %s summary" % name)
@@ -194,6 +205,14 @@ def metrics_to_jsonl(registry, path_or_stream=None):
             "name": counter.name,
             "labels": dict(counter.labels),
             "value": counter.value,
+        })
+    gauges = getattr(registry, "gauges", None)
+    for gauge in (gauges() if callable(gauges) else ()):
+        records.append({
+            "type": "gauge",
+            "name": gauge.name,
+            "labels": dict(gauge.labels),
+            "value": gauge.value,
         })
     for histogram in registry.histograms():
         record = {

@@ -1,0 +1,83 @@
+"""Structured JSON logging with trace correlation.
+
+The pipeline already logs through the stdlib (``repro.obs`` warnings on
+fallbacks, serve-tier messages); this module gives those records a
+machine-readable shape a log shipper can ingest and — the part that
+makes them *joinable* — stamps the ambient trace context
+(:func:`repro.obs.trace.current_trace_context`) onto every record, so
+one ``trace_id`` connects a request's spans, its flight-recorder entry
+and its log lines.
+
+Usage::
+
+    from repro.obs import configure_json_logging
+
+    configure_json_logging()              # JSON lines on stderr
+    configure_json_logging(open("app.jsonl", "a"), level=logging.DEBUG)
+
+Extra structured fields ride on the standard ``extra=`` mechanism under
+the ``fields`` key::
+
+    log.info("cache evicted", extra={"fields": {"reason": "ttl"}})
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+
+from repro.obs.trace import current_trace_context
+
+
+class JsonLogFormatter(logging.Formatter):
+    """Formats every record as one JSON object with trace correlation.
+
+    Emitted keys: ``ts`` (epoch seconds), ``level``, ``logger``,
+    ``message``; ``trace_id``/``span_id`` whenever a trace context is
+    ambient at emit time; ``error`` with the formatted traceback when
+    the record carries exception info; plus any ``fields`` dict passed
+    via ``extra=``.
+    """
+
+    def format(self, record):
+        payload = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        context = current_trace_context()
+        if context is not None:
+            payload["trace_id"] = context.trace_id
+            if context.span_id:
+                payload["span_id"] = context.span_id
+        if record.exc_info:
+            payload["error"] = self.formatException(record.exc_info)
+        fields = getattr(record, "fields", None)
+        if isinstance(fields, dict):
+            for key, value in fields.items():
+                payload.setdefault(key, value)
+        return json.dumps(payload, sort_keys=True, default=str)
+
+
+class JsonLogHandler(logging.StreamHandler):
+    """A stream handler pre-wired with :class:`JsonLogFormatter`."""
+
+    def __init__(self, stream=None):
+        super().__init__(stream if stream is not None else sys.stderr)
+        self.setFormatter(JsonLogFormatter())
+
+
+def configure_json_logging(stream=None, level=logging.INFO,
+                           logger_name="repro"):
+    """Attach a :class:`JsonLogHandler` to ``logger_name`` (default: the
+    whole ``repro`` hierarchy) and return the handler, so callers can
+    detach it (``logger.removeHandler(handler)``) when done."""
+    handler = JsonLogHandler(stream)
+    handler.setLevel(level)
+    logger = logging.getLogger(logger_name)
+    logger.addHandler(handler)
+    if logger.level == logging.NOTSET or logger.level > level:
+        logger.setLevel(level)
+    return handler

@@ -57,6 +57,48 @@ class Counter:
         return "Counter(%s=%d)" % (self.key(), self.value)
 
 
+class Gauge:
+    """A named value that can go up and down (queue depth, saturation).
+
+    Set/inc/dec are lock-protected for the same reason counters are:
+    the serving layer updates shared gauges from worker threads.
+    """
+
+    __slots__ = ("name", "labels", "_value", "_lock")
+
+    def __init__(self, name, labels=None):
+        self.name = name
+        self.labels = dict(labels or {})
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    @property
+    def value(self):
+        with self._lock:
+            return self._value
+
+    def set(self, value):
+        with self._lock:
+            self._value = float(value)
+            return self._value
+
+    def inc(self, amount=1):
+        with self._lock:
+            self._value += amount
+            return self._value
+
+    def dec(self, amount=1):
+        with self._lock:
+            self._value -= amount
+            return self._value
+
+    def key(self):
+        return _render_key(self.name, self.labels)
+
+    def __repr__(self):
+        return "Gauge(%s=%s)" % (self.key(), self.value)
+
+
 class Histogram:
     """Raw-sample histogram reporting count/sum/min/max and percentiles.
 
@@ -215,6 +257,7 @@ class MetricsRegistry:
 
     def __init__(self):
         self._counters = {}
+        self._gauges = {}
         self._histograms = {}
         self._lock = threading.Lock()
 
@@ -227,6 +270,16 @@ class MetricsRegistry:
                 if counter is None:
                     counter = self._counters[key] = Counter(name, labels)
         return counter
+
+    def gauge(self, name, **labels):
+        key = (name, _label_key(labels))
+        gauge = self._gauges.get(key)
+        if gauge is None:
+            with self._lock:
+                gauge = self._gauges.get(key)
+                if gauge is None:
+                    gauge = self._gauges[key] = Gauge(name, labels)
+        return gauge
 
     def histogram(self, name, **labels):
         key = (name, _label_key(labels))
@@ -245,6 +298,15 @@ class MetricsRegistry:
         return [
             counter for counter in values
             if name is None or counter.name == name
+        ]
+
+    def gauges(self, name=None):
+        """All gauges, optionally filtered by name."""
+        with self._lock:
+            values = list(self._gauges.values())
+        return [
+            gauge for gauge in values
+            if name is None or gauge.name == name
         ]
 
     def histograms(self, name=None):
@@ -270,8 +332,9 @@ class MetricsRegistry:
         """
         with self._lock:
             counters = list(self._counters.values())
+            gauges = list(self._gauges.values())
             histograms = list(self._histograms.values())
-        return {
+        snapshot = {
             "counters": {
                 counter.key(): counter.value for counter in counters
             },
@@ -280,10 +343,16 @@ class MetricsRegistry:
                 for histogram in histograms
             },
         }
+        if gauges:
+            snapshot["gauges"] = {
+                gauge.key(): gauge.value for gauge in gauges
+            }
+        return snapshot
 
     def reset(self):
         with self._lock:
             self._counters.clear()
+            self._gauges.clear()
             self._histograms.clear()
 
 

@@ -1,0 +1,256 @@
+"""HTTP ops plane: scrape, probe and debug endpoints (stdlib only).
+
+A :class:`OpsServer` exposes the observability surface over HTTP so the
+engine can run behind standard operational tooling — a Prometheus
+scraper, a load balancer's health checks, an operator's ``curl``:
+
+====================  =========================================================
+``GET /metrics``      the metrics registry in the Prometheus text exposition
+                      format (:func:`repro.obs.export.prometheus_text`)
+``GET /healthz``      liveness JSON: status plus queue/cache/recorder stats
+                      (from the wired health provider, e.g.
+                      :meth:`repro.serve.TransformService.health`)
+``GET /readyz``       readiness: 200 when accepting traffic, 503 when closed
+                      or the admission queue is saturated
+``GET /debug/requests``
+                      the flight recorder's ring, newest first
+                      (``?limit=N``, ``?detail=1`` to inline retained detail)
+``GET /debug/trace/<trace_id>``
+                      one request's full record: stage timings, span tree,
+                      retained EXPLAIN ANALYZE + decision ledger
+====================  =========================================================
+
+Start it standalone over any registry/recorder::
+
+    from repro.obs import OpsServer
+
+    ops = OpsServer(metrics=registry, recorder=recorder, port=9090).start()
+    ...
+    ops.close()
+
+or let the serve tier own it — ``TransformService(db, ops_port=0)``
+wires its metrics, flight recorder and health provider and manages the
+lifecycle.
+
+The server is a ``ThreadingHTTPServer`` with daemon threads bound to
+``127.0.0.1`` by default — an *operational* plane, not an ingress; put
+it behind real auth/routing before exposing it beyond the host.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlsplit
+
+from repro.obs.export import prometheus_text
+from repro.obs.metrics import global_metrics
+
+_LOG = logging.getLogger("repro.obs.ops")
+
+#: queue saturation at or above which the default readiness probe
+#: reports not-ready
+DEFAULT_READY_SATURATION = 0.95
+
+
+class OpsServer:
+    """The ops-plane HTTP server.
+
+    :param metrics: a :class:`~repro.obs.metrics.MetricsRegistry`
+        (defaults to the process-wide one) served at ``/metrics``.
+    :param recorder: a :class:`~repro.obs.recorder.FlightRecorder`
+        backing the ``/debug`` endpoints (404 without one).
+    :param health_fn: zero-argument callable returning the ``/healthz``
+        JSON dict; it should carry a ``status`` key.  Defaults to a
+        minimal ``{"status": "ok"}`` (plus recorder stats when wired).
+    :param ready_fn: zero-argument callable returning ``(ready: bool,
+        body: dict)`` for ``/readyz``.  Defaults to deriving readiness
+        from ``health_fn`` (ready unless ``status`` is ``"closed"`` or
+        ``queue.saturation`` ≥ ``DEFAULT_READY_SATURATION``).
+    :param host: bind address (default loopback).
+    :param port: TCP port; 0 binds an ephemeral port (read it back from
+        :attr:`port` after :meth:`start`).
+    """
+
+    def __init__(self, metrics=None, recorder=None, health_fn=None,
+                 ready_fn=None, host="127.0.0.1", port=0):
+        self.metrics = metrics or global_metrics()
+        self.recorder = recorder
+        self.health_fn = health_fn
+        self.ready_fn = ready_fn
+        self.host = host
+        self._requested_port = port
+        self._server = None
+        self._thread = None
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self):
+        """Bind and serve in a daemon thread; returns self."""
+        if self._server is not None:
+            return self
+        self._server = ThreadingHTTPServer(
+            (self.host, self._requested_port), _OpsHandler
+        )
+        self._server.daemon_threads = True
+        self._server.ops = self
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-ops-%d" % self.port,
+            daemon=True,
+        )
+        self._thread.start()
+        _LOG.info("ops server listening on %s", self.url)
+        return self
+
+    @property
+    def started(self):
+        return self._server is not None
+
+    @property
+    def port(self):
+        """The bound port (resolves 0 after :meth:`start`)."""
+        if self._server is not None:
+            return self._server.server_address[1]
+        return self._requested_port
+
+    @property
+    def url(self):
+        return "http://%s:%d" % (self.host, self.port)
+
+    def close(self):
+        """Stop serving and release the socket."""
+        server, self._server = self._server, None
+        if server is None:
+            return
+        server.shutdown()
+        server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self):
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False
+
+    # -- endpoint bodies ---------------------------------------------------------
+
+    def health(self):
+        if self.health_fn is not None:
+            return self.health_fn()
+        body = {"status": "ok"}
+        if self.recorder is not None:
+            body["recorder"] = self.recorder.stats()
+        return body
+
+    def ready(self):
+        if self.ready_fn is not None:
+            return self.ready_fn()
+        body = self.health()
+        ready = body.get("status") not in ("closed", "stopping")
+        saturation = (body.get("queue") or {}).get("saturation")
+        if saturation is not None \
+                and saturation >= DEFAULT_READY_SATURATION:
+            ready = False
+        return ready, body
+
+
+def start_ops_server(metrics=None, recorder=None, health_fn=None,
+                     ready_fn=None, host="127.0.0.1", port=0):
+    """Construct and :meth:`~OpsServer.start` an :class:`OpsServer`."""
+    return OpsServer(metrics=metrics, recorder=recorder,
+                     health_fn=health_fn, ready_fn=ready_fn,
+                     host=host, port=port).start()
+
+
+class _OpsHandler(BaseHTTPRequestHandler):
+    server_version = "repro-ops/1.0"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ----------------------------------------------------------------
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        _LOG.debug("%s %s", self.address_string(), format % args)
+
+    def _send(self, status, body, content_type="application/json"):
+        payload = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type + "; charset=utf-8")
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _send_json(self, status, obj):
+        self._send(status, json.dumps(obj, sort_keys=True, default=str))
+
+    def _not_found(self, what):
+        self._send_json(404, {"error": "not found", "path": what})
+
+    # -- routing -----------------------------------------------------------------
+
+    def do_GET(self):  # noqa: N802 - stdlib handler name
+        ops = self.server.ops
+        url = urlsplit(self.path)
+        path = url.path.rstrip("/") or "/"
+        query = parse_qs(url.query)
+        try:
+            if path == "/metrics":
+                self._send(
+                    200,
+                    prometheus_text(ops.metrics),
+                    content_type="text/plain; version=0.0.4",
+                )
+            elif path == "/healthz":
+                self._send_json(200, ops.health())
+            elif path == "/readyz":
+                ready, body = ops.ready()
+                self._send_json(200 if ready else 503, body)
+            elif path == "/debug/requests":
+                self._debug_requests(ops, query)
+            elif path.startswith("/debug/trace/"):
+                self._debug_trace(ops, path[len("/debug/trace/"):])
+            else:
+                self._not_found(self.path)
+        except Exception as exc:  # never let a probe kill the handler thread
+            _LOG.exception("ops endpoint %s failed", self.path)
+            try:
+                self._send_json(500, {"error": "%s: %s"
+                                      % (type(exc).__name__, exc)})
+            except OSError:  # client already gone
+                pass
+
+    def _debug_requests(self, ops, query):
+        if ops.recorder is None:
+            self._not_found("/debug/requests (no flight recorder wired)")
+            return
+        limit = None
+        if query.get("limit"):
+            try:
+                limit = max(1, int(query["limit"][0]))
+            except ValueError:
+                limit = None
+        include_detail = query.get("detail", ["0"])[0] in ("1", "true")
+        records = ops.recorder.snapshot(limit=limit,
+                                        include_detail=include_detail)
+        self._send_json(200, {
+            "count": len(records),
+            "recorder": ops.recorder.stats(),
+            "records": records,
+        })
+
+    def _debug_trace(self, ops, trace_id):
+        if ops.recorder is None:
+            self._not_found("/debug/trace (no flight recorder wired)")
+            return
+        record = ops.recorder.get(trace_id)
+        if record is None:
+            self._not_found("/debug/trace/%s" % trace_id)
+            return
+        self._send_json(
+            200, record.as_dict(include_spans=True, include_detail=True)
+        )

@@ -1,0 +1,261 @@
+"""Flight recorder: a bounded ring buffer of per-request records.
+
+Metrics aggregate and traces explain *one* request — the flight
+recorder is the piece in between: the last N requests the process
+served, each compressed to the fields an operator triages with (trace
+id, stage timings, cache behaviour, fallback category, Q-error
+verdict, row counts), retrievable by trace id from the ops plane
+(``/debug/requests``, ``/debug/trace/<id>``).
+
+Retention is two-tier, mirroring production tracing systems:
+
+* **every** request gets a compact :class:`RequestRecord` (plus its
+  span tree, already materialized by the per-request tracer — keeping
+  it costs a list of dicts, not a re-serialization);
+* the **slow-request policy** additionally retains the full diagnosis
+  (EXPLAIN ANALYZE + the rewrite-decision ledger, produced lazily by
+  the caller's ``detail_fn``) for requests over
+  ``slow_threshold_seconds`` — and, so the fast path stays inspectable
+  too, for every ``tail_sample_every``-th request regardless of
+  latency (tail sampling).
+
+The ring is thread-safe: the serve tier records from worker threads
+while ``/debug`` endpoints snapshot concurrently, and
+``snapshot()``/``reset()`` take consistent copies under the lock.
+``detail_fn`` runs *outside* the lock (rendering an EXPLAIN is not
+cheap) and only when the policy retains it.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+#: why a record kept its full detail
+DETAIL_SLOW = "slow"
+DETAIL_TAIL_SAMPLE = "tail-sample"
+
+
+def stage_seconds(spans):
+    """{span name: total seconds} aggregated over flattened span records
+    (the ``Span.to_dict`` shape) — the per-stage timing breakdown a
+    flight record carries."""
+    stages = {}
+    for record in spans or ():
+        seconds = record.get("duration_ms", 0.0) / 1000.0
+        stages[record["name"]] = stages.get(record["name"], 0.0) + seconds
+    return stages
+
+
+class RequestRecord:
+    """One served request, compressed for the ring buffer."""
+
+    __slots__ = ("trace_id", "name", "sequence", "started_at", "status",
+                 "error", "strategy", "cache_hit", "fallback_category",
+                 "queue_wait_seconds", "execute_seconds", "total_seconds",
+                 "rows", "bytes_out", "q_error_max", "q_error_triggered",
+                 "stages", "spans", "detail", "detail_reason")
+
+    def __init__(self, trace_id, name=None, sequence=0, started_at=None,
+                 status="ok", error=None, strategy=None, cache_hit=None,
+                 fallback_category=None, queue_wait_seconds=None,
+                 execute_seconds=None, total_seconds=None, rows=None,
+                 bytes_out=None, q_error_max=None, q_error_triggered=False,
+                 stages=None, spans=None, detail=None, detail_reason=None):
+        #: trace id shared by every span of this request
+        self.trace_id = trace_id
+        #: short human label (stylesheet hash, workload item name, ...)
+        self.name = name
+        #: monotonically increasing admission number within this recorder
+        self.sequence = sequence
+        #: wall-clock start (``time.time``), for log correlation
+        self.started_at = started_at
+        #: "ok" | "error" | "timeout" | "cancelled" | "rejected"
+        self.status = status
+        self.error = error
+        self.strategy = strategy
+        self.cache_hit = cache_hit
+        self.fallback_category = fallback_category
+        self.queue_wait_seconds = queue_wait_seconds
+        self.execute_seconds = execute_seconds
+        self.total_seconds = total_seconds
+        self.rows = rows
+        self.bytes_out = bytes_out
+        #: plan-wide max Q-error of this execution (None when unprofiled)
+        self.q_error_max = q_error_max
+        #: True when the feedback policy distrusted the plan
+        self.q_error_triggered = q_error_triggered
+        #: {stage name: seconds} aggregated from the span tree
+        self.stages = dict(stages) if stages else {}
+        #: flattened span records (``Span.to_dict`` shape) of the trace
+        self.spans = list(spans) if spans else []
+        #: full EXPLAIN ANALYZE + decision ledger, when retained
+        self.detail = detail
+        #: why detail was retained (DETAIL_SLOW / DETAIL_TAIL_SAMPLE)
+        self.detail_reason = detail_reason
+
+    def as_dict(self, include_spans=False, include_detail=False):
+        record = {
+            "trace_id": self.trace_id,
+            "name": self.name,
+            "sequence": self.sequence,
+            "started_at": self.started_at,
+            "status": self.status,
+            "strategy": self.strategy,
+            "cache_hit": self.cache_hit,
+            "fallback_category": self.fallback_category,
+            "queue_wait_seconds": self.queue_wait_seconds,
+            "execute_seconds": self.execute_seconds,
+            "total_seconds": self.total_seconds,
+            "rows": self.rows,
+            "bytes_out": self.bytes_out,
+            "q_error_max": self.q_error_max,
+            "q_error_triggered": self.q_error_triggered,
+            "stages": dict(self.stages),
+            "has_detail": self.detail is not None,
+            "detail_reason": self.detail_reason,
+        }
+        if self.error is not None:
+            record["error"] = self.error
+        if include_spans:
+            record["spans"] = list(self.spans)
+        if include_detail:
+            record["detail"] = self.detail
+        return record
+
+    def __repr__(self):
+        return "<RequestRecord %s %s %s>" % (
+            self.trace_id, self.status,
+            "%.3fs" % self.total_seconds
+            if self.total_seconds is not None else "?",
+        )
+
+
+class FlightRecorder:
+    """Bounded, thread-safe ring of :class:`RequestRecord`.
+
+    :param capacity: ring size; the oldest record is dropped beyond it.
+    :param slow_threshold_seconds: requests at or above this total
+        latency retain their full ``detail_fn`` output (None disables
+        the slow policy).
+    :param tail_sample_every: additionally retain detail for every Nth
+        request (0 disables tail sampling).
+    :param clock: wall-clock callable (injectable for tests).
+    """
+
+    def __init__(self, capacity=256, slow_threshold_seconds=0.5,
+                 tail_sample_every=0, clock=time.time):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.slow_threshold_seconds = slow_threshold_seconds
+        self.tail_sample_every = tail_sample_every
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._records = deque(maxlen=capacity)
+        self._sequence = 0
+        self._detail_retained = 0
+
+    # -- recording ---------------------------------------------------------------
+
+    def record(self, trace_id, name=None, status="ok", error=None,
+               strategy=None, cache_hit=None, fallback_category=None,
+               queue_wait_seconds=None, execute_seconds=None,
+               total_seconds=None, rows=None, bytes_out=None,
+               q_error_max=None, q_error_triggered=False, stages=None,
+               spans=None, detail_fn=None, started_at=None):
+        """Append one request record; returns it.
+
+        ``detail_fn`` is a zero-argument callable producing the full
+        diagnosis (EXPLAIN ANALYZE + ledger rendering); it is invoked —
+        outside the ring lock — only when the slow/tail-sample policy
+        retains it.
+        """
+        with self._lock:
+            self._sequence += 1
+            sequence = self._sequence
+        detail = None
+        detail_reason = None
+        if detail_fn is not None:
+            if (self.slow_threshold_seconds is not None
+                    and total_seconds is not None
+                    and total_seconds >= self.slow_threshold_seconds):
+                detail_reason = DETAIL_SLOW
+            elif (self.tail_sample_every
+                    and sequence % self.tail_sample_every == 0):
+                detail_reason = DETAIL_TAIL_SAMPLE
+            if detail_reason is not None:
+                try:
+                    detail = detail_fn()
+                except Exception as exc:  # diagnosis must never fail a request
+                    detail = "detail unavailable: %s: %s" % (
+                        type(exc).__name__, exc)
+        record = RequestRecord(
+            trace_id, name=name, sequence=sequence,
+            started_at=started_at if started_at is not None
+            else self.clock(),
+            status=status, error=error, strategy=strategy,
+            cache_hit=cache_hit, fallback_category=fallback_category,
+            queue_wait_seconds=queue_wait_seconds,
+            execute_seconds=execute_seconds, total_seconds=total_seconds,
+            rows=rows, bytes_out=bytes_out, q_error_max=q_error_max,
+            q_error_triggered=q_error_triggered, stages=stages,
+            spans=spans, detail=detail, detail_reason=detail_reason,
+        )
+        with self._lock:
+            self._records.append(record)
+            if detail_reason is not None:
+                self._detail_retained += 1
+        return record
+
+    # -- reading -----------------------------------------------------------------
+
+    def records(self):
+        """A consistent copy of the ring, oldest first."""
+        with self._lock:
+            return list(self._records)
+
+    def get(self, trace_id):
+        """The most recent record for ``trace_id``, or None."""
+        with self._lock:
+            for record in reversed(self._records):
+                if record.trace_id == trace_id:
+                    return record
+        return None
+
+    def snapshot(self, limit=None, include_spans=False,
+                 include_detail=False):
+        """JSON-friendly dump of the ring, newest first."""
+        with self._lock:
+            records = list(self._records)
+        records.reverse()
+        if limit is not None:
+            records = records[:limit]
+        return [
+            record.as_dict(include_spans=include_spans,
+                           include_detail=include_detail)
+            for record in records
+        ]
+
+    def stats(self):
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "size": len(self._records),
+                "recorded": self._sequence,
+                "detail_retained": self._detail_retained,
+                "slow_threshold_seconds": self.slow_threshold_seconds,
+                "tail_sample_every": self.tail_sample_every,
+            }
+
+    def reset(self):
+        """Empty the ring (sequence numbering continues)."""
+        with self._lock:
+            removed = len(self._records)
+            self._records.clear()
+        return removed
+
+    def __len__(self):
+        with self._lock:
+            return len(self._records)

@@ -21,6 +21,7 @@ from __future__ import annotations
 import time
 
 from repro.errors import DatabaseError, PlanError
+from repro.obs.trace import current_trace_id
 from repro.rdb.sqlxml import (
     AGG_STATE,
     find_aggregates,
@@ -114,10 +115,17 @@ class PlanProfiler:
     generator when a profiler is present.  Time spent inside a node's
     ``next()`` includes its children (total time); self time is derived
     at rendering time as total minus the children's totals.
+
+    The profiler captures the ambient trace id at construction, so an
+    EXPLAIN ANALYZE retained by the flight recorder links back to the
+    request whose execution produced it.
     """
 
     def __init__(self):
         self._profiles = {}  # id(node) -> NodeProfile
+        #: trace id of the request this execution profiled under (None
+        #: outside any trace)
+        self.trace_id = current_trace_id()
 
     def profile_of(self, node):
         profile = self._profiles.get(id(node))

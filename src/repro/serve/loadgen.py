@@ -37,7 +37,7 @@ class LoadReport:
 
     __slots__ = ("clients", "requests", "errors", "elapsed_seconds",
                  "latencies_seconds", "cache_hits", "strategies",
-                 "error_types", "service_latency")
+                 "error_types", "service_latency", "queue")
 
     def __init__(self, clients):
         self.clients = clients
@@ -52,6 +52,9 @@ class LoadReport:
         #: label set (``cache=hit``/``cache=miss``) — the shared
         #: admission→response latency definition
         self.service_latency = {}
+        #: admission-queue state at run end (depth/capacity/saturation
+        #: plus the total rejection count), from ``service.health()``
+        self.queue = {}
 
     # -- summaries --------------------------------------------------------------
 
@@ -100,6 +103,7 @@ class LoadReport:
             "strategies": dict(self.strategies),
             "error_types": dict(self.error_types),
             "service_latency": dict(self.service_latency),
+            "queue": dict(self.queue),
         }
 
 
@@ -176,4 +180,9 @@ def run_load(service, workload, clients=4, requests_per_client=25,
     if metrics is not None:
         for histogram in metrics.histograms("serve.request.latency"):
             report.service_latency[histogram.key()] = histogram.summary()
+    health = getattr(service, "health", None)
+    if callable(health):
+        body = health()
+        report.queue = dict(body.get("queue") or {})
+        report.queue["rejected"] = body.get("rejected", 0)
     return report

@@ -48,6 +48,15 @@ from repro.core.transform import execute_compiled, execute_compiled_stream
 from repro.errors import ReproError
 from repro.obs import InMemorySink, Tracer, global_metrics
 from repro.obs.feedback import FeedbackPolicy
+from repro.obs.ops import OpsServer
+from repro.obs.recorder import FlightRecorder, stage_seconds as _stage_seconds
+from repro.obs.trace import (
+    TraceContext,
+    current_trace_context,
+    new_trace_id,
+    parse_traceparent,
+    use_trace_context,
+)
 from repro.serve.cache import EVICT_RECOST, PlanCache
 from repro.xslt.stylesheet import Stylesheet
 
@@ -88,14 +97,19 @@ class ServeFuture:
     is still queued.
     """
 
-    __slots__ = ("_event", "_lock", "_state", "_value", "_error")
+    __slots__ = ("_event", "_lock", "_state", "_value", "_error",
+                 "trace_id")
 
-    def __init__(self):
+    def __init__(self, trace_id=None):
         self._event = threading.Event()
         self._lock = threading.Lock()
         self._state = _PENDING
         self._value = None
         self._error = None
+        #: trace id assigned at admission — usable to look the request
+        #: up in the flight recorder (``/debug/trace/<id>``) even before
+        #: (or without) a result
+        self.trace_id = trace_id
 
     # -- caller side -------------------------------------------------------------
 
@@ -159,10 +173,11 @@ class ServeResult:
     latency split."""
 
     __slots__ = ("transform", "cache_hit", "queue_wait_seconds",
-                 "execute_seconds", "total_seconds", "trace")
+                 "execute_seconds", "total_seconds", "trace", "trace_id")
 
     def __init__(self, transform, cache_hit, queue_wait_seconds,
-                 execute_seconds, total_seconds, trace=None):
+                 execute_seconds, total_seconds, trace=None,
+                 trace_id=None):
         #: the underlying TransformResult (rows, strategy, ledger, ...)
         self.transform = transform
         #: True when the compiled plan came from the cache
@@ -172,6 +187,9 @@ class ServeResult:
         self.total_seconds = total_seconds
         #: root span of this request's private trace
         self.trace = trace
+        #: trace id shared by every span of this request (set even when
+        #: per-request tracing is off)
+        self.trace_id = trace_id
 
     @property
     def strategy(self):
@@ -193,10 +211,10 @@ class ServeResult:
 
 class _Request:
     __slots__ = ("future", "source", "stylesheet", "options", "params",
-                 "deadline", "submitted_at")
+                 "deadline", "submitted_at", "context", "started_wall")
 
     def __init__(self, future, source, stylesheet, options, params,
-                 deadline, submitted_at):
+                 deadline, submitted_at, context=None, started_wall=None):
         self.future = future
         self.source = source
         self.stylesheet = stylesheet
@@ -204,6 +222,11 @@ class _Request:
         self.params = params
         self.deadline = deadline
         self.submitted_at = submitted_at
+        #: TraceContext minted (or adopted) at admission — activated on
+        #: the worker thread so every span joins this request's trace
+        self.context = context
+        #: wall-clock admission time (``time.time``), for the recorder
+        self.started_wall = started_wall
 
 
 _SHUTDOWN = object()
@@ -230,6 +253,31 @@ def _stylesheet_key(stylesheet):
     return "ss-text:%s" % hashlib.sha256(
         stylesheet.encode("utf-8")
     ).hexdigest()
+
+
+def _sink_spans(tracer):
+    """Flattened span records of a per-request tracer's in-memory sink
+    (empty when tracing is off)."""
+    for sink in tracer.sinks:
+        spans = getattr(sink, "spans", None)
+        if spans is not None:
+            return [span.to_dict() for span in spans]
+    return []
+
+
+def _request_name(request):
+    """Short human label for a flight record: the stylesheet key's tail
+    (content-hash prefix or object id)."""
+    return _stylesheet_key(request.stylesheet)[:24]
+
+
+def _request_detail(transform):
+    """The slow-request diagnosis the recorder retains: the full report
+    (stats, span tree, EXPLAIN ANALYZE, Q-error) plus EXPLAIN REWRITE
+    (the decision ledger anchored into the plan)."""
+    return "%s\n\nEXPLAIN REWRITE:\n%s" % (
+        transform.report(), transform.explain(rewrite=True)
+    )
 
 
 def _options_key(options):
@@ -267,16 +315,29 @@ class TransformService:
         ``recost``) so the next request re-costs against the corrected
         statistics.  None leaves the controller as configured on the
         database (observe-only by default).
+    :param recorder: the flight recorder keeping the last N requests for
+        the ``/debug`` endpoints — a
+        :class:`~repro.obs.recorder.FlightRecorder`, True (the default)
+        for one with default retention, or False/None to disable.
+    :param ops_port: when not None, start an
+        :class:`~repro.obs.ops.OpsServer` on this port (0 = ephemeral;
+        read it back from ``service.ops.port``) wired to this service's
+        metrics, recorder and health; closed with the service.
     """
 
     def __init__(self, db, workers=4, queue_size=64, cache=None,
                  cache_capacity=128, cache_ttl_seconds=None,
                  default_timeout=None, metrics=None, trace_requests=True,
-                 feedback_policy=None):
+                 feedback_policy=None, recorder=True, ops_port=None):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.db = db
         self.metrics = metrics or global_metrics()
+        if recorder is True:
+            recorder = FlightRecorder()
+        elif recorder is False:
+            recorder = None
+        self.recorder = recorder
         # explicit None test: an empty PlanCache is falsy (len() == 0)
         self.cache = cache if cache is not None else PlanCache(
             capacity=cache_capacity, ttl_seconds=cache_ttl_seconds,
@@ -298,6 +359,13 @@ class TransformService:
         self._queue = queue.Queue(maxsize=queue_size)
         self._closed = False
         self._close_lock = threading.Lock()
+        # queue occupancy gauges: depth/capacity plus their ratio, the
+        # saturation signal /healthz and /readyz report
+        self._gauge_depth = self.metrics.gauge("serve.queue.depth")
+        self._gauge_capacity = self.metrics.gauge("serve.queue.capacity")
+        self._gauge_saturation = self.metrics.gauge("serve.queue.saturation")
+        self._gauge_capacity.set(queue_size)
+        self._update_queue_gauges()
         self._workers = []
         for n in range(workers):
             worker = threading.Thread(
@@ -307,6 +375,20 @@ class TransformService:
             )
             worker.start()
             self._workers.append(worker)
+        self.ops = None
+        if ops_port is not None:
+            self.ops = OpsServer(
+                metrics=self.metrics, recorder=self.recorder,
+                health_fn=self.health, ready_fn=self.ready, port=ops_port,
+            ).start()
+
+    def _update_queue_gauges(self):
+        depth = self._queue.qsize()
+        capacity = self._queue.maxsize
+        self._gauge_depth.set(depth)
+        self._gauge_saturation.set(
+            (depth / float(capacity)) if capacity else 0.0
+        )
 
     # -- client API --------------------------------------------------------------
 
@@ -322,54 +404,81 @@ class TransformService:
             opts = opts.replace(deadline=timeout)
         return opts
 
+    def _ingress_context(self, traceparent):
+        """The trace context a request is admitted under: the caller's
+        ``traceparent`` header when given and valid, else the ambient
+        context (an in-process caller already inside a trace), else a
+        freshly minted trace id.  Every span of the request — across
+        admission, worker and stream-drain threads — joins it."""
+        context = parse_traceparent(traceparent) if traceparent else None
+        if context is None:
+            context = current_trace_context()
+        if context is None:
+            context = TraceContext(new_trace_id())
+        return context
+
     def submit(self, source, stylesheet, rewrite=_UNSET, options=None,
-               params=None, timeout=_UNSET):
+               params=None, timeout=_UNSET, traceparent=None):
         """Enqueue one request; returns a :class:`ServeFuture`.
 
         ``options.deadline`` (seconds, default ``default_timeout``)
         bounds the request's *total* life: a request still queued past
         its deadline fails with :class:`RequestTimeoutError` instead of
-        executing.  The loose ``rewrite=``/``timeout=`` kwargs are
-        deprecated shims over :class:`repro.api.TransformOptions`.
+        executing.  ``traceparent`` is an optional W3C trace-context
+        header from an upstream caller — the request joins that trace
+        (``future.trace_id``) instead of minting its own.  The loose
+        ``rewrite=``/``timeout=`` kwargs are deprecated shims over
+        :class:`repro.api.TransformOptions`.
         """
         opts = self._effective_options("TransformService.submit", options,
                                        rewrite, timeout)
-        return self._submit(source, stylesheet, opts, params)
+        return self._submit(source, stylesheet, opts, params,
+                            traceparent=traceparent)
 
-    def _submit(self, source, stylesheet, opts, params):
+    def _submit(self, source, stylesheet, opts, params, traceparent=None):
         if self._closed:
             raise ServiceClosedError("service is closed")
         deadline_s = opts.deadline if opts.deadline is not None \
             else self.default_timeout
+        context = self._ingress_context(traceparent)
         now = time.perf_counter()
         request = _Request(
-            ServeFuture(), source, stylesheet, opts, params,
+            ServeFuture(trace_id=context.trace_id), source, stylesheet,
+            opts, params,
             deadline=(now + deadline_s) if deadline_s else None,
-            submitted_at=now,
+            submitted_at=now, context=context, started_wall=time.time(),
         )
         try:
             self._queue.put_nowait(request)
         except queue.Full:
             self.metrics.counter("serve.rejected", reason="queue-full").inc()
+            self._update_queue_gauges()
+            self._record_request(
+                request, status="rejected",
+                error="admission queue full (%d pending)"
+                % self._queue.maxsize,
+            )
             raise ServiceOverloadedError(
                 "admission queue full (%d pending)" % self._queue.maxsize
             )
         self.metrics.counter("serve.requests").inc()
+        self._update_queue_gauges()
         return request.future
 
     def transform(self, source, stylesheet, rewrite=_UNSET, options=None,
-                  params=None, timeout=_UNSET):
+                  params=None, timeout=_UNSET, traceparent=None):
         """Synchronous submit+wait; returns the :class:`ServeResult`."""
         opts = self._effective_options("TransformService.transform", options,
                                        rewrite, timeout)
-        future = self._submit(source, stylesheet, opts, params)
+        future = self._submit(source, stylesheet, opts, params,
+                              traceparent=traceparent)
         # A deadline bounds queue wait + execution, both on the worker
         # side; the caller waits without its own limit so in-flight
         # execution can finish.
         return future.result()
 
     def transform_stream(self, source, stylesheet, options=None,
-                         params=None):
+                         params=None, traceparent=None):
         """Streaming transform: returns a
         :class:`~repro.core.transform.TransformStream` of serialized
         output chunks.
@@ -378,6 +487,10 @@ class TransformService:
         materialized requests — a slow chunk consumer must not occupy a
         worker), but shares the compiled-plan cache, so a hot
         (stylesheet, source) pair streams without compiling anything.
+        The compile and the chunk drain run under one trace
+        (``stream.trace_id``) — joined to the upstream ``traceparent``
+        when given — and the drained request lands in the flight
+        recorder like a materialized one.
         """
         if self._closed:
             raise ServiceClosedError("service is closed")
@@ -385,17 +498,79 @@ class TransformService:
             options, entry_point="TransformService.transform_stream"
         )
         self.metrics.counter("serve.stream_requests").inc()
+        context = self._ingress_context(traceparent)
+        started = time.perf_counter()
+        started_wall = time.time()
         tracer = Tracer(sinks=[InMemorySink()]) if self.trace_requests \
             else Tracer(enabled=False)
-        compiled, hit = self._compiled_for(source, stylesheet, opts, tracer)
+        with use_trace_context(context):
+            with tracer.span("serve.stream.compile") as compile_span:
+                compiled, hit = self._compiled_for(
+                    source, stylesheet, opts, tracer
+                )
+                compile_span.set_attr(cache_hit=hit)
         self.metrics.counter(
             "serve.stream_cache", cache="hit" if hit else "miss"
         ).inc()
-        return execute_compiled_stream(
+        stream = execute_compiled_stream(
             self.db, source, compiled, params=params, tracer=tracer,
             metrics=self.metrics, batch_size=opts.batch_size,
             chunk_chars=opts.chunk_chars, feedback=opts.feedback,
         )
+        stream.trace_id = context.trace_id
+        stream._chunks = self._drained(stream, stream._chunks, context,
+                                       tracer, hit, started, started_wall)
+        return stream
+
+    def _drained(self, stream, chunks, context, tracer, cache_hit,
+                 started, started_wall):
+        """Wrap a stream's chunk iterator so the drain — which may run
+        on any thread, any time after submission — happens under the
+        request's trace (a ``serve.stream.drain`` span joined by trace
+        id) and the finished request lands in the flight recorder."""
+        status = "ok"
+        error = None
+        bytes_out = 0
+        try:
+            with use_trace_context(context):
+                with tracer.span("serve.stream.drain") as span:
+                    for chunk in chunks:
+                        bytes_out += len(chunk)
+                        yield chunk
+                    span.set_attr(bytes_out=bytes_out,
+                                  strategy=stream.strategy)
+        except BaseException as exc:
+            status = "error"
+            error = "%s: %s" % (type(exc).__name__, exc)
+            self.metrics.counter("serve.errors").inc()
+            raise
+        finally:
+            total = time.perf_counter() - started
+            if self.recorder is not None:
+                stats = stream.stats
+                self.recorder.record(
+                    context.trace_id, name="stream",
+                    status=status, error=error, strategy=stream.strategy,
+                    cache_hit=cache_hit,
+                    fallback_category=stream.fallback_category,
+                    execute_seconds=(
+                        stats.elapsed_seconds if stats is not None else None
+                    ),
+                    total_seconds=total,
+                    rows=(stats.output_rows if stats is not None else None),
+                    bytes_out=bytes_out,
+                    q_error_max=(
+                        stream.feedback.max_q_error
+                        if stream.feedback is not None else None
+                    ),
+                    q_error_triggered=(
+                        stream.feedback is not None
+                        and stream.feedback.triggered
+                    ),
+                    stages=_stage_seconds(_sink_spans(tracer)),
+                    spans=_sink_spans(tracer),
+                    started_at=started_wall,
+                )
 
     def invalidate(self, source=None, key=None, tag=None):
         """Evict cached plans: every plan compiled against ``source``'s
@@ -411,8 +586,42 @@ class TransformService:
         """Cache statistics plus queue/worker occupancy."""
         stats = self.cache.stats().as_dict()
         stats["queue_depth"] = self._queue.qsize()
+        stats["queue_capacity"] = self._queue.maxsize
+        stats["queue_saturation"] = (
+            self._queue.qsize() / float(self._queue.maxsize)
+            if self._queue.maxsize else 0.0
+        )
         stats["workers"] = len(self._workers)
         return stats
+
+    def health(self):
+        """The ``/healthz`` body: liveness status plus the saturation
+        and cache signals an operator triages overload with."""
+        depth = self._queue.qsize()
+        capacity = self._queue.maxsize
+        body = {
+            "status": "closed" if self._closed else "ok",
+            "workers": len(self._workers),
+            "queue": {
+                "depth": depth,
+                "capacity": capacity,
+                "saturation": (depth / float(capacity)) if capacity else 0.0,
+            },
+            "cache": self.cache.stats().as_dict(),
+            "rejected": self.metrics.counter_total("serve.rejected"),
+        }
+        if self.recorder is not None:
+            body["recorder"] = self.recorder.stats()
+        return body
+
+    def ready(self):
+        """The ``/readyz`` verdict: ``(ready, body)`` — not ready once
+        closed or when the admission queue is (near) saturated, so a
+        load balancer stops routing before requests start bouncing."""
+        body = self.health()
+        ready = (body["status"] == "ok"
+                 and body["queue"]["saturation"] < 1.0)
+        return ready, body
 
     def _on_feedback(self, event):
         """Feedback-loop listener: re-cost by evicting every cached
@@ -445,6 +654,8 @@ class TransformService:
         if wait:
             for worker in self._workers:
                 worker.join()
+        if self.ops is not None:
+            self.ops.close()
 
     def __enter__(self):
         return self
@@ -467,25 +678,39 @@ class TransformService:
 
     def _handle(self, request):
         started = time.perf_counter()
+        self._update_queue_gauges()
         future = request.future
         if request.deadline is not None and started >= request.deadline:
             self.metrics.counter("serve.timeouts").inc()
-            future._fail(RequestTimeoutError(
-                "deadline exceeded after %.3fs in queue"
-                % (started - request.submitted_at)
-            ))
+            message = ("deadline exceeded after %.3fs in queue"
+                       % (started - request.submitted_at))
+            self._record_request(request, status="timeout", error=message,
+                                 queue_wait_seconds=started
+                                 - request.submitted_at)
+            future._fail(RequestTimeoutError(message))
             return
         if not future._claim():
             self.metrics.counter("serve.cancelled").inc()
+            self._record_request(request, status="cancelled",
+                                 queue_wait_seconds=started
+                                 - request.submitted_at)
             return
         queue_wait = started - request.submitted_at
         self.metrics.histogram("serve.queue_wait_seconds").record(queue_wait)
         tracer = Tracer(sinks=[InMemorySink()]) if self.trace_requests \
             else Tracer(enabled=False)
         try:
-            result = self._execute(request, tracer, queue_wait)
+            with use_trace_context(request.context):
+                result = self._execute(request, tracer, queue_wait)
         except BaseException as exc:
             self.metrics.counter("serve.errors").inc()
+            self._record_request(
+                request, status="error",
+                error="%s: %s" % (type(exc).__name__, exc),
+                queue_wait_seconds=queue_wait,
+                total_seconds=time.perf_counter() - request.submitted_at,
+                spans=_sink_spans(tracer),
+            )
             future._fail(exc)
             return
         total = time.perf_counter() - request.submitted_at
@@ -502,7 +727,45 @@ class TransformService:
             strategy=result.strategy,
             cache="hit" if result.cache_hit else "miss",
         ).inc()
+        if self.recorder is not None:
+            transform = result.transform
+            feedback = transform.feedback
+            spans = _sink_spans(tracer)
+            self.recorder.record(
+                request.context.trace_id,
+                name=_request_name(request),
+                status="ok", strategy=result.strategy,
+                cache_hit=result.cache_hit,
+                fallback_category=transform.fallback_category,
+                queue_wait_seconds=queue_wait,
+                execute_seconds=result.execute_seconds,
+                total_seconds=total,
+                rows=len(transform.rows),
+                q_error_max=(feedback.max_q_error
+                             if feedback is not None else None),
+                q_error_triggered=(feedback is not None
+                                   and feedback.triggered),
+                stages=_stage_seconds(spans), spans=spans,
+                detail_fn=lambda: _request_detail(transform),
+                started_at=request.started_wall,
+            )
         future._resolve(result)
+
+    def _record_request(self, request, status, error=None,
+                        queue_wait_seconds=None, total_seconds=None,
+                        spans=None):
+        """Flight-record a request that never produced a ServeResult
+        (rejected / timed out / cancelled / errored)."""
+        if self.recorder is None:
+            return
+        self.recorder.record(
+            request.context.trace_id, name=_request_name(request),
+            status=status, error=error,
+            queue_wait_seconds=queue_wait_seconds,
+            total_seconds=total_seconds,
+            stages=_stage_seconds(spans) if spans else None,
+            spans=spans, started_at=request.started_wall,
+        )
 
     def _execute(self, request, tracer, queue_wait):
         opts = request.options
@@ -536,6 +799,7 @@ class TransformService:
             execute_seconds=execute_seconds,
             total_seconds=None,  # stamped by _handle once resolved
             trace=root if root else None,
+            trace_id=request.context.trace_id,
         )
 
     def _compiled_for(self, source, stylesheet, opts, tracer):

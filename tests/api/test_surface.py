@@ -43,12 +43,12 @@ class TestEngineSurface:
         public = {name for name in dir(Engine) if not name.startswith("_")}
         assert public == {
             "compile", "transform", "transform_stream", "transform_many",
-            "execute", "explain", "db", "tracer", "metrics",
+            "execute", "explain", "db", "tracer", "metrics", "recorder",
         }
 
     def test_constructor_signature(self):
         params = list(inspect.signature(Engine.__init__).parameters)
-        assert params == ["self", "db", "tracer", "metrics"]
+        assert params == ["self", "db", "tracer", "metrics", "recorder"]
 
     def test_verb_signatures(self):
         expected = {

@@ -128,6 +128,34 @@ class TestPrometheusText:
         ((_, labels),) = [key for key in samples]
         assert labels[0][0] == "why"
 
+    def test_label_escaping_is_exact_per_exposition_format(self):
+        """Backslash, double-quote and newline each escape per the text
+        exposition format, and unescaping recovers the original value."""
+        original = 'a\\b"c\nd'
+        registry = MetricsRegistry()
+        registry.counter("odd", why=original).inc()
+        text = prometheus_text(registry)
+        assert 'odd_total{why="a\\\\b\\"c\\nd"} 1' in text
+        samples, _ = parse_prometheus(text)
+        ((_, labels),) = list(samples)
+        raw = dict(labels)["why"]
+        unescaped = re.sub(
+            r"\\(.)",
+            lambda m: "\n" if m.group(1) == "n" else m.group(1),
+            raw,
+        )
+        assert unescaped == original
+
+    def test_gauge_rendered_with_type_line(self):
+        registry = MetricsRegistry()
+        registry.gauge("serve.queue.depth").set(3)
+        registry.gauge("serve.queue.saturation").set(0.25)
+        samples, types = parse_prometheus(prometheus_text(registry))
+        assert types["serve_queue_depth"] == "gauge"
+        assert types["serve_queue_saturation"] == "gauge"
+        assert samples[("serve_queue_depth", ())] == 3.0
+        assert samples[("serve_queue_saturation", ())] == 0.25
+
     def test_empty_registry_renders_empty(self):
         assert prometheus_text(MetricsRegistry()) == ""
 
@@ -246,6 +274,19 @@ class TestJsonl:
         # every record is JSON-serializable and parent-linked
         for record in records:
             json.loads(json.dumps(record))
+
+    def test_spans_jsonl_carries_trace_identity(self):
+        sink = InMemorySink()
+        tracer = Tracer(sinks=[sink])
+        with tracer.span("root") as root:
+            with tracer.span("child"):
+                pass
+        records = spans_to_jsonl(sink.roots)
+        assert {record["trace_id"] for record in records} == {root.trace_id}
+        by_name = {record["name"]: record for record in records}
+        assert by_name["root"]["parent_id"] is None
+        assert by_name["child"]["parent_id"] == by_name["root"]["span_id"]
+        assert by_name["child"]["span_id"] != by_name["root"]["span_id"]
 
     def test_spans_jsonl_accepts_single_span(self):
         tracer = Tracer()

@@ -1,0 +1,130 @@
+"""Structured JSON logging with trace-id correlation."""
+
+import io
+import json
+import logging
+
+from repro.obs.logs import (
+    JsonLogFormatter,
+    JsonLogHandler,
+    configure_json_logging,
+)
+from repro.obs.trace import (
+    TraceContext,
+    Tracer,
+    new_span_id,
+    new_trace_id,
+    use_trace_context,
+)
+
+
+def make_logger(name="repro.test.logs"):
+    logger = logging.getLogger(name)
+    logger.setLevel(logging.DEBUG)
+    logger.propagate = False
+    for handler in list(logger.handlers):
+        logger.removeHandler(handler)
+    stream = io.StringIO()
+    handler = JsonLogHandler(stream)
+    logger.addHandler(handler)
+    return logger, stream, handler
+
+
+def lines(stream):
+    return [json.loads(line) for line in
+            stream.getvalue().splitlines() if line]
+
+
+class TestFormatter:
+    def test_basic_record_shape(self):
+        logger, stream, _ = make_logger()
+        logger.info("cache evicted")
+        (payload,) = lines(stream)
+        assert payload["message"] == "cache evicted"
+        assert payload["level"] == "info"
+        assert payload["logger"] == "repro.test.logs"
+        assert isinstance(payload["ts"], float)
+        assert "trace_id" not in payload
+
+    def test_percent_formatting_applied(self):
+        logger, stream, _ = make_logger()
+        logger.warning("evicted %d plans after %s", 3, "ANALYZE")
+        (payload,) = lines(stream)
+        assert payload["message"] == "evicted 3 plans after ANALYZE"
+
+    def test_extra_fields_merged(self):
+        logger, stream, _ = make_logger()
+        logger.info("hit", extra={"fields": {"key": "abc", "rows": 7}})
+        (payload,) = lines(stream)
+        assert payload["key"] == "abc"
+        assert payload["rows"] == 7
+
+    def test_fields_cannot_mask_core_keys(self):
+        logger, stream, _ = make_logger()
+        logger.info("real", extra={"fields": {"message": "forged"}})
+        (payload,) = lines(stream)
+        assert payload["message"] == "real"
+
+    def test_exception_captured(self):
+        logger, stream, _ = make_logger()
+        try:
+            raise ValueError("plan exploded")
+        except ValueError:
+            logger.exception("execution failed")
+        (payload,) = lines(stream)
+        assert payload["level"] == "error"
+        assert "ValueError: plan exploded" in payload["error"]
+
+    def test_non_serializable_field_stringified(self):
+        logger, stream, _ = make_logger()
+        logger.info("odd", extra={"fields": {"obj": object()}})
+        (payload,) = lines(stream)
+        assert payload["obj"].startswith("<object object")
+
+
+class TestTraceCorrelation:
+    def test_ambient_context_stamped(self):
+        logger, stream, _ = make_logger()
+        context = TraceContext(new_trace_id(), new_span_id())
+        with use_trace_context(context):
+            logger.info("inside")
+        logger.info("outside")
+        inside, outside = lines(stream)
+        assert inside["trace_id"] == context.trace_id
+        assert inside["span_id"] == context.span_id
+        assert "trace_id" not in outside
+
+    def test_log_inside_span_carries_span_identity(self):
+        logger, stream, _ = make_logger()
+        tracer = Tracer()
+        with tracer.span("serve.request") as root:
+            logger.info("working")
+        (payload,) = lines(stream)
+        assert payload["trace_id"] == root.trace_id
+        assert payload["span_id"] == root.span_id
+
+    def test_ingress_context_without_span_id(self):
+        logger, stream, _ = make_logger()
+        with use_trace_context(TraceContext(new_trace_id())):
+            logger.info("admitted")
+        (payload,) = lines(stream)
+        assert "trace_id" in payload
+        assert "span_id" not in payload
+
+
+class TestConfigure:
+    def test_configure_attaches_and_detaches(self):
+        stream = io.StringIO()
+        name = "repro.test.configure"
+        logger = logging.getLogger(name)
+        logger.propagate = False
+        handler = configure_json_logging(stream, level=logging.DEBUG,
+                                         logger_name=name)
+        try:
+            assert isinstance(handler.formatter, JsonLogFormatter)
+            logger.debug("hello")
+            assert lines(stream)[0]["message"] == "hello"
+        finally:
+            logger.removeHandler(handler)
+        logger.info("after detach")
+        assert len(lines(stream)) == 1

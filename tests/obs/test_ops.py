@@ -1,0 +1,189 @@
+"""OpsServer: the HTTP endpoints over a live (ephemeral-port) server."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.ops import OpsServer, start_ops_server
+from repro.obs.recorder import FlightRecorder
+from repro.obs.trace import new_trace_id
+
+
+def get(url):
+    """(status, content_type, body-str) of one GET, 4xx/5xx included."""
+    try:
+        with urllib.request.urlopen(url, timeout=5) as response:
+            return (response.status, response.headers.get("Content-Type"),
+                    response.read().decode("utf-8"))
+    except urllib.error.HTTPError as error:
+        return (error.code, error.headers.get("Content-Type"),
+                error.read().decode("utf-8"))
+
+
+@pytest.fixture
+def ops():
+    metrics = MetricsRegistry()
+    metrics.counter("serve.requests").inc(3)
+    metrics.gauge("serve.queue.depth").set(2)
+    metrics.histogram("serve.request_seconds").record(0.01)
+    recorder = FlightRecorder(slow_threshold_seconds=0.5)
+    server = OpsServer(metrics=metrics, recorder=recorder).start()
+    try:
+        yield server
+    finally:
+        server.close()
+
+
+class TestLifecycle:
+    def test_ephemeral_port_bound(self, ops):
+        assert ops.port != 0
+        assert ops.url == "http://127.0.0.1:%d" % ops.port
+
+    def test_start_is_idempotent(self, ops):
+        port = ops.port
+        assert ops.start() is ops
+        assert ops.port == port
+
+    def test_close_then_reuse_as_context_manager(self):
+        with start_ops_server(metrics=MetricsRegistry()) as server:
+            status, _, _ = get(server.url + "/healthz")
+            assert status == 200
+        # closed: a second close is a no-op
+        server.close()
+
+
+class TestMetricsEndpoint:
+    def test_prometheus_exposition(self, ops):
+        status, content_type, body = get(ops.url + "/metrics")
+        assert status == 200
+        assert content_type.startswith("text/plain")
+        assert "# TYPE serve_requests_total counter" in body
+        assert "serve_requests_total 3" in body
+        assert "# TYPE serve_queue_depth gauge" in body
+        assert "serve_queue_depth 2" in body
+        assert "serve_request_seconds_count 1" in body
+
+
+class TestProbes:
+    def test_healthz_default(self, ops):
+        status, content_type, body = get(ops.url + "/healthz")
+        assert status == 200
+        assert content_type.startswith("application/json")
+        payload = json.loads(body)
+        assert payload["status"] == "ok"
+        assert payload["recorder"]["capacity"] == 256
+
+    def test_readyz_default_ready(self, ops):
+        status, _, body = get(ops.url + "/readyz")
+        assert status == 200
+        assert json.loads(body)["status"] == "ok"
+
+    def test_readyz_unready_when_saturated(self):
+        def health():
+            return {"status": "ok", "queue": {"saturation": 1.0}}
+
+        with start_ops_server(metrics=MetricsRegistry(),
+                              health_fn=health) as server:
+            status, _, _ = get(server.url + "/readyz")
+            assert status == 503
+            # liveness stays 200 — saturation is not death
+            assert get(server.url + "/healthz")[0] == 200
+
+    def test_readyz_unready_when_closed(self):
+        with start_ops_server(
+            metrics=MetricsRegistry(),
+            health_fn=lambda: {"status": "closed"},
+        ) as server:
+            assert get(server.url + "/readyz")[0] == 503
+
+    def test_custom_ready_fn(self):
+        with start_ops_server(
+            metrics=MetricsRegistry(),
+            ready_fn=lambda: (False, {"reason": "warming up"}),
+        ) as server:
+            status, _, body = get(server.url + "/readyz")
+            assert status == 503
+            assert json.loads(body)["reason"] == "warming up"
+
+    def test_health_fn_failure_is_500_not_hang(self):
+        def boom():
+            raise RuntimeError("probe broke")
+
+        with start_ops_server(metrics=MetricsRegistry(),
+                              health_fn=boom) as server:
+            status, _, body = get(server.url + "/healthz")
+            assert status == 500
+            assert "probe broke" in body
+
+
+class TestDebugEndpoints:
+    def test_requests_lists_ring_newest_first(self, ops):
+        ids = [new_trace_id() for _ in range(3)]
+        for n, trace_id in enumerate(ids):
+            ops.recorder.record(trace_id, name="req-%d" % n,
+                                total_seconds=0.01)
+        status, _, body = get(ops.url + "/debug/requests")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["count"] == 3
+        assert [r["trace_id"] for r in payload["records"]] \
+            == list(reversed(ids))
+        assert payload["recorder"]["size"] == 3
+        assert "spans" not in payload["records"][0]
+
+    def test_requests_limit_and_detail_params(self, ops):
+        trace_id = new_trace_id()
+        ops.recorder.record(trace_id, total_seconds=2.0,
+                            detail_fn=lambda: "SLOW EXPLAIN")
+        ops.recorder.record(new_trace_id(), total_seconds=0.01)
+        status, _, body = get(ops.url + "/debug/requests?limit=1&detail=1")
+        payload = json.loads(body)
+        assert payload["count"] == 1
+        status, _, body = get(ops.url + "/debug/requests?detail=1&limit=5")
+        records = json.loads(body)["records"]
+        slow = [r for r in records if r["trace_id"] == trace_id][0]
+        assert slow["detail"] == "SLOW EXPLAIN"
+
+    def test_trace_lookup_full_record(self, ops):
+        trace_id = new_trace_id()
+        ops.recorder.record(
+            trace_id, name="req", status="ok", total_seconds=0.7,
+            spans=[{"name": "serve.request", "trace_id": trace_id,
+                    "duration_ms": 700.0}],
+            detail_fn=lambda: "EXPLAIN ANALYZE\n#1 Scan ...",
+        )
+        status, _, body = get(ops.url + "/debug/trace/" + trace_id)
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["trace_id"] == trace_id
+        assert payload["spans"][0]["name"] == "serve.request"
+        assert payload["detail"].startswith("EXPLAIN ANALYZE")
+
+    def test_unknown_trace_is_404(self, ops):
+        status, _, body = get(ops.url + "/debug/trace/" + "0" * 32)
+        assert status == 404
+        assert json.loads(body)["error"] == "not found"
+
+    def test_debug_without_recorder_is_404(self):
+        with start_ops_server(metrics=MetricsRegistry()) as server:
+            assert get(server.url + "/debug/requests")[0] == 404
+            assert get(server.url + "/debug/trace/abc")[0] == 404
+
+
+class TestRouting:
+    def test_unknown_path_is_404(self, ops):
+        status, _, body = get(ops.url + "/nope")
+        assert status == 404
+        assert json.loads(body)["path"] == "/nope"
+
+    def test_trailing_slash_tolerated(self, ops):
+        assert get(ops.url + "/healthz/")[0] == 200
+
+    def test_bad_limit_ignored(self, ops):
+        ops.recorder.record(new_trace_id())
+        status, _, body = get(ops.url + "/debug/requests?limit=bogus")
+        assert status == 200
+        assert json.loads(body)["count"] == 1

@@ -1,0 +1,245 @@
+"""Trace identity and propagation: ids, W3C traceparent, contextvars,
+per-thread isolation of a shared tracer."""
+
+import threading
+
+from repro.obs.trace import (
+    InMemorySink,
+    Span,
+    TraceContext,
+    Tracer,
+    activate_trace_context,
+    current_trace_context,
+    current_trace_id,
+    deactivate_trace_context,
+    format_traceparent,
+    new_span_id,
+    new_trace_id,
+    parse_traceparent,
+    use_trace_context,
+)
+
+
+class TestIds:
+    def test_trace_id_shape(self):
+        trace_id = new_trace_id()
+        assert len(trace_id) == 32
+        assert trace_id == trace_id.lower()
+        int(trace_id, 16)
+
+    def test_span_id_shape(self):
+        span_id = new_span_id()
+        assert len(span_id) == 16
+        int(span_id, 16)
+
+    def test_ids_are_distinct(self):
+        assert len({new_trace_id() for _ in range(100)}) == 100
+
+
+class TestSpanIdentity:
+    def test_root_span_mints_trace_id(self):
+        span = Span("root")
+        assert len(span.trace_id) == 32
+        assert len(span.span_id) == 16
+        assert span.parent_span_id is None
+
+    def test_child_inherits_trace_id_and_parent_link(self):
+        root = Span("root")
+        child = Span("child", parent=root)
+        assert child.trace_id == root.trace_id
+        assert child.parent_span_id == root.span_id
+        assert child.span_id != root.span_id
+
+    def test_span_under_context_joins_trace(self):
+        context = TraceContext(new_trace_id(), new_span_id())
+        span = Span("joined", context=context)
+        assert span.trace_id == context.trace_id
+        assert span.parent_span_id == context.span_id
+
+    def test_to_dict_carries_trace_identity(self):
+        root = Span("root")
+        child = Span("child", parent=root)
+        record = child.to_dict()
+        assert record["trace_id"] == root.trace_id
+        assert record["span_id"] == child.span_id
+        assert record["parent_id"] == root.span_id
+
+
+class TestTraceparent:
+    def test_round_trip(self):
+        context = TraceContext(new_trace_id(), new_span_id())
+        parsed = parse_traceparent(context.to_traceparent())
+        assert parsed == context
+
+    def test_format_from_span(self):
+        span = Span("s")
+        header = format_traceparent(span)
+        parsed = parse_traceparent(header)
+        assert parsed.trace_id == span.trace_id
+        assert parsed.span_id == span.span_id
+
+    def test_unsampled_flag_round_trips(self):
+        context = TraceContext(new_trace_id(), new_span_id(), sampled=False)
+        assert context.to_traceparent().endswith("-00")
+        assert parse_traceparent(context.to_traceparent()).sampled is False
+
+    def test_valid_header_parses(self):
+        header = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+        context = parse_traceparent(header)
+        assert context.trace_id == "4bf92f3577b34da6a3ce929d0e0e4736"
+        assert context.span_id == "00f067aa0ba902b7"
+        assert context.sampled is True
+
+    def test_malformed_headers_return_none(self):
+        good_trace = "4bf92f3577b34da6a3ce929d0e0e4736"
+        good_span = "00f067aa0ba902b7"
+        bad = [
+            None,
+            "",
+            "garbage",
+            "00-%s-%s" % (good_trace, good_span),           # missing flags
+            "00-%s-%s-01-extra" % (good_trace, good_span),  # v00: exactly 4
+            "ff-%s-%s-01" % (good_trace, good_span),        # forbidden version
+            "00-%s-%s-01" % ("0" * 32, good_span),          # all-zero trace
+            "00-%s-%s-01" % (good_trace, "0" * 16),         # all-zero span
+            "00-%s-%s-01" % (good_trace[:-1], good_span),   # short trace id
+            "00-%s-%s-01" % (good_trace, good_span[:-1]),   # short span id
+            "00-%s-%s-zz" % (good_trace, good_span),        # non-hex flags
+            "0x-%s-%s-01" % (good_trace, good_span),        # non-hex version
+        ]
+        for header in bad:
+            assert parse_traceparent(header) is None, header
+
+    def test_future_version_with_extra_fields_parses(self):
+        header = ("01-4bf92f3577b34da6a3ce929d0e0e4736-"
+                  "00f067aa0ba902b7-01-whatever")
+        assert parse_traceparent(header) is not None
+
+
+class TestAmbientContext:
+    def test_default_is_none(self):
+        assert current_trace_context() is None
+        assert current_trace_id() is None
+
+    def test_activate_and_deactivate(self):
+        context = TraceContext(new_trace_id())
+        token = activate_trace_context(context)
+        try:
+            assert current_trace_context() is context
+            assert current_trace_id() == context.trace_id
+        finally:
+            deactivate_trace_context(token)
+        assert current_trace_context() is None
+
+    def test_use_trace_context_scopes(self):
+        context = TraceContext(new_trace_id())
+        with use_trace_context(context):
+            assert current_trace_id() == context.trace_id
+        assert current_trace_id() is None
+
+    def test_use_trace_context_accepts_span(self):
+        span = Span("carrier")
+        with use_trace_context(span) as context:
+            assert context.trace_id == span.trace_id
+            assert context.span_id == span.span_id
+
+    def test_root_span_joins_ambient_trace(self):
+        tracer = Tracer()
+        context = TraceContext(new_trace_id(), new_span_id())
+        with use_trace_context(context):
+            with tracer.span("root") as span:
+                assert span.trace_id == context.trace_id
+                assert span.parent_span_id == context.span_id
+
+    def test_open_span_publishes_its_context(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            assert current_trace_context() == outer.context()
+            with tracer.span("inner") as inner:
+                assert current_trace_context() == inner.context()
+            assert current_trace_context() == outer.context()
+        assert current_trace_context() is None
+
+    def test_nested_spans_share_one_trace_id(self):
+        tracer = Tracer()
+        with tracer.span("a") as a:
+            with tracer.span("b") as b:
+                with tracer.span("c") as c:
+                    assert a.trace_id == b.trace_id == c.trace_id
+
+
+class TestSharedTracerThreadIsolation:
+    def test_threads_get_disjoint_traces(self):
+        """N threads over ONE tracer: each gets its own trace id, and no
+        span ever links to another thread's spans."""
+        tracer = Tracer(sinks=[InMemorySink()])
+        results = {}
+        barrier = threading.Barrier(8)
+
+        def worker(index):
+            barrier.wait()
+            with tracer.span("request", worker=index) as root:
+                with tracer.span("stage-a"):
+                    pass
+                with tracer.span("stage-b") as b:
+                    assert b.parent is root
+            results[index] = root
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert len(results) == 8
+        trace_ids = {root.trace_id for root in results.values()}
+        assert len(trace_ids) == 8, "cross-thread trace id leakage"
+        for root in results.values():
+            assert {span.trace_id for span in root.iter_spans()} \
+                == {root.trace_id}
+            assert len(root.children) == 2
+
+    def test_threads_can_join_one_propagated_trace(self):
+        """The serve-tier shape: one context minted at ingress, two
+        threads open roots under it — same trace id, both parent-linked
+        to the ingress span id."""
+        tracer = Tracer(sinks=[InMemorySink()])
+        context = TraceContext(new_trace_id(), new_span_id())
+        roots = []
+        lock = threading.Lock()
+
+        def worker():
+            with use_trace_context(context):
+                with tracer.span("part") as span:
+                    pass
+            with lock:
+                roots.append(span)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert len(roots) == 4
+        for span in roots:
+            assert span.trace_id == context.trace_id
+            assert span.parent_span_id == context.span_id
+        sink = tracer.sinks[0]
+        assert len(sink.roots_for(context.trace_id)) == 4
+
+
+class TestInMemorySink:
+    def test_roots_for_filters_by_trace(self):
+        tracer = Tracer(sinks=[InMemorySink()])
+        with tracer.span("one"):
+            pass
+        with tracer.span("two"):
+            pass
+        sink = tracer.sinks[0]
+        assert len(sink.roots) == 2
+        first, second = sink.roots
+        assert sink.roots_for(first.trace_id) == [first]
+        assert sink.roots_for(second.trace_id) == [second]
+        assert sink.roots_for("0" * 32) == []
