@@ -221,15 +221,23 @@ class Engine:
     one :class:`~repro.obs.recorder.RequestRecord` per
     :meth:`transform` call (the serve tier wires its own recorder; pass
     one here for engine-level use without a service).
+
+    ``workers`` sizes the serving tier :meth:`serve` builds: 1 (the
+    default) keeps everything in-process, >1 scales out to that many
+    worker *processes* (escaping the GIL for CPU-bound transforms).
     """
 
-    __slots__ = ("db", "tracer", "metrics", "recorder")
+    __slots__ = ("db", "tracer", "metrics", "recorder", "workers")
 
-    def __init__(self, db, tracer=None, metrics=None, recorder=None):
+    def __init__(self, db, tracer=None, metrics=None, recorder=None,
+                 workers=1):
         self.db = db
         self.tracer = tracer or get_tracer()
         self.metrics = metrics or global_metrics()
         self.recorder = recorder
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
 
     # -- compile ------------------------------------------------------------------
 
@@ -321,6 +329,34 @@ class Engine:
             metrics=self.metrics, profile_plan=opts.profile_plan,
             batch_size=opts.batch_size, feedback=opts.feedback,
         )
+
+    # -- serve --------------------------------------------------------------------
+
+    def serve(self, sources=None, **kwargs):
+        """The serving tier for this engine's database.
+
+        ``Engine(db)`` (workers=1) returns a thread-pool
+        :class:`~repro.serve.service.TransformService`;
+        ``Engine(db, workers=N)`` with N>1 returns a
+        :class:`~repro.serve.cluster.ClusterService` of N worker
+        *processes* sharing a persistent plan tier — CPU-bound
+        transforms then scale past one core.  The cluster tier
+        requires ``sources``, a ``{name: source}`` mapping (requests
+        name their source; the objects live in the workers).  Extra
+        ``kwargs`` pass through to the chosen service constructor
+        (``queue_size``, ``artifact_dir``/``artifact_store``,
+        ``default_timeout``, ...)."""
+        kwargs.setdefault("metrics", self.metrics)
+        if self.workers > 1:
+            from repro.serve.cluster import ClusterService
+
+            return ClusterService(
+                db=self.db, sources=sources or {}, workers=self.workers,
+                **kwargs
+            )
+        from repro.serve.service import TransformService
+
+        return TransformService(self.db, **kwargs)
 
     def transform_stream(self, source, stylesheet, options=None,
                          params=None):

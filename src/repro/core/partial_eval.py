@@ -54,6 +54,19 @@ class PartialEvaluation:
             if template not in self.instantiated_templates
         ]
 
+    # -- serialization ----------------------------------------------------------
+
+    def __getstate__(self):
+        """Drop the traced VM: its function table is built from closures
+        (unpicklable) and it is only consulted during compilation —
+        a serialized compile artifact never re-runs partial evaluation."""
+        state = dict(self.__dict__)
+        state["vm"] = None
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+
 
 def partially_evaluate(stylesheet, schema, ledger=None):
     """Run phases 2–4; raises :class:`RewriteError` when the stylesheet

@@ -109,6 +109,26 @@ class TransformResult:
         disabled) — the key ``/debug/trace/<id>`` looks up."""
         return self.trace.trace_id if self.trace is not None else None
 
+    def __getstate__(self):
+        """Results cross process boundaries (the cluster tier returns
+        them from worker processes); live spans hold tracer handles and
+        the plan profiler keys node profiles by ``id()`` — both are
+        process-local, so they are shed rather than serialized."""
+        state = dict(self.__dict__)
+        state["trace"] = None
+        state["plan_profile"] = None
+        stats = state.get("stats")
+        if stats is not None and getattr(stats, "profiler", None) is not None:
+            import copy
+
+            stats = copy.copy(stats)
+            stats.profiler = None
+            state["stats"] = stats
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+
     def serialized_rows(self, method="xml"):
         """Each row rendered as markup text."""
         out = []
@@ -267,6 +287,26 @@ class CompiledTransform:
     @property
     def is_rewritten(self):
         return self.strategy == STRATEGY_SQL
+
+    # -- serialization ----------------------------------------------------------
+    #
+    # The artifact half of this class (stylesheet, plan, ledger, error,
+    # options) is immutable once compiled and pickles cleanly; the
+    # ``feedback`` slot is a *runtime* handle — the latest PlanFeedback
+    # of an execution in this process — and is dropped on serialization
+    # so a plan persisted by one worker carries no other process's
+    # execution state (repro.serve.artifact stores these bytes).
+
+    def __getstate__(self):
+        return {
+            name: getattr(self, name)
+            for name in self.__slots__
+            if name != "feedback"
+        }
+
+    def __setstate__(self, state):
+        for name in self.__slots__:
+            setattr(self, name, state.get(name))
 
 
 def compile_transform(db, source, stylesheet, options=None, tracer=None,

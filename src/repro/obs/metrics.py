@@ -356,6 +356,45 @@ class MetricsRegistry:
             self._histograms.clear()
 
 
+def merge_snapshots(snapshots):
+    """Aggregate registry snapshots from several processes into one.
+
+    The cluster tier's workers each keep a private registry (instrument
+    objects cannot be shared across processes); ``ClusterService.stats``
+    merges their :meth:`MetricsRegistry.snapshot` dicts through this.
+    Counters and gauges sum per key.  Histogram summaries combine
+    ``count``/``sum`` additively and take the extreme ``min``/``max`` —
+    percentiles are *dropped*: p50/p95 of separate sample sets cannot be
+    merged exactly, and a wrong quantile is worse than none.
+    """
+    counters = {}
+    gauges = {}
+    histograms = {}
+    for snapshot in snapshots:
+        for key, value in (snapshot.get("counters") or {}).items():
+            counters[key] = counters.get(key, 0) + value
+        for key, value in (snapshot.get("gauges") or {}).items():
+            gauges[key] = gauges.get(key, 0.0) + value
+        for key, summary in (snapshot.get("histograms") or {}).items():
+            merged = histograms.get(key)
+            if merged is None:
+                merged = histograms[key] = {
+                    "count": 0, "sum": 0.0, "min": None, "max": None,
+                }
+            merged["count"] += summary.get("count") or 0
+            merged["sum"] += summary.get("sum") or 0.0
+            for field, pick in (("min", min), ("max", max)):
+                value = summary.get(field)
+                if value is None:
+                    continue
+                merged[field] = value if merged[field] is None \
+                    else pick(merged[field], value)
+    merged_snapshot = {"counters": counters, "histograms": histograms}
+    if gauges:
+        merged_snapshot["gauges"] = gauges
+    return merged_snapshot
+
+
 _GLOBAL_METRICS = MetricsRegistry()
 
 

@@ -182,6 +182,30 @@ class Database:
         that invalidates analyzed statistics.  Plan caches key on this."""
         return self.stats.version
 
+    def fingerprint(self):
+        """Stable hash of the catalog shape: every table schema, index
+        and view definition.  Anything that changes what the optimizer
+        could pick (a new index, a different view) changes this value.
+        The serve tier's persistent artifact store embeds it in entry
+        headers, so a plan compiled against one catalog is never loaded
+        into a process serving a different one."""
+        import hashlib
+
+        parts = []
+        for name in sorted(self._tables):
+            schema = self._tables[name].schema
+            parts.append("table:%s(%s)" % (name, ",".join(
+                "%s:%s" % (column.name, column.type)
+                for column in schema.columns
+            )))
+        for name in sorted(self._indexes):
+            index = self._indexes[name]
+            parts.append("index:%s(%s.%s)" % (name, index.table_name,
+                                              index.column_name))
+        for name in sorted(self._views):
+            parts.append("view:%s" % self._views[name].fingerprint())
+        return hashlib.sha256(";".join(parts).encode("utf-8")).hexdigest()
+
     # -- execution -------------------------------------------------------------
 
     def execute(self, query, env=None, optimize=True, stats=None, level=None):

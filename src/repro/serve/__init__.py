@@ -9,15 +9,32 @@ adds the pieces a long-lived server needs on top of
   :class:`~repro.core.transform.CompiledTransform` artifacts, keyed by
   stylesheet content hash + source structural fingerprint, with
   stampede suppression and explicit schema-change invalidation;
-* :class:`TransformService` — worker pool with bounded admission,
-  per-request deadlines, cancellation, and per-request tracing; cache
-  hits skip every compile stage and still carry the preserved
-  EXPLAIN REWRITE ledger;
-* :func:`run_load` — closed-loop multi-client generator producing
-  throughput / p50-p95-p99 latency / hit-ratio reports
-  (``benchmarks/run_serve.py`` wraps it over the xsltmark corpus).
+* :class:`ArtifactStore` — the persistent second tier: serialized plans
+  on disk with versioned, checksummed entry headers, shared by every
+  process pointing at the directory (warm restarts, cluster workers);
+* :class:`TransformService` — worker-*thread* pool with bounded
+  admission, per-request deadlines, cancellation, and per-request
+  tracing; cache hits skip every compile stage and still carry the
+  preserved EXPLAIN REWRITE ledger;
+* :class:`ClusterService` — worker-*process* pool behind the same
+  bounded admission queue (escaping the GIL for CPU-bound transforms),
+  with the two-tier plan cache, cross-process invalidation over the
+  store's epoch, and traces stitched across the process boundary;
+* :func:`run_load` / :func:`run_soak` — closed-loop multi-client
+  generators producing throughput / p50-p95-p99 latency / hit-ratio
+  reports (``benchmarks/run_serve.py`` and
+  ``benchmarks/run_cluster.py`` wrap them over the xsltmark corpus).
 """
 
+from repro.serve.artifact import (
+    ArtifactCorruptError,
+    ArtifactError,
+    ArtifactHeader,
+    ArtifactStore,
+    artifact_key,
+    decode_artifact,
+    encode_artifact,
+)
 from repro.serve.cache import (
     EVICT_INVALIDATED,
     EVICT_LRU,
@@ -25,7 +42,19 @@ from repro.serve.cache import (
     CacheStats,
     PlanCache,
 )
-from repro.serve.loadgen import LoadReport, WorkItem, run_load
+from repro.serve.cluster import (
+    ClusterResult,
+    ClusterService,
+    ClusterWorkerError,
+    WorkerRequestError,
+)
+from repro.serve.loadgen import (
+    LoadReport,
+    SoakReport,
+    WorkItem,
+    run_load,
+    run_soak,
+)
 from repro.serve.service import (
     RequestCancelledError,
     RequestTimeoutError,
@@ -36,10 +65,18 @@ from repro.serve.service import (
     ServiceOverloadedError,
     TransformService,
     source_fingerprint,
+    stylesheet_key,
 )
 
 __all__ = [
+    "ArtifactCorruptError",
+    "ArtifactError",
+    "ArtifactHeader",
+    "ArtifactStore",
     "CacheStats",
+    "ClusterResult",
+    "ClusterService",
+    "ClusterWorkerError",
     "EVICT_INVALIDATED",
     "EVICT_LRU",
     "EVICT_TTL",
@@ -52,8 +89,15 @@ __all__ = [
     "ServeResult",
     "ServiceClosedError",
     "ServiceOverloadedError",
+    "SoakReport",
     "TransformService",
     "WorkItem",
+    "WorkerRequestError",
+    "artifact_key",
+    "decode_artifact",
+    "encode_artifact",
     "run_load",
+    "run_soak",
     "source_fingerprint",
+    "stylesheet_key",
 ]

@@ -1,4 +1,4 @@
-"""Closed-loop load generator for :class:`~repro.serve.service.TransformService`.
+"""Closed-loop load generator for the serving tier.
 
 ``run_load`` drives N client threads against a service; each client
 issues its next request only after the previous one completes (a
@@ -6,6 +6,17 @@ issues its next request only after the previous one completes (a
 harness shape for latency work).  Per-request wall latency, strategy,
 and cache behaviour are collected into a :class:`LoadReport` with
 throughput and nearest-rank p50/p95/p99.
+
+``run_soak`` is the sustained variant: instead of a fixed request
+count, clients hammer the service for a wall-clock **duration** — the
+shape used to soak a :class:`~repro.serve.cluster.ClusterService`
+(N worker processes × M closed-loop clients, mixed hit/miss workload)
+and read a stable p99 off the steady state.
+
+Both run against anything with a blocking ``transform(source,
+stylesheet, options=...)`` returning a result with ``cache_hit`` and
+``strategy`` — the thread tier passes live source objects, the cluster
+tier passes source *names* (the :class:`WorkItem` carries whichever).
 
 The workload is a sequence of :class:`WorkItem` (source, stylesheet,
 kwargs); clients walk it round-robin starting at their own offset so a
@@ -176,6 +187,13 @@ def run_load(service, workload, clients=4, requests_per_client=25,
     for thread in threads:
         thread.join()
     report.elapsed_seconds = time.perf_counter() - start
+    _attach_service_state(report, service)
+    return report
+
+
+def _attach_service_state(report, service):
+    """Fold the service's own view (shared latency histogram, queue
+    state) into a finished report."""
     metrics = getattr(service, "metrics", None)
     if metrics is not None:
         for histogram in metrics.histograms("serve.request.latency"):
@@ -185,4 +203,98 @@ def run_load(service, workload, clients=4, requests_per_client=25,
         body = health()
         report.queue = dict(body.get("queue") or {})
         report.queue["rejected"] = body.get("rejected", 0)
+
+
+class SoakReport(LoadReport):
+    """A :class:`LoadReport` from a duration-bounded (soak) run."""
+
+    __slots__ = ("duration_seconds",)
+
+    def __init__(self, clients, duration_seconds):
+        super().__init__(clients)
+        self.duration_seconds = duration_seconds
+
+    def as_dict(self):
+        body = super().as_dict()
+        body["duration_seconds"] = self.duration_seconds
+        return body
+
+
+def run_soak(service, workload, clients=4, duration_seconds=5.0,
+             timeout=None):
+    """Sustained closed-loop soak: ``clients`` threads issue requests
+    round-robin over ``workload`` until ``duration_seconds`` of wall
+    clock have elapsed (in-flight requests finish; none are abandoned).
+
+    Returns a :class:`SoakReport` — same latency/hit/strategy summaries
+    as :func:`run_load`, plus the configured duration.  Use a workload
+    mixing repeated items (cache hits) with distinct stylesheets (cold
+    misses) to soak both paths of a multi-process cluster at once.
+    Request failures are counted by exception type, never raised.
+    """
+    workload = list(workload)
+    if not workload:
+        raise ValueError("workload is empty")
+    if duration_seconds <= 0:
+        raise ValueError("duration_seconds must be > 0")
+    report = SoakReport(clients, duration_seconds)
+    lock = threading.Lock()
+    stop_at = time.perf_counter() + duration_seconds
+
+    def client_loop(client_index):
+        local_latencies = []
+        local_hits = 0
+        local_strategies = {}
+        local_errors = {}
+        n = 0
+        while time.perf_counter() < stop_at:
+            item = workload[(client_index + n) % len(workload)]
+            n += 1
+            kwargs = dict(item.kwargs)
+            opts = TransformOptions.coerce(kwargs.pop("options", None))
+            if "rewrite" in kwargs:
+                opts = opts.replace(rewrite=bool(kwargs.pop("rewrite")))
+            if timeout is not None:
+                opts = opts.replace(deadline=timeout)
+            start = time.perf_counter()
+            try:
+                result = service.transform(
+                    item.source, item.stylesheet, options=opts, **kwargs
+                )
+            except Exception as exc:
+                name = type(exc).__name__
+                local_errors[name] = local_errors.get(name, 0) + 1
+                continue
+            local_latencies.append(time.perf_counter() - start)
+            if result.cache_hit:
+                local_hits += 1
+            local_strategies[result.strategy] = (
+                local_strategies.get(result.strategy, 0) + 1
+            )
+        with lock:
+            report.latencies_seconds.extend(local_latencies)
+            report.requests += len(local_latencies)
+            report.cache_hits += local_hits
+            for strategy, count in local_strategies.items():
+                report.strategies[strategy] = (
+                    report.strategies.get(strategy, 0) + count
+                )
+            for name, count in local_errors.items():
+                report.error_types[name] = (
+                    report.error_types.get(name, 0) + count
+                )
+                report.errors += count
+
+    threads = [
+        threading.Thread(target=client_loop, args=(index,),
+                         name="repro-soak-%d" % index)
+        for index in range(clients)
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    report.elapsed_seconds = time.perf_counter() - start
+    _attach_service_state(report, service)
     return report

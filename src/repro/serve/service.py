@@ -208,6 +208,19 @@ class ServeResult:
     def explain(self, rewrite=False):
         return self.transform.explain(rewrite=rewrite)
 
+    def __getstate__(self):
+        """Results cross process boundaries; the live span tree holds
+        tracer handles (thread-locals) and is process-local, so only the
+        trace *id* survives serialization — the flight recorder keeps
+        the span dicts."""
+        state = {name: getattr(self, name) for name in self.__slots__}
+        state["trace"] = None
+        return state
+
+    def __setstate__(self, state):
+        for name in self.__slots__:
+            setattr(self, name, state.get(name))
+
 
 class _Request:
     __slots__ = ("future", "source", "stylesheet", "options", "params",
@@ -244,15 +257,21 @@ def source_fingerprint(source):
     return "anon:%x" % id(source)
 
 
-def _stylesheet_key(stylesheet):
+def stylesheet_key(stylesheet):
     """Content hash for text; identity for pre-compiled objects (the
     cached artifact keeps the object alive, so its id cannot be
-    reused while the entry is live)."""
+    reused while the entry is live).  Only content-hash keys
+    (``ss-text:``) are stable across processes — the cluster tier and
+    the persistent artifact store require them."""
     if isinstance(stylesheet, Stylesheet):
         return "ss-obj:%x" % id(stylesheet)
     return "ss-text:%s" % hashlib.sha256(
         stylesheet.encode("utf-8")
     ).hexdigest()
+
+
+#: backwards-compatible alias (pre-cluster internal name)
+_stylesheet_key = stylesheet_key
 
 
 def _sink_spans(tracer):
@@ -280,7 +299,7 @@ def _request_detail(transform):
     )
 
 
-def _options_key(options):
+def options_key(options):
     """Cache-key component of a request's options — only the
     compile-relevant fields (see :meth:`TransformOptions.cache_key`)."""
     if options is None:
@@ -290,6 +309,10 @@ def _options_key(options):
     if isinstance(options, dict):
         return repr(sorted(options.items()))
     return repr(options)
+
+
+#: backwards-compatible alias (pre-cluster internal name)
+_options_key = options_key
 
 
 class TransformService:
@@ -323,16 +346,33 @@ class TransformService:
         :class:`~repro.obs.ops.OpsServer` on this port (0 = ephemeral;
         read it back from ``service.ops.port``) wired to this service's
         metrics, recorder and health; closed with the service.
+    :param artifact_store: a persistent second cache tier — an
+        :class:`~repro.serve.artifact.ArtifactStore` or a directory
+        path.  On a tier-1 miss the compiled plan is looked up on disk
+        (keyed by stylesheet content hash + source fingerprint + catalog
+        fingerprint + options + stats version) before compiling, and
+        every fresh compile is persisted — so a restarted service (or a
+        sibling process pointing at the same directory) serves repeats
+        warm, without recompiling.  Only content-keyed stylesheets
+        (markup text) participate; pre-compiled Stylesheet objects are
+        identity-keyed and stay tier-1-only.
     """
 
     def __init__(self, db, workers=4, queue_size=64, cache=None,
                  cache_capacity=128, cache_ttl_seconds=None,
                  default_timeout=None, metrics=None, trace_requests=True,
-                 feedback_policy=None, recorder=True, ops_port=None):
+                 feedback_policy=None, recorder=True, ops_port=None,
+                 artifact_store=None):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.db = db
         self.metrics = metrics or global_metrics()
+        if isinstance(artifact_store, str):
+            from repro.serve.artifact import ArtifactStore
+
+            artifact_store = ArtifactStore(artifact_store,
+                                           metrics=self.metrics)
+        self.artifact_store = artifact_store
         if recorder is True:
             recorder = FlightRecorder()
         elif recorder is False:
@@ -807,24 +847,54 @@ class TransformService:
 
         The compile (leader-only, stampede-suppressed) runs under *this*
         request's tracer, so compile spans appear exactly once — in the
-        leader's trace — and cache-hit traces contain none.
+        leader's trace — and cache-hit traces contain none.  With an
+        ``artifact_store``, a tier-1 miss consults the persistent tier
+        before compiling, and every fresh compile is persisted.
         """
         fingerprint = source_fingerprint(source)
+        ss_key = stylesheet_key(stylesheet)
+        stats_version = self.db.stats_version()
         key = (
-            _stylesheet_key(stylesheet),
+            ss_key,
             fingerprint,
             bool(opts.rewrite),
-            _options_key(opts),
+            options_key(opts),
             # ANALYZE (or DML invalidating analyzed stats) bumps this, so
             # plans chosen under stale statistics are never served again
-            "stats:%d" % self.db.stats_version(),
+            "stats:%d" % stats_version,
         )
         engine = Engine(self.db, tracer=tracer, metrics=self.metrics)
+        store = self.artifact_store
+        # identity-keyed (pre-compiled Stylesheet) entries are not
+        # stable across processes — keep them out of the disk tier
+        if store is not None and not ss_key.startswith("ss-text:"):
+            store = None
+        catalog = self.db.fingerprint() if store is not None else None
+        disk_key = None
+        if store is not None:
+            from repro.serve.artifact import artifact_key
+
+            disk_key = artifact_key(ss_key, fingerprint, catalog,
+                                    options_key(opts),
+                                    "stats:%d" % stats_version)
 
         def compile_fn():
+            if store is not None:
+                with tracer.span("serve.cache.disk_lookup") as span:
+                    compiled, _header = store.get(
+                        disk_key, fingerprint=fingerprint, catalog=catalog,
+                        stats_version=stats_version,
+                    )
+                    span.set_attr(hit=compiled is not None)
+                if compiled is not None:
+                    return compiled
             if opts.rewrite:
                 self.metrics.counter("transform.rewrite_attempts").inc()
-            return engine.compile(source, stylesheet, options=opts)
+            compiled = engine.compile(source, stylesheet, options=opts)
+            if store is not None:
+                store.put(disk_key, compiled, fingerprint=fingerprint,
+                          catalog=catalog, stats_version=stats_version)
+            return compiled
 
         return self.cache.get_or_compile(
             key, compile_fn, fingerprint=fingerprint,

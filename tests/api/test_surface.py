@@ -43,12 +43,18 @@ class TestEngineSurface:
         public = {name for name in dir(Engine) if not name.startswith("_")}
         assert public == {
             "compile", "transform", "transform_stream", "transform_many",
-            "execute", "explain", "db", "tracer", "metrics", "recorder",
+            "execute", "explain", "serve", "db", "tracer", "metrics",
+            "recorder", "workers",
         }
 
     def test_constructor_signature(self):
         params = list(inspect.signature(Engine.__init__).parameters)
-        assert params == ["self", "db", "tracer", "metrics", "recorder"]
+        assert params == ["self", "db", "tracer", "metrics", "recorder",
+                          "workers"]
+
+    def test_serve_signature(self):
+        params = list(inspect.signature(Engine.serve).parameters)
+        assert params == ["self", "sources", "kwargs"]
 
     def test_verb_signatures(self):
         expected = {

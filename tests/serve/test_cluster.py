@@ -1,0 +1,374 @@
+"""Tests for ClusterService: process workers, shared plan tier,
+cross-process invalidation, trace stitching."""
+
+import multiprocessing
+import pickle
+
+import pytest
+
+from repro.api import Engine
+from repro.core import STRATEGY_SQL
+from repro.obs import MetricsRegistry
+from repro.rdb import Database, INT
+from repro.rdb.storage import ObjectRelationalStorage
+from repro.schema import schema_from_dtd
+from repro.serve import (
+    ClusterService,
+    ServiceClosedError,
+    ServiceOverloadedError,
+    TransformService,
+    WorkItem,
+    WorkerRequestError,
+    run_soak,
+)
+from repro.serve.cluster import EVICT_STALE_STATS
+from repro.xmlmodel import parse_document
+
+from ..core.paper_example import (
+    DEPT_DTD,
+    DEPT_DOC_1,
+    DEPT_DOC_2,
+    EXAMPLE1_STYLESHEET,
+    EXPECTED_ROW1,
+    EXPECTED_ROW2,
+)
+
+XSL = 'xmlns:xsl="http://www.w3.org/1999/XSL/Transform"'
+
+
+def sheet(body):
+    return ('<xsl:stylesheet version="1.0" %s>%s</xsl:stylesheet>'
+            % (XSL, body))
+
+
+def make_storage():
+    db = Database()
+    storage = ObjectRelationalStorage(
+        db, schema_from_dtd(DEPT_DTD), "xd",
+        column_types={"sal": INT, "empno": INT},
+    )
+    storage.load(parse_document(DEPT_DOC_1))
+    storage.load(parse_document(DEPT_DOC_2))
+    return db, storage
+
+
+def make_cluster(db, storage, tmp_path, workers=2, **kwargs):
+    kwargs.setdefault("metrics", MetricsRegistry())
+    kwargs.setdefault("artifact_dir", str(tmp_path / "plans"))
+    return ClusterService(db=db, sources={"doc": storage}, workers=workers,
+                          **kwargs)
+
+
+class TestBasicServing:
+    def test_transform_matches_single_process(self, tmp_path):
+        db, storage = make_storage()
+        with make_cluster(db, storage, tmp_path) as cluster:
+            result = cluster.transform("doc", EXAMPLE1_STYLESHEET)
+            assert result.strategy == STRATEGY_SQL
+            assert result.rows == [EXPECTED_ROW1, EXPECTED_ROW2]
+            assert result.cache_tier == "miss"
+            assert not result.cache_hit
+            repeat = cluster.transform("doc", EXAMPLE1_STYLESHEET)
+            assert repeat.cache_hit
+            assert repeat.rows == result.rows
+
+    def test_workers_are_separate_processes(self, tmp_path):
+        import os
+
+        db, storage = make_storage()
+        with make_cluster(db, storage, tmp_path) as cluster:
+            pids = {reply["pid"] for reply in cluster.ping()}
+            assert len(pids) == 2
+            assert os.getpid() not in pids
+
+    def test_submit_returns_future(self, tmp_path):
+        db, storage = make_storage()
+        with make_cluster(db, storage, tmp_path) as cluster:
+            future = cluster.submit("doc", EXAMPLE1_STYLESHEET)
+            result = future.result(timeout=30)
+            assert result.rows == [EXPECTED_ROW1, EXPECTED_ROW2]
+            assert future.done()
+
+    def test_results_are_picklable(self, tmp_path):
+        db, storage = make_storage()
+        with make_cluster(db, storage, tmp_path) as cluster:
+            result = cluster.transform("doc", EXAMPLE1_STYLESHEET)
+        restored = pickle.loads(pickle.dumps(result))
+        assert restored.rows == result.rows
+
+    def test_source_and_stylesheet_must_cross_by_value(self, tmp_path):
+        db, storage = make_storage()
+        from repro.xslt.stylesheet import compile_stylesheet
+
+        with make_cluster(db, storage, tmp_path) as cluster:
+            with pytest.raises(TypeError):
+                cluster.submit(storage, EXAMPLE1_STYLESHEET)
+            with pytest.raises(TypeError):
+                cluster.submit("doc",
+                               compile_stylesheet(EXAMPLE1_STYLESHEET))
+
+    def test_unknown_source_fails_request_not_worker(self, tmp_path):
+        db, storage = make_storage()
+        with make_cluster(db, storage, tmp_path) as cluster:
+            with pytest.raises(WorkerRequestError):
+                cluster.transform("nope", EXAMPLE1_STYLESHEET)
+            # the worker survives the failed request
+            result = cluster.transform("doc", EXAMPLE1_STYLESHEET)
+            assert result.rows == [EXPECTED_ROW1, EXPECTED_ROW2]
+
+
+class TestTwoTierCache:
+    def test_plan_compiled_by_one_worker_hits_in_all(self, tmp_path):
+        db, storage = make_storage()
+        with make_cluster(db, storage, tmp_path) as cluster:
+            first = cluster.transform_on(0, "doc", EXAMPLE1_STYLESHEET)
+            assert first.cache_tier == "miss"
+            # worker 0 again: in-memory tier
+            assert cluster.transform_on(
+                0, "doc", EXAMPLE1_STYLESHEET).cache_tier == "l1"
+            # worker 1, never compiled it: shared disk tier
+            other = cluster.transform_on(1, "doc", EXAMPLE1_STYLESHEET)
+            assert other.cache_tier == "l2"
+            assert other.rows == first.rows
+            stats = cluster.stats()
+            assert stats["tier2"]["hits"] == 1
+            assert stats["tier2"]["puts"] == 1
+            assert stats["tier1"]["compiles"] == 2  # one real, one loaded
+
+    def test_warm_restart_serves_from_disk_without_recompiling(
+            self, tmp_path):
+        db, storage = make_storage()
+        with make_cluster(db, storage, tmp_path) as cluster:
+            cold = cluster.transform("doc", EXAMPLE1_STYLESHEET)
+
+        # full restart: new cluster processes, same artifact directory
+        with make_cluster(db, storage, tmp_path) as cluster:
+            warm = cluster.transform("doc", EXAMPLE1_STYLESHEET)
+            assert warm.cache_tier == "l2"
+            assert warm.rows == cold.rows
+            merged = cluster.stats()["metrics"]["counters"]
+            assert merged.get("serve.cache.disk.hits") == 1
+            # the acceptance signal: no worker attempted a rewrite
+            assert "transform.rewrite_attempts" not in merged
+
+    def test_distinct_stylesheets_distinct_entries(self, tmp_path):
+        db, storage = make_storage()
+        other = sheet(
+            '<xsl:template match="/"><xsl:for-each select="//employee">'
+            '<e><xsl:value-of select="name"/></e>'
+            "</xsl:for-each></xsl:template>"
+        )
+        with make_cluster(db, storage, tmp_path) as cluster:
+            a = cluster.transform("doc", EXAMPLE1_STYLESHEET)
+            b = cluster.transform("doc", other)
+            assert a.rows != b.rows
+            assert len(cluster.store) == 2
+
+    def test_invalidate_source_clears_both_tiers(self, tmp_path):
+        db, storage = make_storage()
+        with make_cluster(db, storage, tmp_path) as cluster:
+            for worker in (0, 1):
+                cluster.transform_on(worker, "doc", EXAMPLE1_STYLESHEET)
+            assert len(cluster.store) == 1
+            cluster.invalidate("doc")
+            assert len(cluster.store) == 0
+            refreshed = cluster.transform_on(0, "doc", EXAMPLE1_STYLESHEET)
+            assert refreshed.cache_tier == "miss"
+
+
+class TestCrossProcessInvalidation:
+    def test_analyze_on_one_worker_evicts_in_all(self, tmp_path):
+        db, storage = make_storage()
+        with make_cluster(db, storage, tmp_path) as cluster:
+            # warm both workers' tier-1 caches
+            for worker in (0, 1):
+                cluster.transform_on(worker, "doc", EXAMPLE1_STYLESHEET)
+            assert all(w["cache"]["size"] == 1
+                       for w in cluster.worker_stats())
+
+            # ANALYZE in worker 0 only: bumps its stats_version, which
+            # bumps the shared epoch
+            replies = cluster.analyze(worker=0)
+            assert replies[0]["stats_version"]["after"] > \
+                replies[0]["stats_version"]["before"]
+            assert replies[0]["epoch"] == 1
+            assert replies[0]["evicted"] == 1
+
+            # worker 1 notices the epoch on its next request and evicts
+            # its (never-ANALYZEd) entry before serving
+            cluster.transform_on(1, "doc", EXAMPLE1_STYLESHEET)
+            per_worker = {w["worker"]: w for w in cluster.worker_stats()}
+            assert per_worker[1]["epoch"] == 1
+            evictions = per_worker[1]["cache"]["evictions"]
+            assert evictions.get(EVICT_STALE_STATS) == 1
+
+    def test_broadcast_analyze_reaches_every_worker(self, tmp_path):
+        db, storage = make_storage()
+        with make_cluster(db, storage, tmp_path) as cluster:
+            replies = cluster.analyze()
+            assert len(replies) == 2
+            assert all(r["stats_version"]["after"] >= 1 for r in replies)
+
+
+class TestTraceStitching:
+    def test_one_connected_trace_across_the_process_boundary(
+            self, tmp_path):
+        db, storage = make_storage()
+        trace_id = "ab" * 16
+        upstream_span = "cd" * 8
+        traceparent = "00-%s-%s-01" % (trace_id, upstream_span)
+        with make_cluster(db, storage, tmp_path) as cluster:
+            result = cluster.transform("doc", EXAMPLE1_STYLESHEET,
+                                       traceparent=traceparent)
+            assert result.trace_id == trace_id
+            record = cluster.recorder.get(trace_id)
+        spans = {span["name"]: span for span in record.spans}
+        assert all(span["trace_id"] == trace_id
+                   for span in record.spans)
+        dispatcher = spans["cluster.request"]
+        worker_root = spans["cluster.worker"]
+        # upstream -> dispatcher -> worker: parent links all the way up
+        assert dispatcher["parent_id"] == upstream_span
+        assert worker_root["parent_id"] == dispatcher["span_id"]
+        assert "serve.execute" in spans
+
+    def test_minted_trace_still_connected(self, tmp_path):
+        db, storage = make_storage()
+        with make_cluster(db, storage, tmp_path) as cluster:
+            result = cluster.transform("doc", EXAMPLE1_STYLESHEET)
+            record = cluster.recorder.get(result.trace_id)
+        spans = {span["name"]: span for span in record.spans}
+        assert spans["cluster.worker"]["parent_id"] == \
+            spans["cluster.request"]["span_id"]
+
+
+class TestAdmissionAndLifecycle:
+    def test_queue_full_rejects(self, tmp_path):
+        db, storage = make_storage()
+        release = multiprocessing.Event()
+        blocker_running = multiprocessing.Event()
+
+        class Gate:
+            """A 'source' whose fingerprint stalls the worker process
+            (the events are fork-inherited and cross the boundary)."""
+
+            def fingerprint(self):
+                blocker_running.set()
+                release.wait(10.0)
+                return "gate"
+
+            def document_ids(self):
+                return []
+
+            def materialize(self, doc_id, stats=None):
+                raise AssertionError("not reached")
+
+        metrics = MetricsRegistry()
+        cluster = ClusterService(
+            db=db, sources={"doc": storage, "gate": Gate()},
+            workers=1, queue_size=1,
+            artifact_dir=str(tmp_path / "plans"), metrics=metrics,
+        )
+        try:
+            cluster.submit("gate", EXAMPLE1_STYLESHEET)
+            assert blocker_running.wait(10.0)
+            cluster.submit("doc", EXAMPLE1_STYLESHEET)  # fills the queue
+            with pytest.raises(ServiceOverloadedError):
+                cluster.submit("doc", EXAMPLE1_STYLESHEET)
+            assert metrics.counter(
+                "cluster.rejected", reason="queue-full"
+            ).value == 1
+        finally:
+            release.set()
+            cluster.close()
+
+    def test_closed_cluster_rejects(self, tmp_path):
+        db, storage = make_storage()
+        cluster = make_cluster(db, storage, tmp_path)
+        cluster.close()
+        cluster.close()  # idempotent
+        with pytest.raises(ServiceClosedError):
+            cluster.submit("doc", EXAMPLE1_STYLESHEET)
+        with pytest.raises(ServiceClosedError):
+            cluster.transform_on(0, "doc", EXAMPLE1_STYLESHEET)
+
+    def test_health_and_ready(self, tmp_path):
+        db, storage = make_storage()
+        with make_cluster(db, storage, tmp_path) as cluster:
+            body = cluster.health()
+            assert body["status"] == "ok"
+            assert body["workers"] == 2
+            ready, _ = cluster.ready()
+            assert ready
+
+    def test_worker_failure_surfaces_and_degrades(self, tmp_path):
+        db, storage = make_storage()
+        with make_cluster(db, storage, tmp_path) as cluster:
+            cluster._handles[0].process.terminate()
+            cluster._handles[0].process.join(timeout=10)
+            from repro.serve import ClusterWorkerError
+
+            with pytest.raises(ClusterWorkerError):
+                cluster.transform_on(0, "doc", EXAMPLE1_STYLESHEET)
+            assert cluster.health()["status"] == "degraded"
+            # the surviving worker still serves
+            result = cluster.transform_on(1, "doc", EXAMPLE1_STYLESHEET)
+            assert result.rows == [EXPECTED_ROW1, EXPECTED_ROW2]
+
+
+class TestAggregation:
+    def test_stats_merges_worker_metrics(self, tmp_path):
+        db, storage = make_storage()
+        with make_cluster(db, storage, tmp_path) as cluster:
+            for worker in (0, 1):
+                cluster.transform_on(worker, "doc", EXAMPLE1_STYLESHEET)
+            stats = cluster.stats()
+            assert stats["workers"] == 2
+            assert stats["workers_alive"] == 2
+            merged = stats["metrics"]["counters"]
+            # one real compile + one disk load, summed across workers
+            assert merged["serve.cache.disk.puts"] == 1
+            assert merged["serve.cache.disk.hits"] == 1
+            assert len(stats["per_worker"]) == 2
+
+    def test_soak_smoke(self, tmp_path):
+        db, storage = make_storage()
+        with make_cluster(db, storage, tmp_path) as cluster:
+            report = run_soak(
+                cluster, [WorkItem("doc", EXAMPLE1_STYLESHEET)],
+                clients=2, duration_seconds=0.5,
+            )
+        assert report.requests > 0
+        assert report.errors == 0
+        assert report.hit_ratio > 0.0
+        assert report.latency_ms(99) is not None
+        assert report.as_dict()["duration_seconds"] == 0.5
+
+
+class TestEngineIntegration:
+    def test_engine_workers_one_builds_thread_service(self):
+        db, storage = make_storage()
+        service = Engine(db).serve()
+        try:
+            assert isinstance(service, TransformService)
+        finally:
+            service.close()
+
+    def test_engine_workers_n_builds_cluster(self, tmp_path):
+        db, storage = make_storage()
+        cluster = Engine(db, workers=2).serve(
+            sources={"doc": storage},
+            artifact_dir=str(tmp_path / "plans"),
+            metrics=MetricsRegistry(),
+        )
+        try:
+            assert isinstance(cluster, ClusterService)
+            result = cluster.transform("doc", EXAMPLE1_STYLESHEET)
+            assert result.rows == [EXPECTED_ROW1, EXPECTED_ROW2]
+        finally:
+            cluster.close()
+
+    def test_engine_rejects_zero_workers(self):
+        db, _ = make_storage()
+        with pytest.raises(ValueError):
+            Engine(db, workers=0)

@@ -112,3 +112,58 @@ class TestRunLoad:
         with service:
             with pytest.raises(ValueError):
                 run_load(service, [], clients=1)
+
+
+class TestRunSoak:
+    def test_soak_runs_for_duration_and_reports(self):
+        from repro.serve import run_soak
+
+        db, storage, service = make_service()
+        with service:
+            report = run_soak(
+                service,
+                [WorkItem(storage, EXAMPLE1_STYLESHEET, name="ex1")],
+                clients=2, duration_seconds=0.4,
+            )
+        assert report.duration_seconds == 0.4
+        assert report.elapsed_seconds >= 0.4
+        assert report.requests > 0
+        assert report.errors == 0
+        # single-item workload: everything after the first is a hit
+        assert report.cache_hits >= report.requests - 1
+        body = report.as_dict()
+        assert body["duration_seconds"] == 0.4
+        assert body["latency_ms"]["p99"] is not None
+
+    def test_soak_mixed_hit_miss_workload(self):
+        from repro.serve import run_soak
+
+        db, storage, service = make_service()
+        miss_sheet = (
+            '<xsl:stylesheet version="1.0" %s><xsl:template match="/">'
+            '<out><xsl:value-of select="count(//employee)"/></out>'
+            "</xsl:template></xsl:stylesheet>" % XSL
+        )
+        with service:
+            report = run_soak(
+                service,
+                [WorkItem(storage, EXAMPLE1_STYLESHEET, name="hot"),
+                 WorkItem(storage, miss_sheet, name="cold")],
+                clients=2, duration_seconds=0.4,
+            )
+        assert report.requests > 0
+        assert set(report.strategies) <= {"sql-rewrite", "functional"}
+
+    def test_soak_rejects_bad_arguments(self):
+        from repro.serve import run_soak
+
+        db, storage, service = make_service()
+        with service:
+            with pytest.raises(ValueError):
+                run_soak(service, [], clients=1)
+            with pytest.raises(ValueError):
+                run_soak(
+                    service,
+                    [WorkItem(storage, EXAMPLE1_STYLESHEET)],
+                    duration_seconds=0,
+                )

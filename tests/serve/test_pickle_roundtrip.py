@@ -1,0 +1,107 @@
+"""Serialization round trips for compiled plans and serve results.
+
+The cluster tier and the disk artifact store both depend on
+:class:`~repro.core.transform.CompiledTransform` surviving pickling with
+its *runtime-only* state (feedback handles, traced VMs, profilers)
+stripped — and on the round-tripped plan producing **byte-identical
+output** across the whole xsltmark corpus, functional-fallback artifacts
+included.
+"""
+
+import pickle
+
+from repro.api import Engine
+from repro.core.transform import execute_compiled
+from repro.obs import MetricsRegistry
+from repro.serve import ServeResult, decode_artifact, encode_artifact
+from repro.xsltmark.cases import ALL_CASES
+from repro.xsltmark.runner import prepare_case
+
+CORPUS_SIZE = 10
+
+
+def roundtrip(compiled, key="k"):
+    data, _ = encode_artifact(compiled, key)
+    _, decoded = decode_artifact(data, expect_key=key)
+    return decoded
+
+
+class TestCorpusRoundTrip:
+    def test_all_cases_execute_byte_identical_after_roundtrip(self):
+        """Every corpus case — SQL-rewritten and functional-fallback
+        alike — must serialize, deserialize, and then produce exactly
+        the bytes the original in-memory plan produces."""
+        mismatches = []
+        for case in ALL_CASES:
+            prep = prepare_case(case, CORPUS_SIZE)
+            metrics = MetricsRegistry()
+            engine = Engine(prep.db, metrics=metrics)
+            compiled = engine.compile(prep.storage, prep.case.stylesheet)
+            decoded = roundtrip(compiled, key=case.name)
+            original = execute_compiled(prep.db, prep.storage, compiled,
+                                        metrics=metrics)
+            restored = execute_compiled(prep.db, prep.storage, decoded,
+                                        metrics=metrics)
+            if original.serialized_rows() != restored.serialized_rows():
+                mismatches.append(case.name)
+            elif original.strategy != restored.strategy:
+                mismatches.append(case.name + " (strategy)")
+        assert mismatches == []
+
+
+class TestStrippedRuntimeState:
+    def make_compiled(self):
+        prep = prepare_case(ALL_CASES[0], CORPUS_SIZE)
+        engine = Engine(prep.db, metrics=MetricsRegistry())
+        return prep, engine.compile(prep.storage, prep.case.stylesheet)
+
+    def test_feedback_handle_dropped(self):
+        prep, compiled = self.make_compiled()
+        execute_compiled(prep.db, prep.storage, compiled,
+                         metrics=MetricsRegistry())
+        restored = pickle.loads(pickle.dumps(compiled))
+        assert restored.feedback is None
+
+    def test_traced_vm_dropped_from_partial_evaluation(self):
+        prep, compiled = self.make_compiled()
+        outcome = compiled.outcome
+        if outcome is None or outcome.partial_evaluation is None:
+            return  # functional artifact: nothing to strip
+        restored = pickle.loads(pickle.dumps(compiled))
+        assert restored.outcome.partial_evaluation.vm is None
+
+    def test_ledger_survives_roundtrip(self):
+        _, compiled = self.make_compiled()
+        restored = pickle.loads(pickle.dumps(compiled))
+        if compiled.ledger is not None:
+            assert restored.ledger is not None
+
+
+class TestServeResultPickling:
+    def test_result_pickles_with_trace_dropped(self):
+        from repro.rdb import Database, INT
+        from repro.rdb.storage import ObjectRelationalStorage
+        from repro.schema import schema_from_dtd
+        from repro.serve import TransformService
+        from repro.xmlmodel import parse_document
+
+        from ..core.paper_example import (
+            DEPT_DTD, DEPT_DOC_1, EXAMPLE1_STYLESHEET,
+        )
+
+        db = Database()
+        storage = ObjectRelationalStorage(
+            db, schema_from_dtd(DEPT_DTD), "xd",
+            column_types={"sal": INT, "empno": INT},
+        )
+        storage.load(parse_document(DEPT_DOC_1))
+        with TransformService(db, metrics=MetricsRegistry()) as service:
+            result = service.transform(storage, EXAMPLE1_STYLESHEET)
+        assert result.trace is not None
+        restored = pickle.loads(pickle.dumps(result))
+        assert isinstance(restored, ServeResult)
+        assert restored.trace is None  # span tree is process-local
+        assert restored.trace_id == result.trace_id
+        assert restored.serialized_rows() == result.serialized_rows()
+        assert restored.strategy == result.strategy
+        assert restored.cache_hit == result.cache_hit
