@@ -63,7 +63,7 @@ def main():
         print(warm.report())
         print()
         print("cache-hit EXPLAIN REWRITE (ledger preserved from compile):")
-        print(warm.explain(rewrite=True))
+        print(warm.explain_report().render())
 
         # -- closed-loop load -----------------------------------------------
         report = run_load(

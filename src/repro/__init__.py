@@ -40,13 +40,22 @@ from repro.core import (  # noqa: E402
     transform_many,
     xml_transform,
 )
-from repro.api import Engine, TransformOptions  # noqa: E402
+from repro.api import (  # noqa: E402
+    Engine,
+    OptimizerLevel,
+    Strategy,
+    TransformOptions,
+)
+from repro.obs.explain import ExplainReport  # noqa: E402
 from repro.rdb import Database  # noqa: E402
 
 __all__ = [
     "Database",
     "Engine",
+    "ExplainReport",
+    "OptimizerLevel",
     "RewriteOptions",
+    "Strategy",
     "TransformOptions",
     "TransformResult",
     "XsltRewriter",

@@ -28,6 +28,7 @@ fallback accounting) is identical whichever door a caller uses::
 
 from __future__ import annotations
 
+import enum
 import os
 import sys
 import threading
@@ -37,8 +38,8 @@ from dataclasses import dataclass, replace as _dc_replace
 from repro.core.transform import (
     DEFAULT_CHUNK_CHARS,
     STRATEGY_FUNCTIONAL,
+    STRATEGY_SQL,
     CompiledTransform,
-    TransformResult,
     _compile_impl,
     _functional,
     execute_compiled,
@@ -51,9 +52,48 @@ from repro.xslt.stylesheet import Stylesheet, compile_stylesheet
 
 __all__ = [
     "Engine",
+    "OptimizerLevel",
+    "Strategy",
     "TransformOptions",
     "warn_legacy",
 ]
+
+
+class OptimizerLevel(str, enum.Enum):
+    """The plan-optimizer levels ``TransformOptions.optimizer_level``
+    accepts (strings work too; both validate at construction time)."""
+
+    OFF = "off"
+    RULES = "rules"
+    COST = "cost"
+
+
+class Strategy(str, enum.Enum):
+    """How the transform should run: ``AUTO`` follows the ``rewrite``
+    flag, ``SQL`` insists on the relational rewrite (falling back
+    functionally only on unsupported constructs, as the paper's engine
+    does), ``FUNCTIONAL`` skips the rewrite entirely."""
+
+    AUTO = "auto"
+    SQL = STRATEGY_SQL
+    FUNCTIONAL = STRATEGY_FUNCTIONAL
+
+
+def _validated_choice(field, value, allowed):
+    """None stays None; enum members collapse to their value; anything
+    else must be one of ``allowed`` or the constructor raises a
+    ``ValueError`` naming every valid value — a typo dies here, not
+    three layers down in the planner."""
+    if value is None:
+        return None
+    if isinstance(value, enum.Enum):
+        value = value.value
+    if value not in allowed:
+        raise ValueError(
+            "invalid %s %r: expected one of %s (or None)"
+            % (field, value, ", ".join(repr(item) for item in allowed))
+        )
+    return value
 
 
 # -- deprecation shim --------------------------------------------------------------
@@ -63,10 +103,11 @@ _warned_sites = set()
 _warned_lock = threading.Lock()
 
 
-def warn_legacy(entry_point, what):
+def warn_legacy(entry_point, what, instead=None):
     """Emit a :class:`DeprecationWarning` for a legacy kwarg — once per
     (entry point, caller file, caller line), so a hot loop over an old
-    call site warns a single time.
+    call site warns a single time.  ``instead`` overrides the suggested
+    replacement (default: the options object).
 
     The caller site is the first stack frame outside the ``repro``
     package, and the warning's ``stacklevel`` points at it, so ``python
@@ -86,8 +127,10 @@ def warn_legacy(entry_point, what):
             return
         _warned_sites.add(site)
     warnings.warn(
-        "%s: passing %s is deprecated; pass options=TransformOptions(...) "
-        "instead" % (entry_point, what),
+        "%s: passing %s is deprecated; %s instead" % (
+            entry_point, what,
+            instead or "pass options=TransformOptions(...)",
+        ),
         DeprecationWarning,
         stacklevel=depth + 1,
     )
@@ -140,6 +183,17 @@ class TransformOptions:
         ``result.feedback``, and an enabled
         :class:`~repro.obs.feedback.FeedbackPolicy` may auto-ANALYZE /
         re-cost.  Runtime-only: never part of the plan-cache key.
+    :param strategy: execution strategy — :class:`Strategy` or its
+        string value.  ``"auto"``/None follow ``rewrite``;
+        ``"sql-rewrite"`` and ``"functional"`` pin the strategy
+        explicitly (and override ``rewrite``).  Invalid values raise
+        ``ValueError`` at construction.
+    :param decorrelate: the correlated-subquery unnesting pass
+        (:mod:`repro.rdb.decorrelate`).  None (default) runs it
+        automatically at the ``cost`` optimizer level; False disables
+        it; True requires the ``cost`` level and raises
+        :class:`~repro.errors.PlanError` otherwise.  Compile-relevant:
+        part of the plan-cache key.
     """
 
     rewrite: bool = True
@@ -152,6 +206,30 @@ class TransformOptions:
     rewrite_options: RewriteOptions = None
     optimizer_level: str = None
     feedback: bool = True
+    strategy: str = None
+    decorrelate: bool = None
+
+    def __post_init__(self):
+        object.__setattr__(self, "optimizer_level", _validated_choice(
+            "optimizer_level", self.optimizer_level,
+            tuple(level.value for level in OptimizerLevel),
+        ))
+        object.__setattr__(self, "strategy", _validated_choice(
+            "strategy", self.strategy,
+            tuple(choice.value for choice in Strategy),
+        ))
+        if self.decorrelate not in (None, True, False):
+            raise ValueError(
+                "invalid decorrelate %r: expected True, False or None"
+                % (self.decorrelate,)
+            )
+
+    def effective_rewrite(self):
+        """Whether the relational rewrite should be attempted, after
+        ``strategy`` has had its say over the legacy ``rewrite`` flag."""
+        if self.strategy in (None, Strategy.AUTO.value):
+            return bool(self.rewrite)
+        return self.strategy == Strategy.SQL.value
 
     @classmethod
     def coerce(cls, value, entry_point=None):
@@ -202,8 +280,10 @@ class TransformOptions:
                 for name in RewriteOptions.__slots__
             )
         # normalized so None and the explicit default level share a key
-        return "rw=%d;opt=%s;%s" % (
-            bool(self.rewrite), normalize_level(self.optimizer_level), token
+        decorrelate = {None: "auto", True: "on", False: "off"}[self.decorrelate]
+        return "rw=%d;opt=%s;dcr=%s;%s" % (
+            self.effective_rewrite(), normalize_level(self.optimizer_level),
+            decorrelate, token,
         )
 
 
@@ -249,7 +329,7 @@ class Engine:
         :class:`~repro.core.transform.CompiledTransform` carrying the
         categorized error (negative caching)."""
         opts = TransformOptions.coerce(options, entry_point="Engine.compile")
-        if not opts.rewrite:
+        if not opts.effective_rewrite():
             if not isinstance(stylesheet, Stylesheet):
                 with self.tracer.span("compile.stylesheet"):
                     stylesheet = compile_stylesheet(stylesheet)
@@ -259,6 +339,7 @@ class Engine:
             options=opts.resolved_rewrite_options(),
             tracer=self.tracer, metrics=self.metrics,
             optimizer_level=opts.optimizer_level,
+            decorrelate=opts.decorrelate,
         )
 
     # -- execute ------------------------------------------------------------------
@@ -274,8 +355,9 @@ class Engine:
         opts = TransformOptions.coerce(options,
                                        entry_point="Engine.transform")
         tracer, metrics = self.tracer, self.metrics
-        with tracer.span("xml_transform", rewrite=bool(opts.rewrite)) as root:
-            if opts.rewrite and not params:
+        rewrite = opts.effective_rewrite()
+        with tracer.span("xml_transform", rewrite=rewrite) as root:
+            if rewrite and not params:
                 metrics.counter("transform.rewrite_attempts").inc()
                 compiled = self.compile(source, stylesheet, options=opts)
                 result = execute_compiled(
@@ -317,7 +399,7 @@ class Engine:
             q_error_triggered=(feedback is not None and feedback.triggered),
             stages=stage_seconds(spans), spans=spans,
             detail_fn=lambda: "%s\n\nEXPLAIN REWRITE:\n%s" % (
-                result.report(), result.explain(rewrite=True)),
+                result.report(), result.explain_report().render()),
         )
 
     def execute(self, source, compiled, options=None, params=None):
@@ -369,7 +451,7 @@ class Engine:
         opts = TransformOptions.coerce(
             options, entry_point="Engine.transform_stream"
         )
-        if opts.rewrite and not params:
+        if opts.effective_rewrite() and not params:
             self.metrics.counter("transform.rewrite_attempts").inc()
             compiled = self.compile(source, stylesheet, options=opts)
         else:
@@ -396,9 +478,15 @@ class Engine:
     # -- explain ------------------------------------------------------------------
 
     def explain(self, source, stylesheet, options=None, analyze=False):
-        """EXPLAIN (REWRITE) of the transform as a string, without
-        executing it; ``analyze=True`` executes and annotates every plan
-        node with actual rows/batches/timings (EXPLAIN ANALYZE)."""
+        """EXPLAIN (REWRITE) of the transform, without executing it, as
+        an :class:`~repro.obs.explain.ExplainReport` — strategy, rewrite
+        decisions, optimized plan with estimates, plus ``.to_json()``
+        for the structured form.  ``analyze=True`` executes and
+        annotates every plan node with actual rows/batches/timings
+        (EXPLAIN ANALYZE) and includes the Q-error feedback.  The
+        report renders as the historical text via ``str()``."""
+        from repro.obs.explain import ExplainReport
+
         opts = TransformOptions.coerce(options, entry_point="Engine.explain")
         compiled = self.compile(source, stylesheet, options=opts)
         if analyze:
@@ -407,10 +495,12 @@ class Engine:
                 metrics=self.metrics, profile_plan=True,
                 batch_size=opts.batch_size,
             )
-            return result.explain(rewrite=True)
-        shadow = TransformResult([], compiled.strategy, None)
-        shadow.executed_query = compiled.query
-        shadow.ledger = compiled.ledger
+            return result.explain_report()
+        fallback_reason = None
         if compiled.error is not None:
-            shadow.fallback_reason = "compile: %s" % compiled.error
-        return shadow.explain(rewrite=True)
+            fallback_reason = "compile: %s" % compiled.error
+        return ExplainReport(
+            query=compiled.query, ledger=compiled.ledger,
+            strategy=compiled.strategy, fallback_reason=fallback_reason,
+            include_decisions=True,
+        )

@@ -24,6 +24,19 @@ from repro.xpath import ast as xp
 from repro.xquery import ast as xq
 
 
+def _filtered(plan, conditions):
+    """``plan`` under one :class:`Filter` with the conjuncts folded into
+    an AND tree — the planner's conjunct-splitting convention — rather
+    than a stack of single-condition Filters."""
+    conditions = list(conditions)
+    if not conditions:
+        return plan
+    predicate = conditions[0]
+    for condition in conditions[1:]:
+        predicate = sqle.BinOp("AND", predicate, condition)
+    return Filter(plan, predicate)
+
+
 class SqlRewriter:
     """Rewrites one XQuery module against one XMLType view."""
 
@@ -186,9 +199,7 @@ class SqlRewriter:
                     (self._scalar(spec.expr, inner_env), spec.descending)
                     for spec in order_by.specs
                 ]
-            plan = target.plan
-            for condition in target.conditions:
-                plan = Filter(plan, condition)
+            plan = _filtered(target.plan, target.conditions)
             subquery = Query(
                 plan, [(None, sqlxml.XMLAgg(inner, order_by=order_specs))]
             )
@@ -216,9 +227,7 @@ class SqlRewriter:
                 inner = self._reconstruct(
                     _ElementTarget(target.source, target.decl, "1")
                 )
-            plan = target.plan
-            for condition in target.conditions:
-                plan = Filter(plan, condition)
+            plan = _filtered(target.plan, target.conditions)
             return sqle.ScalarSubquery(
                 Query(plan, [(None, sqlxml.XMLAgg(
                     inner, order_by=list(target.order_by)
@@ -308,9 +317,7 @@ class SqlRewriter:
         target = self._resolve(expr.args[0], env)
         agg_name = name.upper()
         if isinstance(target, _ManyTarget):
-            plan = target.plan
-            for condition in target.conditions:
-                plan = Filter(plan, condition)
+            plan = _filtered(target.plan, target.conditions)
             if agg_name == "COUNT":
                 aggregate = sqlxml.AggCall("COUNT")
             else:
@@ -484,9 +491,7 @@ class SqlRewriter:
                 base = sqle.BinOp("AND", base, guard)
             return base
         if isinstance(target, _ManyTarget):
-            plan = target.plan
-            for condition in target.conditions:
-                plan = Filter(plan, condition)
+            plan = _filtered(target.plan, target.conditions)
             count = sqle.ScalarSubquery(
                 Query(plan, [(None, sqlxml.AggCall("COUNT"))])
             )

@@ -175,53 +175,43 @@ class TransformResult:
             lines.extend("  " + line for line in self.feedback.render())
         return "\n".join(lines)
 
-    def explain(self, rewrite=False):
-        """EXPLAIN of this call.  ``rewrite=True`` is **EXPLAIN REWRITE**:
-        the rewrite-decision ledger is rendered as a tree and its
-        decisions are interleaved into the plan at the ``#n`` plan node
-        their XQuery fragment landed in."""
-        lines = ["strategy: %s" % self.strategy]
-        if self.fallback_reason:
-            lines.append("fallback: %s" % self.fallback_reason)
-        if rewrite:
-            lines.append("rewrite decisions:")
-            if self.ledger is None or not len(self.ledger):
-                lines.append("  (no rewrite decisions recorded)")
-            else:
-                lines.extend("  " + line for line in self.ledger.render())
-        if self.executed_query is None:
-            return "\n".join(lines)
-        lines.append("plan:")
-        by_node = {}
-        if rewrite and self.ledger is not None:
-            for decision in self.ledger:
-                node_id = decision.provenance.sql_node_id
-                if node_id is not None:
-                    by_node.setdefault(node_id, []).append(decision)
-        rendered = explain(self.executed_query, profile=self.plan_profile)
-        for line in rendered.splitlines():
-            lines.append("  " + line)
-            anchored = by_node.get(_plan_line_node_id(line))
-            if anchored:
-                pad = " " * (len(line) - len(line.lstrip()) + 4)
-                for decision in anchored:
-                    lines.append("  %s<- [%s] %s -> %s" % (
-                        pad, decision.kind, decision.subject,
-                        decision.action,
-                    ))
-        return "\n".join(lines)
+    def explain_report(self, include_decisions=True):
+        """This call's :class:`~repro.obs.explain.ExplainReport` — the
+        structured EXPLAIN surface: strategy, rewrite-decision ledger,
+        optimized plan with estimates (and EXPLAIN ANALYZE actuals when
+        the plan was profiled), execution stats and Q-error feedback,
+        with ``.render()`` for the text and ``.to_json()`` for the
+        structured form."""
+        from repro.obs.explain import ExplainReport
 
+        return ExplainReport(
+            query=self.executed_query, ledger=self.ledger,
+            profile=self.plan_profile, stats=self.stats,
+            feedback=self.feedback, strategy=self.strategy,
+            fallback_reason=self.fallback_reason,
+            include_decisions=include_decisions,
+        )
 
-def _plan_line_node_id(line):
-    """The ``#n`` plan node id an explain line starts with, or None."""
-    stripped = line.strip()
-    if not stripped.startswith("#"):
-        return None
-    token = stripped.split(None, 1)[0]
-    try:
-        return int(token[1:])
-    except ValueError:
-        return None
+    def explain(self, rewrite=_UNSET):
+        """EXPLAIN of this call, as text (a thin shim over
+        :meth:`explain_report`).  ``rewrite=True`` is **EXPLAIN
+        REWRITE**: the rewrite-decision ledger is rendered as a tree and
+        its decisions are interleaved into the plan at the ``#n`` plan
+        node their XQuery fragment landed in.  The ``rewrite=`` keyword
+        is legacy — call :meth:`explain_report` and pick sections via
+        ``include_decisions`` instead."""
+        include_decisions = False
+        if rewrite is not _UNSET:
+            from repro.api import warn_legacy
+
+            warn_legacy("TransformResult.explain", "rewrite=",
+                        instead="use explain_report(include_decisions=...)")
+            include_decisions = bool(rewrite)
+        report = self.explain_report(include_decisions=include_decisions)
+        # the historical string carried no execution/feedback sections
+        report.stats = None
+        report.feedback = None
+        return report.render()
 
 
 # Top-level row items render with the same unescaped text function the
@@ -329,7 +319,7 @@ def compile_transform(db, source, stylesheet, options=None, tracer=None,
 
 
 def _compile_impl(db, source, stylesheet, options=None, tracer=None,
-                  metrics=None, optimizer_level=None):
+                  metrics=None, optimizer_level=None, decorrelate=None):
     """The compile worker behind :meth:`repro.api.Engine.compile`.
 
     Compiles the stylesheet (when given as markup), runs the three
@@ -337,7 +327,8 @@ def _compile_impl(db, source, stylesheet, options=None, tracer=None,
     ``optimizer_level`` (None = the planner default) and resolves the
     decision ledger's provenance into the optimized plan.  ``options``
     is a resolved :class:`~repro.core.xquery_gen.RewriteOptions` (or
-    None).
+    None); ``decorrelate`` gates the correlated-subquery unnesting pass
+    (None = automatic at the cost level).
     """
     tracer = tracer or get_tracer()
     metrics = metrics or global_metrics()
@@ -354,7 +345,7 @@ def _compile_impl(db, source, stylesheet, options=None, tracer=None,
         outcome = rewriter.rewrite_view(stylesheet, view_query)
         with tracer.span("compile.optimize"):
             query = db.optimize(outcome.sql_query, level=optimizer_level,
-                                ledger=ledger)
+                                ledger=ledger, decorrelate=decorrelate)
             # re-resolve decision provenance against the *optimized* plan
             # (the one explain() renders and execution profiles)
             ledger.attach_plan(query)
@@ -843,8 +834,9 @@ def transform_many(db, sources, stylesheet, options=None, params=None,
             engine = engine_cache[id(target_db)] = Engine(
                 target_db, tracer=tracer, metrics=metrics
             )
-        with tracer.span("xml_transform", rewrite=bool(opts.rewrite)) as root:
-            if opts.rewrite and not params:
+        rewrite = opts.effective_rewrite()
+        with tracer.span("xml_transform", rewrite=rewrite) as root:
+            if rewrite and not params:
                 key = _source_key(source)
                 compiled = compiled_cache.get(key)
                 if compiled is None:

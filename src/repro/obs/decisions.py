@@ -41,6 +41,7 @@ BUILTIN_COMPACTION = "builtin-compaction"        # §3.6: string-join form
 ACCESS_PATH = "access-path"        # Scan vs IndexScan per filtered table
 JOIN_STRATEGY = "join-strategy"    # nested loop vs hash join
 TOPN_FUSION = "topn-fusion"        # Limit(Sort) fused into bounded-heap TopN
+DECORRELATE = "decorrelate"        # correlated subquery -> join + group-agg
 
 # adaptive feedback after execution (repro.obs.feedback)
 PLAN_QERROR = "plan-qerror"        # observed q-error distrusted the plan
@@ -61,6 +62,7 @@ KINDS = (
     ACCESS_PATH,
     JOIN_STRATEGY,
     TOPN_FUSION,
+    DECORRELATE,
     PLAN_QERROR,
     AUTO_ANALYZE,
     PLAN_RECOST,
@@ -312,6 +314,21 @@ class DecisionLedger:
         object.  Resolved into decision provenance by
         :meth:`attach_plan`."""
         self._sql_bindings[variable] = subquery
+
+    def rebind_sql_expression(self, expr, node):
+        """Re-point every variable bound to ``expr`` at ``node``.  The
+        decorrelation pass replaces a bound ScalarSubquery expression
+        with a plan node living inside the main tree; rebinding keeps
+        per-variable provenance and feedback attribution following the
+        surviving node.  Returns the rebound variable names."""
+        rebound = [
+            variable
+            for variable, binding in self._sql_bindings.items()
+            if binding is expr
+        ]
+        for variable in rebound:
+            self._sql_bindings[variable] = node
+        return rebound
 
     def _bound_plan(self, variable):
         binding = self._sql_bindings.get(variable)

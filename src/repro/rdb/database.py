@@ -216,16 +216,27 @@ class Database:
             query = optimize_query(query, self, level=level)
         return query.execute(self, env=env, stats=stats or ExecutionStats())
 
-    def optimize(self, query, level=None, ledger=None):
-        return optimize_query(query, self, level=level, ledger=ledger)
+    def optimize(self, query, level=None, ledger=None, decorrelate=None):
+        return optimize_query(query, self, level=level, ledger=ledger,
+                              decorrelate=decorrelate)
 
     def explain(self, query, analyze=False, env=None, level=None):
         """EXPLAIN (or EXPLAIN ANALYZE) a :class:`Query` or a SQL SELECT
-        string: the optimised operator tree with ``#n`` node ids and
-        per-node cost estimates; with ``analyze=True`` the query runs
-        and actual row counts/timings appear next to the estimates."""
+        string, as text: the optimised operator tree with ``#n`` node
+        ids and per-node cost estimates; with ``analyze=True`` the query
+        runs and actual row counts/timings appear next to the estimates.
+        A thin shim over :meth:`explain_report`, which returns the
+        :class:`~repro.obs.explain.ExplainReport` itself."""
+        return self.explain_report(query, analyze=analyze, env=env,
+                                   level=level).render()
+
+    def explain_report(self, query, analyze=False, env=None, level=None):
+        """The structured EXPLAIN surface for one query: an
+        :class:`~repro.obs.explain.ExplainReport` over the optimised
+        plan (executed here when ``analyze=True``), with ``.render()``
+        for the text and ``.to_json()`` for the structured form."""
+        from repro.obs.explain import ExplainReport
         from repro.rdb.plan import assign_plan_node_ids
-        from repro.rdb.plan import explain as render_plan
 
         if isinstance(query, str):
             from repro.rdb.sql_parser import parse_select
@@ -233,7 +244,7 @@ class Database:
             query = parse_select(query)
         query = self.optimize(query, level=level)
         assign_plan_node_ids(query)
-        return render_plan(query, analyze=analyze, db=self, env=env)
+        return ExplainReport.for_query(self, query, analyze=analyze, env=env)
 
     def sql(self, statement, env=None):
         """Parse and execute one SQL statement (see

@@ -453,6 +453,93 @@ class HashJoin(PlanNode):
             yield batch
 
 
+class HashLeftJoin(PlanNode):
+    """Left-preserving multi-key equi hash join against a grouped
+    aggregate build side — the decorrelation operator.
+
+    ``right`` must be an :class:`Aggregate` whose group keys are the
+    build keys.  Every left row yields exactly one output row: when a
+    group matches, its bindings; when none does, the aggregate's
+    empty-group defaults (:meth:`Aggregate.empty_row` — COUNT()=0,
+    XMLAgg=[], SUM/MIN/MAX=NULL), exactly what the correlated
+    ``ScalarSubquery`` returned for a parent row with no children.
+    Group keys are unique, so cardinality and left order are preserved
+    — the invariant that keeps decorrelated output byte-identical.
+    """
+
+    def __init__(self, left, right, left_keys, right_keys):
+        self.left = left
+        self.right = right
+        self.left_keys = list(left_keys)
+        self.right_keys = list(right_keys)
+
+    def children(self):
+        return (self.left, self.right)
+
+    def _build(self, db, env, stats):
+        table = {}
+        for row_env in self.right.iter_rows(db, env, stats):
+            stats.hash_build_rows += 1
+            key = tuple(
+                _hash_key(expr.evaluate(row_env, db, stats))
+                for expr in self.right_keys
+            )
+            if None in key:
+                continue  # a NULL key component never equi-joins
+            additions = {
+                alias: bindings
+                for alias, bindings in row_env.items()
+                if env.get(alias) is not bindings
+            }
+            table.setdefault(key, []).append(additions)
+        return table
+
+    def _miss_additions(self, db, env, stats):
+        """Alias bindings standing in for a left row with no matching
+        group; computed once per execution and shared (consumers treat
+        row environments as read-only)."""
+        return {self.right.alias: self.right.empty_row(db, env, stats)}
+
+    def _joined(self, db, env, stats, table, miss_cell, left_env):
+        stats.hash_probes += 1
+        key = tuple(
+            _hash_key(expr.evaluate(left_env, db, stats))
+            for expr in self.left_keys
+        )
+        matches = table.get(key) if None not in key else None
+        if not matches:
+            if miss_cell[0] is None:
+                miss_cell[0] = self._miss_additions(db, env, stats)
+            matches = (miss_cell[0],)
+        for additions in matches:
+            joined = dict(left_env)
+            joined.update(additions)
+            yield joined
+
+    def rows(self, db, env, stats):
+        table = self._build(db, env, stats)
+        miss_cell = [None]
+        for left_env in self.left.iter_rows(db, env, stats):
+            for joined in self._joined(db, env, stats, table, miss_cell,
+                                       left_env):
+                yield joined
+
+    def batches(self, db, env, stats, batch_size=DEFAULT_BATCH_SIZE):
+        table = self._build(db, env, stats)
+        miss_cell = [None]
+        batch = []
+        for left_batch in self.left.iter_batches(db, env, stats, batch_size):
+            for left_env in left_batch:
+                for joined in self._joined(db, env, stats, table, miss_cell,
+                                           left_env):
+                    batch.append(joined)
+                    if len(batch) >= batch_size:
+                        yield batch
+                        batch = []
+        if batch:
+            yield batch
+
+
 def _hash_key(value):
     """Canonical equi-join hash key, matching ``BinOp('=')`` semantics:
     NULL joins nothing (None sentinel), and mixed-type operands compare
@@ -562,6 +649,24 @@ class Aggregate(PlanNode):
             result_env = dict(env)
             result_env[self.alias] = out_row
             yield result_env
+
+    def empty_row(self, db, env, stats):
+        """The output row of a group no child row fell into: group keys
+        NULL, aggregates finalized over fresh state (COUNT()=0,
+        XMLAgg=[], SUM/MIN/MAX=NULL) — exactly what a correlated
+        aggregating subquery returns when no row matches the parent.
+        :class:`HashLeftJoin` binds this on probe misses."""
+        aggregates = []
+        for _, expr in self.outputs:
+            aggregates.extend(find_aggregates(expr))
+        final_env = dict(env)
+        final_env[AGG_STATE] = {
+            id(agg): agg.new_state() for agg in aggregates
+        }
+        out_row = {name: None for name, _ in self.group_by}
+        for name, expr in self.outputs:
+            out_row[name] = expr.evaluate(final_env, db, stats)
+        return out_row
 
 
 class TopN(PlanNode):
@@ -754,6 +859,19 @@ class Query:
                 expr.evaluate(row_env, db, stats) for _, expr in self.outputs
             )
 
+    # -- explain --------------------------------------------------------------
+
+    def explain(self, db=None, analyze=False, env=None):
+        """This query's :class:`~repro.obs.explain.ExplainReport` (a
+        thin shim over it) — render with ``str()``, export with
+        ``.to_json()``.  ``analyze=True`` executes against ``db``."""
+        from repro.obs.explain import ExplainReport
+
+        if analyze and db is None:
+            raise PlanError("Query.explain(analyze=True) requires db=")
+        assign_plan_node_ids(self)
+        return ExplainReport.for_query(db, self, analyze=analyze, env=env)
+
     # -- streaming ------------------------------------------------------------
 
     def stream_pieces(self, db, env=None, stats=None,
@@ -918,6 +1036,14 @@ def _collect(plan, sources, predicates):
         )
         if plan.condition is not None:
             predicates.append(plan.condition.to_sql())
+    elif isinstance(plan, HashLeftJoin):
+        _collect(plan.left, sources, predicates)
+        _collect(plan.right, sources, predicates)
+        predicates.extend(
+            "%s = %s (+) /*+ USE_HASH */"
+            % (lk.to_sql(), rk.to_sql())
+            for lk, rk in zip(plan.left_keys, plan.right_keys)
+        )
     elif isinstance(plan, TopN):
         _collect(plan.child, sources, predicates)
         predicates.append("ROWNUM <= %d" % plan.count)
@@ -925,7 +1051,25 @@ def _collect(plan, sources, predicates):
         _collect(plan.child, sources, predicates)
         predicates.append("ROWNUM <= %d" % plan.count)
     elif isinstance(plan, Aggregate):
-        sources.append("(/* aggregate */) %s" % plan.alias)
+        inner_sources = []
+        inner_predicates = []
+        _collect(plan.child, inner_sources, inner_predicates)
+        body = "SELECT %s FROM %s" % (
+            ", ".join(
+                ["%s AS %s" % (expr.to_sql(), name)
+                 for name, expr in plan.group_by]
+                + ["%s AS %s" % (expr.to_sql(), name)
+                   for name, expr in plan.outputs]
+            ),
+            ", ".join(inner_sources) or "DUAL",
+        )
+        if inner_predicates:
+            body += " WHERE %s" % " AND ".join(inner_predicates)
+        if plan.group_by:
+            body += " GROUP BY %s" % ", ".join(
+                expr.to_sql() for _, expr in plan.group_by
+            )
+        sources.append("(%s) %s" % (body, plan.alias))
     else:  # pragma: no cover - defensive
         sources.append("(/* %s */)" % type(plan).__name__)
 
@@ -1027,8 +1171,15 @@ def explain(plan_or_query, indent=0, profile=None, analyze=False, db=None,
         detail = " build=right key=%s = %s" % (
             plan.left_key.to_sql(), plan.right_key.to_sql(),
         )
+    elif isinstance(plan, HashLeftJoin):
+        detail = " build=right(outer) keys=%s" % ", ".join(
+            "%s = %s" % (lk.to_sql(), rk.to_sql())
+            for lk, rk in zip(plan.left_keys, plan.right_keys)
+        )
     elif isinstance(plan, Aggregate):
-        detail = " group_by=[%s]" % ", ".join(name for name, _ in plan.group_by)
+        detail = " alias=%s group_by=[%s]" % (
+            plan.alias, ", ".join(name for name, _ in plan.group_by),
+        )
     lines = [pad + label + detail + _estimate_note(plan)
              + _profile_note(plan, profile)]
     for child in plan.children():

@@ -41,6 +41,7 @@ from repro.rdb.plan import (
     Aggregate,
     Filter,
     HashJoin,
+    HashLeftJoin,
     IndexScan,
     Limit,
     NestedLoopJoin,
@@ -117,14 +118,32 @@ def optimize(plan, db):
     return plan
 
 
-def optimize_query(query, db, level=None, ledger=None):
+def optimize_query(query, db, level=None, ledger=None, decorrelate=None):
     """Optimise a query's plan and, recursively, every scalar subquery
     reachable from its output expressions, at the requested optimizer
-    level."""
+    level.
+
+    ``decorrelate`` gates the subquery-unnesting pass
+    (:mod:`repro.rdb.decorrelate`), which turns correlated aggregating
+    ``ScalarSubquery`` probes into ``HashLeftJoin`` over a grouped
+    ``Aggregate``.  The pass is tied to the cost level (only the cost
+    pass understands the new operators): ``None`` runs it exactly at
+    ``level="cost"``, ``False`` disables it there, and ``True`` at any
+    other level raises :class:`~repro.errors.PlanError`.
+    """
     level = normalize_level(level)
+    if decorrelate and level != LEVEL_COST:
+        raise PlanError(
+            "decorrelate=True requires optimizer level %r (got %r)"
+            % (LEVEL_COST, level)
+        )
     if level == LEVEL_OFF:
         return query
     if level == LEVEL_COST:
+        if decorrelate is None or decorrelate:
+            from repro.rdb.decorrelate import decorrelate_query
+
+            query = decorrelate_query(query, db, ledger=ledger)
         return _CostOptimizer(db, ledger).optimize_query(query)
     return _rules_optimize_query(query, db)
 
@@ -170,7 +189,11 @@ def _node_expressions(node):
         exprs.append(node.condition)
     elif isinstance(node, (Sort, TopN)):
         exprs.extend(expr for expr, _ in node.keys)
+    elif isinstance(node, HashLeftJoin):
+        exprs.extend(node.left_keys)
+        exprs.extend(node.right_keys)
     elif isinstance(node, Aggregate):
+        exprs.extend(expr for _, expr in node.group_by)
         exprs.extend(expr for _, expr in node.outputs)
     return exprs
 
@@ -259,11 +282,12 @@ def _stamp(node, rows, cost):
 
 
 def _aliases_of(plan):
-    """Aliases bound by the scans inside one plan subtree."""
+    """Aliases bound somewhere inside one plan subtree (scan aliases plus
+    the output alias of any grouped Aggregate)."""
     return {
         node.alias
         for node in plan.iter_plan()
-        if isinstance(node, (Scan, IndexScan))
+        if isinstance(node, (Scan, IndexScan, Aggregate))
     }
 
 
@@ -355,13 +379,18 @@ class _CostOptimizer:
                 rows, cost + rows * max(1.0, math.log2(rows + 1)) * SORT_ROW,
             )
         if isinstance(plan, Aggregate):
-            child = self.optimize_plan(plan.child)
-            new_plan = Aggregate(child, plan.group_by, plan.outputs,
-                                 plan.alias)
-            rows, cost = self.estimate(child)
-            group_rows = 1.0 if not plan.group_by else max(1.0, rows * 0.1)
-            return _stamp(new_plan, group_rows,
-                          cost + rows * FILTER_EVAL)
+            # optimized in place: the decorrelation pass binds this node
+            # into the decision ledger by identity, so feedback
+            # attribution must survive the cost pass
+            plan.child = self.optimize_plan(plan.child)
+            rows, cost = self.estimate(plan.child)
+            group_rows = self._group_rows(plan, rows)
+            return _stamp(plan, group_rows, cost + rows * FILTER_EVAL)
+        if isinstance(plan, HashLeftJoin):
+            # in place, for the same ledger-identity reason as Aggregate
+            plan.left = self.optimize_plan(plan.left)
+            plan.right = self.optimize_plan(plan.right)
+            return _stamp(plan, *self._derive_hash_left(plan))
         if isinstance(plan, Scan):
             rows, cost = self.estimate(plan)
             return _stamp(Scan(plan.table_name, plan.alias), rows, cost)
@@ -385,6 +414,31 @@ class _CostOptimizer:
             return self.access_path(conjuncts, plan)
         if isinstance(plan, NestedLoopJoin):
             return self.plan_join(plan, conjuncts)
+        if isinstance(plan, HashLeftJoin):
+            # conjuncts over left columns commute with the left-outer
+            # join (every left row survives it); the rest stays above
+            left_aliases = _aliases_of(plan.left)
+            pushed, kept = [], []
+            for conjunct in conjuncts:
+                refs, opaque = _referenced_aliases(conjunct)
+                if not opaque and refs and refs <= left_aliases:
+                    pushed.append(conjunct)
+                else:
+                    kept.append(conjunct)
+            plan.left = self.push_into(plan.left, pushed)
+            plan.right = self.optimize_plan(plan.right)
+            joined = _stamp(plan, *self._derive_hash_left(plan))
+            if not kept:
+                return joined
+            rows, cost = joined.estimated_rows, joined.estimated_cost
+            selectivity = 1.0
+            for conjunct in kept:
+                selectivity *= self.conjunct_selectivity(conjunct, None)
+            return _stamp(
+                Filter(joined, _and_tree(kept)),
+                rows * selectivity,
+                cost + rows * len(kept) * FILTER_EVAL,
+            )
         child = self.optimize_plan(plan)
         rows, cost = self.estimate(child)
         selectivity = 1.0
@@ -747,6 +801,8 @@ class _CostOptimizer:
                 left_cost + right_cost + right_rows * HASH_BUILD_ROW
                 + left_rows * HASH_PROBE,
             )
+        if isinstance(plan, HashLeftJoin):
+            return self._derive_hash_left(plan)
         if isinstance(plan, Sort):
             rows, cost = self.estimate(plan.child)
             return rows, cost + rows * max(1.0, math.log2(rows + 1)) * SORT_ROW
@@ -761,9 +817,35 @@ class _CostOptimizer:
             return min(float(plan.count), rows), cost
         if isinstance(plan, Aggregate):
             rows, cost = self.estimate(plan.child)
-            group_rows = 1.0 if not plan.group_by else max(1.0, rows * 0.1)
-            return group_rows, cost + rows * FILTER_EVAL
+            return self._group_rows(plan, rows), cost + rows * FILTER_EVAL
         return 1.0, 1.0  # unknown operator: neutral
+
+    def _derive_hash_left(self, plan):
+        left_rows, left_cost = self.estimate(plan.left)
+        right_rows, right_cost = self.estimate(plan.right)
+        # left-preserving over unique (grouped) build keys: exactly one
+        # output row per left row, matched or defaulted
+        return left_rows, (
+            left_cost + right_cost
+            + right_rows * HASH_BUILD_ROW
+            + left_rows * HASH_PROBE
+        )
+
+    def _group_rows(self, plan, input_rows):
+        """Group-count estimate for an Aggregate over ``input_rows``:
+        the ndv of the widest group-key column when ANALYZE stats know
+        it, else the textbook tenth of the input."""
+        if not plan.group_by:
+            return 1.0
+        distincts = []
+        for _, expr in plan.group_by:
+            if isinstance(expr, ColumnRef) and expr.table is not None:
+                stats = self._column_stats_by_alias(expr.table, expr.column)
+                if stats is not None and stats.distinct:
+                    distincts.append(float(stats.distinct))
+        if distincts:
+            return max(1.0, min(input_rows, max(distincts)))
+        return max(1.0, input_rows * 0.1)
 
     def conjunct_selectivity(self, conjunct, scan):
         """Selectivity of one conjunct, column-aware when ``scan`` names

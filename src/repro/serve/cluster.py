@@ -226,7 +226,7 @@ class _WorkerRuntime:
         fingerprint = source_fingerprint(source)
         ss_key = stylesheet_key(stylesheet)
         stats_version = self.db.stats_version()
-        key = (ss_key, fingerprint, bool(opts.rewrite), options_key(opts),
+        key = (ss_key, fingerprint, opts.effective_rewrite(), options_key(opts),
                "stats:%d" % stats_version, "epoch:%d" % self.seen_epoch)
         disk_key = None
         if ss_key.startswith("ss-text:"):
@@ -247,7 +247,7 @@ class _WorkerRuntime:
                     tier["loaded"] = "l2"
                     return _CachedPlan(compiled, stats_version,
                                        self.seen_epoch)
-            if opts.rewrite:
+            if opts.effective_rewrite():
                 self.metrics.counter("transform.rewrite_attempts").inc()
             compiled = Engine(self.db, tracer=tracer,
                               metrics=self.metrics).compile(

@@ -206,7 +206,19 @@ class ServeResult:
         return self.transform.report()
 
     def explain(self, rewrite=False):
-        return self.transform.explain(rewrite=rewrite)
+        # legacy text shim: the historical string carried no
+        # execution/feedback sections (see TransformResult.explain)
+        report = self.transform.explain_report(
+            include_decisions=bool(rewrite)
+        )
+        report.stats = None
+        report.feedback = None
+        return report.render()
+
+    def explain_report(self, include_decisions=True):
+        return self.transform.explain_report(
+            include_decisions=include_decisions
+        )
 
     def __getstate__(self):
         """Results cross process boundaries; the live span tree holds
@@ -295,7 +307,7 @@ def _request_detail(transform):
     (stats, span tree, EXPLAIN ANALYZE, Q-error) plus EXPLAIN REWRITE
     (the decision ledger anchored into the plan)."""
     return "%s\n\nEXPLAIN REWRITE:\n%s" % (
-        transform.report(), transform.explain(rewrite=True)
+        transform.report(), transform.explain_report().render()
     )
 
 
@@ -811,7 +823,7 @@ class TransformService:
         opts = request.options
         with tracer.span(
             "serve.request",
-            rewrite=bool(opts.rewrite),
+            rewrite=opts.effective_rewrite(),
             queue_wait_ms=round(queue_wait * 1000.0, 3),
         ) as root:
             compiled, hit = self._compiled_for(
@@ -857,7 +869,7 @@ class TransformService:
         key = (
             ss_key,
             fingerprint,
-            bool(opts.rewrite),
+            opts.effective_rewrite(),
             options_key(opts),
             # ANALYZE (or DML invalidating analyzed stats) bumps this, so
             # plans chosen under stale statistics are never served again
@@ -888,7 +900,7 @@ class TransformService:
                     span.set_attr(hit=compiled is not None)
                 if compiled is not None:
                     return compiled
-            if opts.rewrite:
+            if opts.effective_rewrite():
                 self.metrics.counter("transform.rewrite_attempts").inc()
             compiled = engine.compile(source, stylesheet, options=opts)
             if store is not None:

@@ -7,8 +7,10 @@ side effect.
 
 import inspect
 
+import pytest
+
 import repro
-from repro.api import Engine, TransformOptions
+from repro.api import Engine, OptimizerLevel, Strategy, TransformOptions
 
 
 class TestPackageSurface:
@@ -16,7 +18,10 @@ class TestPackageSurface:
         assert repro.__all__ == [
             "Database",
             "Engine",
+            "ExplainReport",
+            "OptimizerLevel",
             "RewriteOptions",
+            "Strategy",
             "TransformOptions",
             "TransformResult",
             "XsltRewriter",
@@ -93,13 +98,51 @@ class TestOptionsSurface:
         assert opts.rewrite_options is None
         assert opts.optimizer_level is None
         assert opts.feedback is True
+        assert opts.strategy is None
+        assert opts.decorrelate is None
 
     def test_field_order_is_stable(self):
         # positional construction is allowed; the order is part of the API
         names = [f for f in TransformOptions.__dataclass_fields__]
         assert names == ["rewrite", "inline", "explain", "deadline",
                          "batch_size", "chunk_chars", "profile_plan",
-                         "rewrite_options", "optimizer_level", "feedback"]
+                         "rewrite_options", "optimizer_level", "feedback",
+                         "strategy", "decorrelate"]
+
+    def test_choice_fields_validate_at_construction(self):
+        with pytest.raises(ValueError, match="invalid optimizer_level"):
+            TransformOptions(optimizer_level="costly")
+        with pytest.raises(ValueError, match="'auto', 'sql-rewrite', 'functional'"):
+            TransformOptions(strategy="sql")
+        with pytest.raises(ValueError, match="invalid decorrelate"):
+            TransformOptions(decorrelate="yes")
+
+    def test_choice_fields_accept_enums_as_plain_strings(self):
+        opts = TransformOptions(optimizer_level=OptimizerLevel.COST,
+                                strategy=Strategy.AUTO)
+        # enum members collapse to their plain string value, so cache
+        # keys and reprs never carry "OptimizerLevel.COST"
+        assert opts.optimizer_level == "cost"
+        assert type(opts.optimizer_level) is str
+        assert opts.strategy == "auto"
+        assert type(opts.strategy) is str
+
+    def test_strategy_overrides_rewrite_flag(self):
+        assert TransformOptions(strategy="functional").effective_rewrite() \
+            is False
+        assert TransformOptions(rewrite=False,
+                                strategy="sql-rewrite").effective_rewrite() \
+            is True
+        assert TransformOptions(rewrite=False).effective_rewrite() is False
+        assert TransformOptions().effective_rewrite() is True
+
+    def test_cache_key_carries_compile_relevant_fields(self):
+        key = TransformOptions(optimizer_level="cost",
+                               decorrelate=False).cache_key()
+        assert key.startswith("rw=1;opt=cost;dcr=off;")
+        assert TransformOptions().cache_key().startswith(
+            "rw=1;opt=cost;dcr=auto;"
+        )
 
 
 class TestLegacyEntryPointsAcceptOptions:

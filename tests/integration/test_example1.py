@@ -69,4 +69,5 @@ class TestExample1EndToEnd:
         )
         assert rewritten.serialized_rows() == [EXPECTED_ROW1, EXPECTED_ROW2]
         assert functional.serialized_rows() == [EXPECTED_ROW1, EXPECTED_ROW2]
-        assert rewritten.stats.index_probes == 2
+        # the decorrelated hash build probes the sal index once in total
+        assert rewritten.stats.index_probes == 1

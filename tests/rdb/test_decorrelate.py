@@ -1,0 +1,267 @@
+"""Unit tests for the subquery-unnesting pass (repro.rdb.decorrelate).
+
+The engine-level behaviour (counters, index interplay, byte identity
+over the whole corpus) lives in tests/rdb/test_engine.py and
+tests/property/test_optimizer_equivalence.py; this file pins the pass
+itself: outer-join empty-group defaults, duplicate parent keys, the
+single AND-tree residual Filter, the keep-correlated reasons, ledger
+records, and the copy-on-path guarantee that shared expression trees
+stay correlated for every other query.
+"""
+
+import pytest
+
+from repro.obs.decisions import DecisionLedger
+from repro.rdb import Aggregate, Filter, Query, Scan, Sort
+from repro.rdb.decorrelate import decorrelate_query
+from repro.rdb.expressions import (
+    BinOp,
+    ColumnRef,
+    ScalarSubquery,
+    col,
+    const,
+    eq,
+    gt,
+)
+from repro.rdb.plan import HashLeftJoin
+from repro.rdb.sqlxml import AggCall, XMLAgg, XMLElement
+
+
+def headcount_subquery():
+    return Query(
+        Filter(Scan("emp", "e"), eq(col("deptno", "e"), col("deptno", "d"))),
+        [(None, AggCall("COUNT"))],
+    )
+
+
+def parent_query(subquery=None):
+    return Query(
+        Scan("dept", "d"),
+        [(None, col("dname", "d")),
+         (None, ScalarSubquery(subquery or headcount_subquery()))],
+    )
+
+
+def _markup(rows):
+    from repro.xmlmodel import serialize
+
+    return [
+        (name, "".join(serialize(node) for node in value))
+        if isinstance(value, list) else (name, value)
+        for name, value in rows
+    ]
+
+
+def both_ways(db, query):
+    """(correlated rows, decorrelated rows) for the same query."""
+    correlated, stats = db.execute(query, level="rules")
+    assert stats.subquery_executions > 0
+    decorrelated, stats = db.execute(query)
+    assert stats.subquery_executions == 0
+    return correlated, decorrelated
+
+
+class TestOuterJoinSemantics:
+    def test_parent_without_children_gets_count_zero(self, db):
+        # dept 50 has no emp rows: the left-outer probe misses and the
+        # empty-group default (COUNT()=0) must match the correlated probe
+        db.insert("dept", (50, "RESEARCH", "DALLAS"))
+        correlated, decorrelated = both_ways(db, parent_query())
+        assert decorrelated == correlated
+        assert ("RESEARCH", 0.0) in decorrelated
+
+    def test_parent_without_children_gets_empty_xmlagg(self, db):
+        db.insert("dept", (50, "RESEARCH", "DALLAS"))
+        subquery = Query(
+            Filter(Scan("emp", "e"),
+                   eq(col("deptno", "e"), col("deptno", "d"))),
+            [(None, XMLAgg(XMLElement("e", col("ename", "e"))))],
+        )
+        correlated, decorrelated = both_ways(db, parent_query(subquery))
+        assert _markup(decorrelated) == _markup(correlated)
+        by_name = dict(decorrelated)
+        assert by_name["RESEARCH"] == []
+        accounting = _markup([("ACCOUNTING", by_name["ACCOUNTING"])])[0][1]
+        assert accounting == "<e>CLARK</e><e>MILLER</e>"
+
+    def test_duplicate_parent_keys_share_the_group_row(self, db):
+        # two dept rows under the same deptno: the 1:1-per-key group row
+        # must be joined to each of them
+        db.insert("dept", (10, "ACCOUNTING-ANNEX", "NEWARK"))
+        correlated, decorrelated = both_ways(db, parent_query())
+        assert decorrelated == correlated
+        by_name = dict(decorrelated)
+        assert by_name["ACCOUNTING"] == 2.0
+        assert by_name["ACCOUNTING-ANNEX"] == 2.0
+
+    def test_null_build_keys_never_match(self, db):
+        # a child row with a NULL correlation key joins to no parent —
+        # same as the correlated probe, where NULL = x is never true
+        db.insert("emp", (9999, "GHOST", "NONE", 100, None))
+        correlated, decorrelated = both_ways(db, parent_query())
+        assert decorrelated == correlated
+        assert dict(decorrelated)["ACCOUNTING"] == 2.0
+
+
+class TestPlanShape:
+    def test_residual_conjuncts_fold_into_one_and_tree_filter(self, db):
+        # stacked Filters: correlation + two local conjuncts; the locals
+        # must come back as ONE Filter carrying an AND tree, not a
+        # re-stacked chain
+        subquery = Query(
+            Filter(
+                Filter(
+                    Filter(Scan("emp", "e"),
+                           eq(col("deptno", "e"), col("deptno", "d"))),
+                    gt(col("sal", "e"), const(2000)),
+                ),
+                gt(col("empno", "e"), const(0)),
+            ),
+            [(None, AggCall("COUNT"))],
+        )
+        rewritten = decorrelate_query(parent_query(subquery), db)
+        assert isinstance(rewritten.plan, HashLeftJoin)
+        aggregate = rewritten.plan.right
+        assert isinstance(aggregate, Aggregate)
+        body = aggregate.child
+        assert isinstance(body, Filter)
+        assert isinstance(body.child, Scan)  # single Filter, no chain
+        predicate = body.predicate
+        assert isinstance(predicate, BinOp) and predicate.op == "AND"
+        rows, stats = db.execute(rewritten)
+        assert rows == [("ACCOUNTING", 1.0), ("OPERATIONS", 1.0)]
+        assert stats.subquery_executions == 0
+
+    def test_site_becomes_column_ref_into_the_aggregate(self, db):
+        rewritten = decorrelate_query(parent_query(), db)
+        _, probe = rewritten.outputs[1]
+        assert isinstance(probe, ColumnRef)
+        assert probe.column == "v"
+        assert probe.table == rewritten.plan.right.alias
+        assert rewritten.plan.right.alias.startswith("dcr")
+
+
+class TestKeepCorrelated:
+    def kept_reason(self, db, query):
+        ledger = DecisionLedger()
+        rewritten = decorrelate_query(query, db, ledger=ledger)
+        assert rewritten is query  # nothing rewritten: input shared back
+        kept = ledger.decisions_of(kind="decorrelate")
+        assert len(kept) == 1
+        assert kept[0].action == "keep-correlated"
+        return kept[0].reason
+
+    def test_non_equi_correlation_is_kept(self, db):
+        subquery = Query(
+            Filter(Scan("emp", "e"),
+                   gt(col("deptno", "e"), col("deptno", "d"))),
+            [(None, AggCall("COUNT"))],
+        )
+        reason = self.kept_reason(db, parent_query(subquery))
+        assert "non-equi" in reason
+
+    def test_non_aggregating_output_is_kept(self, db):
+        subquery = Query(
+            Filter(Scan("emp", "e"),
+                   eq(col("deptno", "e"), col("deptno", "d"))),
+            [(None, col("ename", "e"))],
+        )
+        reason = self.kept_reason(db, parent_query(subquery))
+        assert "aggregate" in reason
+
+    def test_order_sensitive_body_is_kept(self, db):
+        subquery = Query(
+            Sort(
+                Filter(Scan("emp", "e"),
+                       eq(col("deptno", "e"), col("deptno", "d"))),
+                [(col("sal", "e"), True)],
+            ),
+            [(None, AggCall("COUNT"))],
+        )
+        reason = self.kept_reason(db, parent_query(subquery))
+        assert "Sort" in reason
+
+    def test_uncorrelated_subquery_is_kept(self, db):
+        subquery = Query(Scan("emp", "e"), [(None, AggCall("COUNT"))])
+        reason = self.kept_reason(db, parent_query(subquery))
+        assert "not correlated" in reason
+
+    def test_outer_reference_outside_the_predicate_is_kept(self, db):
+        # the aggregated expression itself reads the outer row: no legal
+        # group-by rewrite exists
+        subquery = Query(
+            Filter(Scan("emp", "e"),
+                   eq(col("deptno", "e"), col("deptno", "d"))),
+            [(None, AggCall("SUM", col("deptno", "d")))],
+        )
+        reason = self.kept_reason(db, parent_query(subquery))
+        assert "outer-row reference" in reason
+
+
+class TestCopyOnPath:
+    def test_input_query_is_never_mutated(self, db):
+        query = parent_query()
+        rewritten = decorrelate_query(query, db)
+        assert rewritten is not query
+        # the original keeps its correlated ScalarSubquery site
+        assert isinstance(query.outputs[1][1], ScalarSubquery)
+        rows, stats = db.execute(query, level="rules")
+        assert stats.subquery_executions == 2
+        assert rows == [("ACCOUNTING", 2.0), ("OPERATIONS", 1.0)]
+
+    def test_shared_expressions_stay_correlated_elsewhere(self, db):
+        # regression: two Query objects sharing the SAME expression
+        # objects (the combined-query entry points do this); rewriting
+        # one must not corrupt the other with dangling dcr aliases
+        site = ScalarSubquery(headcount_subquery())
+        shared_outputs = [(None, col("dname", "d")), (None, site)]
+        query_a = Query(Scan("dept", "d"), list(shared_outputs))
+        query_b = Query(Scan("dept", "d"), list(shared_outputs))
+        decorrelate_query(query_a, db)
+        rows, stats = db.execute(query_b, level="rules")
+        assert stats.subquery_executions == 2
+        assert rows == [("ACCOUNTING", 2.0), ("OPERATIONS", 1.0)]
+
+    def test_untouched_query_is_returned_verbatim(self, db):
+        query = Query(Scan("dept", "d"), [(None, col("dname", "d"))])
+        assert decorrelate_query(query, db) is query
+
+
+class TestLedger:
+    def test_unnest_decision_is_recorded(self, db):
+        ledger = DecisionLedger()
+        rewritten = decorrelate_query(parent_query(), db, ledger=ledger)
+        decisions = ledger.decisions_of(kind="decorrelate")
+        assert len(decisions) == 1
+        decision = decisions[0]
+        assert decision.stage == "plan-optimize"
+        assert decision.action == "hash-left-join + group-aggregate"
+        assert decision.detail["join_keys"] == 1
+        assert decision.detail["residual_conjuncts"] == 0
+        assert decision.detail["group_alias"] == rewritten.plan.right.alias
+        assert "SELECT" in decision.detail["subquery"]
+        assert decision.provenance.sql_node is rewritten.plan
+
+    def test_bound_variable_is_rebound_to_the_aggregate(self, db):
+        ledger = DecisionLedger()
+        query = parent_query()
+        site = query.outputs[1][1]
+        ledger.bind_sql_variable("$headcount", site)
+        rewritten = decorrelate_query(query, db, ledger=ledger)
+        # feedback/provenance now follow the surviving Aggregate node
+        assert ledger._sql_bindings["$headcount"] is rewritten.plan.right
+        decision = ledger.decisions_of(kind="decorrelate")[0]
+        assert decision.subject == "$headcount"
+        assert decision.detail["variable"] == "$headcount"
+
+
+class TestOptimizerGate:
+    def test_decorrelate_true_requires_cost_level(self, db):
+        from repro.errors import PlanError
+
+        with pytest.raises(PlanError):
+            db.optimize(parent_query(), level="rules", decorrelate=True)
+
+    def test_rules_level_does_not_decorrelate(self, db):
+        optimized = db.optimize(parent_query(), level="rules")
+        assert isinstance(optimized.outputs[1][1], ScalarSubquery)

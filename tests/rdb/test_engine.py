@@ -32,7 +32,7 @@ from repro.rdb.expressions import (
     eq,
     gt,
 )
-from repro.rdb.plan import explain
+from repro.rdb.plan import HashLeftJoin, explain
 from repro.rdb.sqlxml import AggCall
 
 
@@ -246,18 +246,31 @@ class TestPlans:
         rows, _ = run(db, query)
         assert rows == [(4900,)]
 
-    def test_scalar_subquery_correlated(self, db):
+    @staticmethod
+    def _headcount_query():
         headcount = Query(
             Filter(Scan("emp", "e"), eq(col("deptno", "e"), col("deptno", "d"))),
             [(None, AggCall("COUNT"))],
         )
-        query = Query(
+        return Query(
             Scan("dept", "d"),
             [(None, col("dname", "d")), (None, ScalarSubquery(headcount))],
         )
-        rows, stats = run(db, query)
+
+    def test_scalar_subquery_correlated(self, db):
+        # below the cost level the probe stays correlated: one subquery
+        # execution per outer row
+        rows, stats = run(db, self._headcount_query(), level="rules")
         assert rows == [("ACCOUNTING", 2.0), ("OPERATIONS", 1.0)]
         assert stats.subquery_executions == 2
+
+    def test_scalar_subquery_decorrelated_at_cost_level(self, db):
+        # the default (cost) level unnests the probe into a hash left
+        # join over a grouped aggregate: same rows, no per-row subqueries
+        rows, stats = run(db, self._headcount_query())
+        assert rows == [("ACCOUNTING", 2.0), ("OPERATIONS", 1.0)]
+        assert stats.subquery_executions == 0
+        assert stats.hash_probes == 2
 
     def test_scalar_subquery_multiple_rows_rejected(self, db):
         bad = Query(Scan("emp"), [(None, col("empno"))])
@@ -318,21 +331,34 @@ class TestPlanner:
         optimized = db.optimize(query)
         assert isinstance(optimized.plan, Filter)
 
-    def test_correlated_subquery_optimized(self, db):
-        db.create_index("emp", "deptno")
+    @staticmethod
+    def _correlated_count_query():
         subquery = Query(
             Filter(Scan("emp", "e"), eq(col("deptno", "e"), col("deptno", "d"))),
             [(None, AggCall("COUNT"))],
         )
-        query = Query(
-            Scan("dept", "d"), [(None, ScalarSubquery(subquery))]
-        )
-        optimized = db.optimize(query)
+        return Query(Scan("dept", "d"), [(None, ScalarSubquery(subquery))])
+
+    def test_correlated_subquery_optimized(self, db):
+        db.create_index("emp", "deptno")
+        # decorrelate=False keeps the correlated probe, which the cost
+        # optimizer serves through the deptno index
+        optimized = db.optimize(self._correlated_count_query(),
+                                decorrelate=False)
         inner = optimized.outputs[0][1].query.plan
         assert isinstance(inner, IndexScan)
         rows, stats = optimized.execute(db)
         assert [row[0] for row in rows] == [2.0, 1.0]
         assert stats.index_probes == 2
+
+    def test_correlated_subquery_decorrelated_by_default(self, db):
+        db.create_index("emp", "deptno")
+        optimized = db.optimize(self._correlated_count_query())
+        assert isinstance(optimized.plan, HashLeftJoin)
+        assert isinstance(optimized.plan.right, Aggregate)
+        rows, stats = optimized.execute(db)
+        assert [row[0] for row in rows] == [2.0, 1.0]
+        assert stats.subquery_executions == 0
 
     def test_results_identical_with_and_without_index(self, db):
         query = Query(

@@ -79,14 +79,22 @@ class TestAccessPathChoice:
         from repro.rdb.expressions import ScalarSubquery
         from repro.rdb.sqlxml import AggCall
 
-        count = Query(
-            Filter(Scan("line", "l"), eq(col("doc", "l"), col("id", "d"))),
-            [(None, AggCall("COUNT"))],
-        )
-        query = Query(Scan("doc", "d"), [(None, ScalarSubquery(count))])
-        rows, stats = db.execute(query)
+        def build():
+            count = Query(
+                Filter(Scan("line", "l"), eq(col("doc", "l"), col("id", "d"))),
+                [(None, AggCall("COUNT"))],
+            )
+            return Query(Scan("doc", "d"), [(None, ScalarSubquery(count))])
+
+        # with decorrelation off the correlated probe keys the doc index
+        optimized = db.optimize(build(), decorrelate=False)
+        rows, stats = optimized.execute(db)
         assert [row[0] for row in rows] == [10.0, 10.0]
         assert stats.index_probes == 2
+        # the default unnests; same rows through the hash left join
+        rows, stats = db.execute(build())
+        assert [row[0] for row in rows] == [10.0, 10.0]
+        assert stats.subquery_executions == 0 and stats.hash_probes == 2
 
     def test_flipped_operand_orientation(self, db):
         db.create_index("line", "doc")

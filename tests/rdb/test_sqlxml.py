@@ -236,7 +236,8 @@ class TestDeptEmpView:
                 ScalarSubquery(emp_rows),
             ]))],
         )
-        rows, stats = db.execute(query)
+        optimized = db.optimize(query, decorrelate=False)
+        rows, stats = optimized.execute(db)
         assert stats.index_probes == 2      # one probe per dept row
         # 2 dept rows + per dept the 2 emp rows with sal > 2000 fetched via
         # the index (the deptno residual filters after the fetch); MILLER's
@@ -245,6 +246,10 @@ class TestDeptEmpView:
         output = "".join(serialize(node) for node in rows[0][0])
         assert "<tr><td>7782</td><td>CLARK</td><td>2450</td></tr>" in output
         assert "MILLER" not in output
+        # decorrelated by default: identical markup, no per-row subqueries
+        rows, stats = db.execute(query)
+        assert stats.subquery_executions == 0
+        assert "".join(serialize(node) for node in rows[0][0]) == output
 
 
 class TestViewStructureInference:

@@ -153,8 +153,15 @@ class TestReconstructionView:
 
     def test_view_subquery_correlates_on_parent(self, storage):
         storage.load(parse_document(DOC1))
-        rows, stats = storage.db.execute(storage.make_view_query())
+        # the view's XMLAgg subquery correlates on the parent key; below
+        # the cost level it executes once per parent row...
+        rows, stats = storage.db.execute(storage.make_view_query(),
+                                         level="rules")
         assert stats.subquery_executions == 1
+        # ...and the cost level decorrelates it into a hash left join
+        rows, stats = storage.db.execute(storage.make_view_query())
+        assert stats.subquery_executions == 0
+        assert stats.hash_probes == 1
 
 
 class TestOptionalChildren:
