@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Deterministic xsltmark-style corpus scaler for huge-document runs.
+
+The xsltmark generators (:mod:`repro.xsltmark.generator`) produce the
+seed-size documents the benchmark suite uses.  This module scales that
+corpus up — 10x, 100x, any integer factor — **without materializing the
+scaled document**: :func:`iter_tree_xml` is a generator of markup chunks,
+so a 100x document can be streamed into
+:meth:`~repro.rdb.treestorage.TreeStorage.load_stream` while the full
+text never exists in memory at once.  Everything is a pure function of
+``(scale, depth, fanout)``: two runs, or the DOM and streaming ingest
+paths, always see byte-identical input.
+
+The document shape follows the xsltmark ``TREE_DTD``::
+
+    <tree> ( <node> <label>text</label> <node>* </node> )* </tree>
+
+with ``SECTIONS_PER_SCALE`` independent depth-``depth`` subtrees per unit
+of scale, so element counts grow linearly with ``scale``.
+
+Usage as a script (writes the serialized corpus to stdout or a file)::
+
+    python benchmarks/gen_corpus.py --scale 10 --out corpus_10x.xml
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+# Scale 1 mirrors the seed workload: a depth-4 / fanout-3 subtree
+# (1+3+9+27 = 40 <node> elements and 40 <label> leaves per subtree).
+SECTIONS_PER_SCALE = 1
+DEFAULT_DEPTH = 4
+DEFAULT_FANOUT = 3
+
+
+def nodes_per_section(depth=DEFAULT_DEPTH, fanout=DEFAULT_FANOUT):
+    """``<node>`` elements in one subtree: 1 + f + f^2 + ... + f^(d-1)."""
+    total, width = 0, 1
+    for _ in range(depth):
+        total += width
+        width *= fanout
+    return total
+
+
+def corpus_node_count(scale, depth=DEFAULT_DEPTH, fanout=DEFAULT_FANOUT):
+    """``<node>`` elements in the whole scaled corpus."""
+    return SECTIONS_PER_SCALE * scale * nodes_per_section(depth, fanout)
+
+
+def iter_tree_xml(scale, depth=DEFAULT_DEPTH, fanout=DEFAULT_FANOUT):
+    """Yield the scaled corpus as markup chunks (one tag-ish per chunk).
+
+    Deterministic: labels encode the (section, path) coordinates, so the
+    same arguments always produce the same bytes.
+    """
+    yield "<tree>"
+    for section in range(SECTIONS_PER_SCALE * scale):
+        for chunk in _subtree(section, "0", 1, depth, fanout):
+            yield chunk
+    yield "</tree>"
+
+
+def _subtree(section, path, level, depth, fanout):
+    yield "<node>"
+    yield "<label>s%d-n%s</label>" % (section, path)
+    if level < depth:
+        for branch in range(fanout):
+            for chunk in _subtree(section, "%s.%d" % (path, branch),
+                                  level + 1, depth, fanout):
+                yield chunk
+    yield "</node>"
+
+
+def tree_xml(scale, depth=DEFAULT_DEPTH, fanout=DEFAULT_FANOUT):
+    """The scaled corpus as one string (for DOM-path comparisons)."""
+    return "".join(iter_tree_xml(scale, depth, fanout))
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=int, default=10)
+    parser.add_argument("--depth", type=int, default=DEFAULT_DEPTH)
+    parser.add_argument("--fanout", type=int, default=DEFAULT_FANOUT)
+    parser.add_argument("--out", default="-",
+                        help="output file ('-' for stdout)")
+    args = parser.parse_args(argv)
+    chunks = iter_tree_xml(args.scale, args.depth, args.fanout)
+    if args.out == "-":
+        for chunk in chunks:
+            sys.stdout.write(chunk)
+        sys.stdout.write("\n")
+    else:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            for chunk in chunks:
+                handle.write(chunk)
+        total = corpus_node_count(args.scale, args.depth, args.fanout)
+        print("wrote %s (%d <node> elements)" % (args.out, total))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

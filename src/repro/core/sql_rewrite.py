@@ -24,6 +24,22 @@ from repro.xpath import ast as xp
 from repro.xquery import ast as xq
 
 
+# Descendant-axis lowering: '//name' resolves through the structural schema
+# when the path from the context to <name> is unique — the schema, not the
+# data, answers the descendant axis, so the rewrite emits the same child
+# steps a fully-spelled path would.  Module-level (not a TransformOptions
+# field: option snapshots are frozen) so equivalence tests can flip it and
+# compare the lowered pipeline against the functional fallback.
+_DESCENDANT_LOWERING = [True]
+
+
+def set_descendant_lowering(enabled):
+    """Enable/disable '//' schema lowering; returns the previous setting."""
+    previous = _DESCENDANT_LOWERING[0]
+    _DESCENDANT_LOWERING[0] = bool(enabled)
+    return previous
+
+
 def _filtered(plan, conditions):
     """``plan`` under one :class:`Filter` with the conjuncts folded into
     an AND tree — the planner's conjunct-splitting convention — rather
@@ -535,6 +551,8 @@ class SqlRewriter:
         return target
 
     def _step(self, target, step, env):
+        if isinstance(target, _DescendantTarget):
+            return self._descendant_child(target.base, step, env)
         if step.axis == "attribute":
             return self._attribute_step(target, step)
         if step.axis == "self" and isinstance(step.test, xp.KindTest):
@@ -543,6 +561,24 @@ class SqlRewriter:
             return target
         if step.axis == "parent":
             return self._parent_step(target, step, env)
+        if step.axis in ("descendant", "descendant-or-self"):
+            if not _DESCENDANT_LOWERING[0]:
+                raise RewriteError("axis %r cannot be merged" % step.axis)
+            if step.axis == "descendant":
+                # descendant::name ≡ descendant-or-self::node()/child::name
+                # for element name tests.
+                return self._descendant_child(
+                    target,
+                    xp.Step("child", step.test, list(step.predicates)),
+                    env,
+                )
+            if (
+                step.predicates
+                or not isinstance(step.test, xp.KindTest)
+                or step.test.kind is not None
+            ):
+                raise RewriteError("axis %r cannot be merged" % step.axis)
+            return _DescendantTarget(target)
         if step.axis != "child":
             raise RewriteError("axis %r cannot be merged" % step.axis)
 
@@ -613,6 +649,42 @@ class SqlRewriter:
                 "only leaf children below a repeating step are supported"
             )
         raise RewriteError("cannot navigate from this target")
+
+    def _descendant_child(self, target, step, env):
+        """Lower ``//name``: expand the unique schema path from *target*
+        down to ``<name>`` into plain child steps.  Zero paths or an
+        ambiguous name raise, sending the caller to the functional
+        fallback."""
+        if (
+            step.axis != "child"
+            or not isinstance(step.test, xp.NameTest)
+            or step.test.local == "*"
+        ):
+            raise RewriteError(
+                "only a named child step can follow a lowered '//'")
+        name = step.test.local
+        if isinstance(target, _DocTarget):
+            root = self.structure.schema.root
+            paths = [[root.name] + rest
+                     for rest in _schema_paths_to(root, name)]
+            if root.name == name:
+                paths.insert(0, [root.name])
+        elif isinstance(target, (_ElementTarget, _ManyTarget)):
+            paths = _schema_paths_to(target.decl, name)
+        else:
+            raise RewriteError("cannot lower '//' from this target")
+        if not paths:
+            raise RewriteError("no descendant <%s> in this schema" % name)
+        if len(paths) > 1:
+            raise RewriteError(
+                "descendant <%s> is ambiguous: %s"
+                % (name, " vs ".join("/".join(path) for path in paths))
+            )
+        for interior in paths[0][:-1]:
+            target = self._step(
+                target, xp.Step("child", xp.NameTest(None, interior)), env
+            )
+        return self._step(target, step, env)
 
     def _apply_step_predicates(self, target, step, env):
         if not step.predicates:
@@ -730,6 +802,16 @@ class _ManyTarget:
         self.parent = parent    # enclosing _ElementTarget, when known
 
 
+class _DescendantTarget:
+    """Marker produced by ``descendant-or-self::node()``: the next child
+    step resolves by unique-path search from ``base``."""
+
+    __slots__ = ("base",)
+
+    def __init__(self, base):
+        self.base = base
+
+
 class _TextTarget:
     __slots__ = ("expr",)
 
@@ -753,6 +835,19 @@ def _agg_order(subquery):
     if isinstance(inner, sqlxml.XMLAgg):
         return list(inner.order_by)
     return []
+
+
+def _schema_paths_to(decl, name):
+    """Every strictly-descending name path from *decl* to a ``<name>``
+    element.  Schemas are non-recursive, so the walk terminates."""
+    paths = []
+    for particle in decl.particles:
+        child = particle.decl
+        if child.name == name:
+            paths.append([name])
+        for rest in _schema_paths_to(child, name):
+            paths.append([child.name] + rest)
+    return paths
 
 
 def _is_descendant_text(path):

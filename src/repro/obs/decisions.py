@@ -42,6 +42,7 @@ ACCESS_PATH = "access-path"        # Scan vs IndexScan per filtered table
 JOIN_STRATEGY = "join-strategy"    # nested loop vs hash join
 TOPN_FUSION = "topn-fusion"        # Limit(Sort) fused into bounded-heap TopN
 DECORRELATE = "decorrelate"        # correlated subquery -> join + group-agg
+STRUCTURAL_PATH = "structural-path"  # tree-walk join vs label-range StructuralJoin
 
 # adaptive feedback after execution (repro.obs.feedback)
 PLAN_QERROR = "plan-qerror"        # observed q-error distrusted the plan
@@ -63,6 +64,7 @@ KINDS = (
     JOIN_STRATEGY,
     TOPN_FUSION,
     DECORRELATE,
+    STRUCTURAL_PATH,
     PLAN_QERROR,
     AUTO_ANALYZE,
     PLAN_RECOST,

@@ -267,6 +267,60 @@ class FuncCall(SqlExpr):
         )
 
 
+class TreeContains(SqlExpr):
+    """Structural containment: is ``anc_alias``'s row a proper ancestor of
+    ``desc_alias``'s row in the shredded node table?
+
+    Evaluation is the *naive* semantics the paper's tree-walk baseline pays
+    for: walk the descendant's ``parent_id`` chain with one ``node_id``
+    index probe per hop until the ancestor (or the root) is reached.  The
+    cost planner recognises a join on this predicate and, when a structural
+    path index exists, replaces the walk with a
+    :class:`~repro.rdb.plan.StructuralJoin` over containment labels.
+    """
+
+    def __init__(self, table_name, anc_alias, desc_alias):
+        self.table_name = table_name
+        self.anc_alias = anc_alias
+        self.desc_alias = desc_alias
+        # Exposed as children so alias-reference analysis (conjunct
+        # classification, correlation checks) sees both sides.
+        self._refs = (
+            ColumnRef("node_id", anc_alias),
+            ColumnRef("parent_id", desc_alias),
+        )
+
+    def child_exprs(self):
+        return self._refs
+
+    def evaluate(self, env, db, stats):
+        anc = env[self.anc_alias]
+        desc = env[self.desc_alias]
+        if anc["doc_id"] != desc["doc_id"]:
+            return False
+        target = anc["node_id"]
+        table = db.table(self.table_name)
+        index = db.find_index(self.table_name, "node_id")
+        if index is None:
+            raise DatabaseError(
+                "TREE_CONTAINS needs a node_id index on %r"
+                % self.table_name)
+        parent_position = table.schema.position_of("parent_id")
+        parent = desc["parent_id"]
+        while parent:
+            if parent == target:
+                return True
+            row_ids = index.lookup_eq(parent, stats=stats)
+            if not row_ids:
+                return False
+            stats.rows_scanned += 1
+            parent = table.fetch(row_ids[0])[parent_position]
+        return False
+
+    def to_sql(self):
+        return "TREE_CONTAINS(%s, %s)" % (self.anc_alias, self.desc_alias)
+
+
 class ScalarSubquery(SqlExpr):
     """A correlated scalar subquery: ``(SELECT expr FROM ... WHERE ...)``.
 

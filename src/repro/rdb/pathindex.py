@@ -49,6 +49,16 @@ class PathValueIndex:
             value = element.string_value()
             if value:
                 self._insert(path, value, doc_id)
+        else:
+            # Mixed content: the element's own character data is a leaf
+            # value too.  Only non-whitespace runs are indexed, so
+            # pretty-printed documents don't index their indentation.
+            direct_text = "".join(
+                child.value for child in element.children
+                if child.kind == NodeKind.TEXT
+            )
+            if direct_text.strip():
+                self._insert(path, direct_text, doc_id)
 
     def _insert(self, path, value, doc_id):
         self.entries += 1

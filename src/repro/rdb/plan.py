@@ -21,6 +21,7 @@ from __future__ import annotations
 import time
 
 from repro.errors import DatabaseError, PlanError
+from repro.obs.metrics import global_metrics
 from repro.obs.trace import current_trace_id
 from repro.rdb.sqlxml import (
     AGG_STATE,
@@ -50,6 +51,8 @@ class ExecutionStats:
         "xml_elements", "subquery_executions", "btree_node_visits",
         "docs_materialized", "batches", "peak_buffered_bytes",
         "hash_build_rows", "hash_probes", "topn_heap_rows",
+        "struct_range_scans", "struct_join_rows",
+        "peak_ingest_buffered_bytes",
         "elapsed_seconds",
     )
 
@@ -75,6 +78,13 @@ class ExecutionStats:
         self.hash_probes = 0
         #: rows pushed through TopN bounded heaps
         self.topn_heap_rows = 0
+        #: structural path-index range scans opened (per indexed path)
+        self.struct_range_scans = 0
+        #: (ancestor, descendant) pairs emitted by StructuralJoin
+        self.struct_join_rows = 0
+        #: high-water mark of parse buffer + in-flight row scopes during
+        #: streaming ingest (0 when ingest went through a full DOM)
+        self.peak_ingest_buffered_bytes = 0
         self.elapsed_seconds = 0.0
         self.profiler = None
 
@@ -375,6 +385,122 @@ class NestedLoopJoin(PlanNode):
                         if len(batch) >= batch_size:
                             yield batch
                             batch = []
+        if batch:
+            yield batch
+
+
+class StructuralScan(PlanNode):
+    """Structural path-index range scan: every element named ``name``, in
+    document order (``(doc_id, start)``), via merged per-path B-tree
+    ranges — no tree walk, no sort."""
+
+    def __init__(self, table_name, name, alias=None, doc_id=None):
+        self.table_name = table_name
+        self.name = name
+        self.alias = alias or table_name
+        self.doc_id = doc_id
+
+    def rows(self, db, env, stats):
+        table = db.table(self.table_name)
+        sindex = db.structural_index(self.table_name)
+        names = table.schema.column_names()
+        for _, row_id in sindex.scan_name(self.name, doc_id=self.doc_id,
+                                          stats=stats):
+            stats.rows_scanned += 1
+            merged = dict(env)
+            merged[self.alias] = dict(zip(names, table.fetch(row_id)))
+            yield merged
+
+    def batches(self, db, env, stats, batch_size=DEFAULT_BATCH_SIZE):
+        batch = []
+        for row_env in self.rows(db, env, stats):
+            batch.append(row_env)
+            if len(batch) >= batch_size:
+                yield batch
+                batch = []
+        if batch:
+            yield batch
+
+
+class StructuralJoin(PlanNode):
+    """Stack-based ancestor/descendant merge join (Stack-Tree-Desc).
+
+    Both inputs must arrive in ``(doc, start)`` containment-label order
+    (StructuralScan and preorder-loaded table scans both do).  A stack of
+    open ancestors replaces the per-pair containment test: each arriving
+    descendant matches exactly the stack entries below it, bottom-to-top —
+    O(n + m + output) instead of O(n * m * depth) parent-chain walking.
+
+    Output order is descendant-major with ancestors ascending by start,
+    which is byte-identical to ``NestedLoopJoin(descendant, ancestor,
+    TreeContains)`` over start-ordered inputs.
+    """
+
+    def __init__(self, descendant, ancestor, desc_alias, anc_alias,
+                 doc_column="doc_id", start_column="start",
+                 end_column="end"):
+        self.descendant = descendant
+        self.ancestor = ancestor
+        self.desc_alias = desc_alias
+        self.anc_alias = anc_alias
+        self.doc_column = doc_column
+        self.start_column = start_column
+        self.end_column = end_column
+
+    def children(self):
+        return (self.descendant, self.ancestor)
+
+    def _pairs(self, db, env, stats):
+        doc_col = self.doc_column
+        start_col = self.start_column
+        end_col = self.end_column
+        anc_alias = self.anc_alias
+        anc_iter = self.ancestor.iter_rows(db, env, stats)
+        next_anc = next(anc_iter, None)
+        # stack entries: (doc, start, end, ancestor-row dict), innermost last
+        stack = []
+        emitted = 0
+        try:
+            for desc_env in self.descendant.iter_rows(db, env, stats):
+                desc_row = desc_env[self.desc_alias]
+                desc_key = (desc_row[doc_col], desc_row[start_col])
+                while next_anc is not None:
+                    anc_row = next_anc[anc_alias]
+                    anc_key = (anc_row[doc_col], anc_row[start_col])
+                    if anc_key > desc_key:
+                        break
+                    while stack and (stack[-1][0], stack[-1][2]) < anc_key:
+                        stack.pop()
+                    stack.append(
+                        (anc_key[0], anc_key[1], anc_row[end_col], anc_row))
+                    next_anc = next(anc_iter, None)
+                while stack and (stack[-1][0], stack[-1][2]) < desc_key:
+                    stack.pop()
+                for doc, start, end, anc_row in stack:
+                    # strict: a node never pairs with itself
+                    if doc == desc_key[0] and start < desc_key[1]:
+                        merged = dict(desc_env)
+                        merged[anc_alias] = anc_row
+                        emitted += 1
+                        stats.struct_join_rows += 1
+                        yield merged
+        finally:
+            close = getattr(anc_iter, "close", None)
+            if close is not None:
+                close()
+            global_metrics().counter("structural.index.join_rows").inc(
+                emitted)
+
+    def rows(self, db, env, stats):
+        return self._pairs(db, env, stats)
+
+    def batches(self, db, env, stats, batch_size=DEFAULT_BATCH_SIZE):
+        batch = []
+        for row_env in self._pairs(db, env, stats):
+            batch.append(row_env)
+            if len(batch) >= batch_size:
+                yield batch
+                batch = []
         if batch:
             yield batch
 
@@ -1022,6 +1148,20 @@ def _collect(plan, sources, predicates):
                 plan.index_name,
             )
         )
+    elif isinstance(plan, StructuralScan):
+        sources.append(_source(plan.table_name, plan.alias))
+        predicate = '"%s"."NAME" = \'%s\' /*+ STRUCT_PATH(%s) */' % (
+            plan.alias.upper(), plan.name, plan.table_name)
+        if plan.doc_id is not None:
+            predicate += ' AND "%s"."DOC_ID" = %s' % (
+                plan.alias.upper(), plan.doc_id)
+        predicates.append(predicate)
+    elif isinstance(plan, StructuralJoin):
+        _collect(plan.descendant, sources, predicates)
+        _collect(plan.ancestor, sources, predicates)
+        predicates.append(
+            'STRUCT_CONTAINS("%s", "%s") /*+ STRUCT_JOIN */'
+            % (plan.anc_alias.upper(), plan.desc_alias.upper()))
     elif isinstance(plan, NestedLoopJoin):
         _collect(plan.left, sources, predicates)
         _collect(plan.right, sources, predicates)
@@ -1179,6 +1319,17 @@ def explain(plan_or_query, indent=0, profile=None, analyze=False, db=None,
     elif isinstance(plan, Aggregate):
         detail = " alias=%s group_by=[%s]" % (
             plan.alias, ", ".join(name for name, _ in plan.group_by),
+        )
+    elif isinstance(plan, StructuralScan):
+        detail = " table=%s name=%s alias=%s" % (
+            plan.table_name, plan.name, plan.alias,
+        )
+        if plan.doc_id is not None:
+            detail += " doc=%s" % plan.doc_id
+    elif isinstance(plan, StructuralJoin):
+        detail = " desc=%s anc=%s labels=(%s,%s)" % (
+            plan.desc_alias, plan.anc_alias,
+            plan.start_column, plan.end_column,
         )
     lines = [pad + label + detail + _estimate_note(plan)
              + _profile_note(plan, profile)]

@@ -33,8 +33,11 @@ from repro.rdb.plan import Filter, Query, Scan
 from repro.rdb.sqlxml import XMLAgg, XMLElement
 from repro.rdb.types import FLOAT, INT, TEXT
 from repro.xmlmodel.builder import TreeBuilder
+from repro.xmlmodel.labels import assign_labels
+from repro.xmlmodel.nodes import Element, Text
 from repro.xmlmodel.parser import parse_document
 from repro.xmlmodel.serializer import serialize
+from repro.xmlmodel.stream_ingest import DEFAULT_CHUNK_SIZE, StreamParser
 
 # Reserved bookkeeping column names; element names never collide with
 # these (they are not valid XML names).
@@ -42,6 +45,12 @@ ROW_ID = "$id"
 PARENT_ID = "$parent"
 SEQ = "$seq"
 VALUE = "value"
+# Containment-label columns (paper §7.4 / structural joins): stamped on
+# every shredded row so descendant-axis predicates can compare intervals
+# instead of walking the reconstruction view.
+START = "$start"
+END = "$end"
+LEVEL = "$level"
 
 
 class TableBinding:
@@ -223,6 +232,9 @@ class ObjectRelationalStorage:
                     TEXT,
                 )
                 columns.append((binding.column_name, type_))
+            columns.append((START, INT))
+            columns.append((END, INT))
+            columns.append((LEVEL, INT))
             self.db.create_table(table.table_name, columns)
             if table.parent is not None:
                 # Foreign-key index: the reconstruction view correlates
@@ -295,12 +307,133 @@ class ObjectRelationalStorage:
             )
         self._doc_counter += 1
         doc_id = self._doc_counter
+        assign_labels(document)
         root = document.document_element
         self._insert_element(root, self.schema.root, doc_id, None, 0)
         return doc_id
 
     def load_many(self, documents):
         return [self.load(document) for document in documents]
+
+    def load_stream(self, source, strip_whitespace=True, stats=None,
+                    chunk_size=DEFAULT_CHUNK_SIZE):
+        """Shred XML text into the tables without materializing a DOM.
+
+        *source* is a string, a file-like object, or an iterable of text
+        chunks.  Rows, row ids and containment labels come out identical
+        to :meth:`load` of the parsed document, so fingerprints and query
+        results match exactly.  Memory stays bounded by the parser's
+        token buffer plus the open *row scopes* — the subtrees of
+        repeating elements whose rows are still being assembled — never
+        the whole document.  Pass an
+        :class:`~repro.rdb.plan.ExecutionStats` to record the buffering
+        high-water mark in ``peak_ingest_buffered_bytes``.
+
+        Streaming resolves every element against the schema (unknown
+        children raise :class:`DatabaseError`) but does not run the full
+        validator; route untrusted documents through :meth:`load`.
+        """
+        parser = StreamParser(source, strip_whitespace=strip_whitespace,
+                              chunk_size=chunk_size)
+        self._doc_counter += 1
+        doc_id = self._doc_counter
+        counter = 1  # label counter; 1 is the (virtual) document node
+        frames = []  # per open element: [decl, mini_element, scope_or_None]
+        # Open row scopes, outermost first.  Scope layout:
+        # [table_binding, decl, row_id, (parent_row_id, seq), child_seq,
+        #  mini_element, start, level, buffered_chars]
+        scopes = []
+        open_chars = 0
+        peak_chars = 0
+
+        for event in parser.events():
+            kind = event[0]
+            if kind == "start":
+                name = event[1]
+                if frames:
+                    particle = frames[-1][0].particle_for(name)
+                    if particle is None:
+                        raise DatabaseError(
+                            "document does not conform to schema:"
+                            " unexpected <%s> under <%s>"
+                            % (name, frames[-1][0].name))
+                    decl = particle.decl
+                else:
+                    decl = self.schema.root
+                    if name != decl.name:
+                        raise DatabaseError(
+                            "document does not conform to schema: root is"
+                            " <%s>, expected <%s>" % (name, decl.name))
+                counter += 1
+                start = counter
+                level = len(frames) + 1
+                counter += len(event[2])  # attributes label start == end
+                mini = Element(name)
+                added = len(name)
+                for attr_name, value in event[2]:
+                    mini.set_attribute(attr_name, value)
+                    added += len(attr_name) + len(value)
+                binding = self.bindings[id(decl)]
+                scope = None
+                if isinstance(binding, TableBinding):
+                    if binding.parent is None:
+                        row_id, link = doc_id, None
+                    else:
+                        parent_scope = scopes[-1]
+                        # Reserved now, inserted at scope close: one table
+                        # per decl and non-recursive schemas mean no other
+                        # row can enter this table while the scope is open.
+                        row_id = self._next_row_id(binding)
+                        seq = parent_scope[4].get(name, 0)
+                        parent_scope[4][name] = seq + 1
+                        link = (parent_scope[2], seq)
+                    scope = [binding, decl, row_id, link, {}, mini,
+                             start, level, 0]
+                    scopes.append(scope)
+                else:
+                    frames[-1][1].append(mini)
+                frames.append([decl, mini, scope])
+                scopes[-1][8] += added
+                open_chars += added
+                if open_chars > peak_chars:
+                    peak_chars = open_chars
+            elif kind == "text":
+                counter += 1
+                frames[-1][1].append(Text(event[1]))
+                scopes[-1][8] += len(event[1])
+                open_chars += len(event[1])
+                if open_chars > peak_chars:
+                    peak_chars = open_chars
+            elif kind == "end":
+                decl, mini, scope = frames.pop()
+                if scope is None:
+                    continue
+                scopes.pop()
+                binding = scope[0]
+                values = [scope[2]]
+                if binding.parent is not None:
+                    values.append(scope[3][0])
+                    values.append(scope[3][1])
+                if decl.is_leaf and binding.parent is not None:
+                    values.append(mini.string_value())
+                    for column in self._columns[id(binding)][1:]:
+                        values.append(self._find_value(mini, decl, column))
+                else:
+                    values.extend(self._column_values(mini, decl, binding))
+                values.extend((scope[6], counter, scope[7]))
+                self.db.insert(binding.table_name, tuple(values))
+                open_chars -= scope[8]
+            else:
+                # Comments and processing instructions are not shredded
+                # (the column extractor never reads them) but they do
+                # occupy a label slot, keeping labels aligned with
+                # :func:`assign_labels` over the parsed document.
+                counter += 1
+        if stats is not None:
+            stats.peak_ingest_buffered_bytes = max(
+                stats.peak_ingest_buffered_bytes,
+                parser.peak_buffered_bytes + peak_chars)
+        return doc_id
 
     def _insert_element(self, element, decl, row_id, parent_row_id, seq):
         binding = self.bindings[id(decl)]
@@ -312,6 +445,7 @@ class ObjectRelationalStorage:
             values.append(parent_row_id)
             values.append(seq)
         values.extend(self._column_values(element, decl, table))
+        values.extend(element.label.as_tuple())
         self.db.insert(table.table_name, tuple(values))
         self._insert_repeating(element, decl, row_id)
         return row_id
@@ -390,6 +524,7 @@ class ObjectRelationalStorage:
                     values.extend(
                         self._column_values(child_element, child, child_table)
                     )
+                values.extend(child_element.label.as_tuple())
                 self.db.insert(child_table.table_name, tuple(values))
                 self._insert_repeating(child_element, child, row_id)
 

@@ -3,30 +3,51 @@ Figure 1: "Tree Storage", alongside object-relational and CLOB/BLOB).
 
 Every node of every document becomes one row of a generic node table::
 
-    <name>_nodes(node_id, doc_id, parent_id, seq, kind, name, value)
+    <name>_nodes(node_id, doc_id, parent_id, seq, kind, name, value,
+                 start, end, level)
+
+``(start, end, level)`` are containment labels (see
+:mod:`repro.xmlmodel.labels`): rows are inserted in preorder, so a table
+scan already streams nodes in ``(doc_id, start)`` order and descendant
+tests are pure interval arithmetic instead of parent-chain walks.
 
 Unlike object-relational shredding, tree storage needs no schema and
 handles *any* document — mixed content, comments, processing
 instructions.  The cost is that navigation is self-joins over the node
-table, so the XSLT rewrite does not apply (there is no typed-column
-mapping to merge into); the paper's §7.4 proposes tree storage *with
-path/value indexes*, which is what :class:`TreeStorage` maintains for
-document-level filtering.
+table; the paper's §7.4 proposes tree storage *with path/value indexes*.
+:class:`TreeStorage` maintains two of them: a :class:`PathValueIndex` for
+document-level value filtering, and a
+:class:`~repro.rdb.structindex.StructuralPathIndex` that turns
+descendant-axis (``//``) steps into index range scans feeding a
+:class:`~repro.rdb.plan.StructuralJoin`.
+
+Documents load either from a DOM (:meth:`load`) or straight from text in
+bounded memory (:meth:`load_stream`): the streaming path assigns the same
+labels, inserts the same rows in the same order, and maintains the same
+indexes, one SAX-style event at a time.
 """
 
 from __future__ import annotations
 
+from functools import reduce
+
 from repro.errors import DatabaseError
+from repro.rdb.expressions import TreeContains, and_, col, const, eq
 from repro.rdb.pathindex import PathValueIndex
+from repro.rdb.plan import Filter, NestedLoopJoin, Query, Scan
+from repro.rdb.structindex import StructuralPathIndex
 from repro.rdb.types import INT, TEXT
 from repro.xmlmodel.builder import TreeBuilder
+from repro.xmlmodel.labels import assign_labels
 from repro.xmlmodel.nodes import NodeKind
+from repro.xmlmodel.stream_ingest import DEFAULT_CHUNK_SIZE, StreamParser
 
 
 class TreeStorage:
-    """Schema-less node-table storage with an optional path/value index."""
+    """Schema-less node-table storage with path/value + structural
+    indexes."""
 
-    def __init__(self, db, name, path_index=True):
+    def __init__(self, db, name, path_index=True, structural_index=True):
         self.db = db
         self.name = name
         self.table_name = "%s_nodes" % name
@@ -40,10 +61,18 @@ class TreeStorage:
                 ("kind", TEXT),
                 ("name", TEXT),
                 ("value", TEXT),
+                ("start", INT),
+                ("end", INT),
+                ("level", INT),
             ],
         )
         db.create_index(self.table_name, "doc_id")
+        db.create_index(self.table_name, "node_id")
         self.index = PathValueIndex() if path_index else None
+        self.structural = None
+        if structural_index:
+            self.structural = db.register_structural_index(
+                StructuralPathIndex(self.table_name))
         self._doc_counter = 0
         self._node_counter = 0
 
@@ -52,8 +81,9 @@ class TreeStorage:
     def load(self, document):
         self._doc_counter += 1
         doc_id = self._doc_counter
+        assign_labels(document)
         for seq, child in enumerate(document.children):
-            self._insert_node(child, doc_id, parent_id=0, seq=seq)
+            self._insert_node(child, doc_id, parent_id=0, seq=seq, path="")
         if self.index is not None:
             self.index.add_document(doc_id, document)
         return doc_id
@@ -61,46 +91,229 @@ class TreeStorage:
     def load_many(self, documents):
         return [self.load(document) for document in documents]
 
-    def _insert_node(self, node, doc_id, parent_id, seq):
+    def _insert_node(self, node, doc_id, parent_id, seq, path):
         self._node_counter += 1
         node_id = self._node_counter
         kind = node.kind
+        label = node.label
         if kind == NodeKind.ELEMENT:
-            self.db.insert(
+            node_path = "%s/%s" % (path, node.name.local)
+            row_ids = self.db.insert(
                 self.table_name,
                 (node_id, doc_id, parent_id, seq, "element",
-                 node.name.local, None),
+                 node.name.local, None,
+                 label.start, label.end, label.level),
             )
+            if self.structural is not None:
+                self.structural.add(
+                    node_path, node.name.local, doc_id, label.start,
+                    row_ids[0])
             position = 0
             for attribute in node.attributes:
                 self._node_counter += 1
+                attr_label = attribute.label
                 self.db.insert(
                     self.table_name,
                     (self._node_counter, doc_id, node_id, position,
-                     "attribute", attribute.name.local, attribute.value),
+                     "attribute", attribute.name.local, attribute.value,
+                     attr_label.start, attr_label.end, attr_label.level),
                 )
                 position += 1
             for child in node.children:
-                self._insert_node(child, doc_id, node_id, position)
+                self._insert_node(child, doc_id, node_id, position,
+                                  node_path)
                 position += 1
         elif kind == NodeKind.TEXT:
             self.db.insert(
                 self.table_name,
-                (node_id, doc_id, parent_id, seq, "text", None, node.value),
+                (node_id, doc_id, parent_id, seq, "text", None, node.value,
+                 label.start, label.end, label.level),
             )
         elif kind == NodeKind.COMMENT:
             self.db.insert(
                 self.table_name,
-                (node_id, doc_id, parent_id, seq, "comment", None, node.value),
+                (node_id, doc_id, parent_id, seq, "comment", None,
+                 node.value, label.start, label.end, label.level),
             )
         elif kind == NodeKind.PI:
             self.db.insert(
                 self.table_name,
                 (node_id, doc_id, parent_id, seq, "pi", node.target,
-                 node.value),
+                 node.value, label.start, label.end, label.level),
             )
         else:
             raise DatabaseError("cannot store node kind %r" % kind)
+
+    # -- streaming ingest -----------------------------------------------------
+
+    def load_stream(self, source, strip_whitespace=False, stats=None,
+                    chunk_size=DEFAULT_CHUNK_SIZE):
+        """Shred XML text into the node table without building a DOM.
+
+        *source* is a string, a file-like object, or an iterable of text
+        chunks.  Labels, node ids, row order and every index end up
+        identical to :meth:`load` over the parsed document; memory stays
+        bounded by the parser's token buffer plus one frame per open
+        element (``end`` labels are patched in place at element close).
+        Pass an :class:`~repro.rdb.plan.ExecutionStats` to record the
+        buffering high-water mark in ``peak_ingest_buffered_bytes``.
+        """
+        parser = StreamParser(source, strip_whitespace=strip_whitespace,
+                              chunk_size=chunk_size)
+        self._doc_counter += 1
+        doc_id = self._doc_counter
+        table = self.db.table(self.table_name)
+        end_position = table.schema.position_of("end")
+        counter = 1  # label counter; 1 is the (virtual) document node
+        # frame: [path, node_id, row_id, start, next_seq, text_parts,
+        #         has_element_children]
+        frames = [["", 0, None, 1, 0, [], False]]
+        buffered_text = 0
+        peak_text = 0
+
+        def leaf_row(kind, name, value, level):
+            nonlocal counter
+            self._node_counter += 1
+            counter += 1
+            parent = frames[-1]
+            self.db.insert(
+                self.table_name,
+                (self._node_counter, doc_id, parent[1], parent[4], kind,
+                 name, value, counter, counter, level),
+            )
+            parent[4] += 1
+
+        for event in parser.events():
+            kind = event[0]
+            if kind == "start":
+                name = event[1]
+                parent = frames[-1]
+                parent[6] = True
+                self._node_counter += 1
+                node_id = self._node_counter
+                counter += 1
+                start = counter
+                level = len(frames)
+                node_path = "%s/%s" % (parent[0], name)
+                row_ids = self.db.insert(
+                    self.table_name,
+                    (node_id, doc_id, parent[1], parent[4], "element",
+                     name, None, start, None, level),
+                )
+                parent[4] += 1
+                if self.structural is not None:
+                    self.structural.add(node_path, name, doc_id, start,
+                                        row_ids[0])
+                frames.append([node_path, node_id, row_ids[0], start,
+                               len(event[2]), [], False])
+                for position, (attr_name, value) in enumerate(event[2]):
+                    self._node_counter += 1
+                    counter += 1
+                    self.db.insert(
+                        self.table_name,
+                        (self._node_counter, doc_id, node_id, position,
+                         "attribute", attr_name, value,
+                         counter, counter, level + 1),
+                    )
+                    if self.index is not None:
+                        self.index._insert(
+                            "%s/@%s" % (node_path, attr_name), value,
+                            doc_id)
+            elif kind == "text":
+                value = event[1]
+                leaf_row("text", None, value, len(frames))
+                frames[-1][5].append(value)
+                buffered_text += len(value)
+                if buffered_text > peak_text:
+                    peak_text = buffered_text
+            elif kind == "end":
+                frame = frames.pop()
+                row = table.fetch(frame[2])
+                table.rows[frame[2]] = (
+                    row[:end_position] + (counter,)
+                    + row[end_position + 1:])
+                if self.index is not None:
+                    direct_text = "".join(frame[5])
+                    if not frame[6]:
+                        if direct_text:
+                            self.index._insert(frame[0], direct_text,
+                                               doc_id)
+                    elif direct_text.strip():
+                        self.index._insert(frame[0], direct_text, doc_id)
+                buffered_text -= sum(len(piece) for piece in frame[5])
+            elif kind == "comment":
+                leaf_row("comment", None, event[1], len(frames))
+            elif kind == "pi":
+                leaf_row("pi", event[1], event[2], len(frames))
+        if stats is not None:
+            stats.peak_ingest_buffered_bytes = max(
+                stats.peak_ingest_buffered_bytes,
+                parser.peak_buffered_bytes + peak_text)
+        return doc_id
+
+    # -- structural queries ----------------------------------------------------
+
+    def descendant_query(self, ancestor_name, descendant_name, doc_id=None):
+        """A :class:`Query` for the descendant-axis pattern
+        ``//ancestor_name//descendant_name``: one output row per
+        (ancestor, descendant) element pair.
+
+        Built in its *naive* shape — a nested-loop join whose condition
+        walks parent chains (:class:`TreeContains`).  The rule-based
+        optimizer executes it as written; the cost-based planner replaces
+        it with a StructuralJoin over label ranges when this storage's
+        structural index is registered.
+        """
+        conjuncts = [
+            eq(col("kind", "d"), const("element")),
+            eq(col("name", "d"), const(descendant_name)),
+            eq(col("kind", "a"), const("element")),
+            eq(col("name", "a"), const(ancestor_name)),
+            TreeContains(self.table_name, "a", "d"),
+        ]
+        if doc_id is not None:
+            conjuncts.insert(0, eq(col("doc_id", "d"), const(doc_id)))
+            conjuncts.insert(1, eq(col("doc_id", "a"), const(doc_id)))
+        predicate = reduce(and_, conjuncts)
+        plan = Filter(
+            NestedLoopJoin(
+                Scan(self.table_name, alias="d"),
+                Scan(self.table_name, alias="a"),
+            ),
+            predicate,
+        )
+        outputs = [
+            ("doc_id", col("doc_id", "d")),
+            ("ancestor", col("node_id", "a")),
+            ("descendant", col("node_id", "d")),
+            ("start", col("start", "d")),
+        ]
+        return Query(plan, outputs)
+
+    def fingerprint(self):
+        """Stable hash of the physical design: table layout, value/
+        structural indexes, ANALYZE epoch — the serve-tier cache-key
+        component, mirroring ``ObjectRelationalStorage.fingerprint``."""
+        import hashlib
+
+        schema = self.db.table(self.table_name).schema
+        parts = ["tree:%s cols=%s" % (
+            self.table_name,
+            ",".join("%s:%s" % (column.name, column.type)
+                     for column in schema.columns),
+        )]
+        for index in self.db.indexes_on(self.table_name):
+            parts.append("index:%s:%s:%s" % (
+                index.table_name, index.column_name, index.name))
+        if self.structural is not None:
+            parts.append(self.structural.fingerprint_token())
+        if self.index is not None:
+            parts.append("pathvalue:%s" % ",".join(self.index.paths()))
+        table_stats = self.db.stats.table_stats(self.table_name)
+        if table_stats is not None:
+            parts.append("stats:%s:%d" % (self.table_name,
+                                          table_stats.version))
+        return hashlib.sha256("\n".join(parts).encode("utf-8")).hexdigest()
 
     # -- materialisation ---------------------------------------------------------
 

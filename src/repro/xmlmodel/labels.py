@@ -1,0 +1,73 @@
+"""Containment (interval) labels for document trees.
+
+Every node gets a label ``(start, end, level)`` where ``start`` is the node's
+position in a preorder walk, ``end`` is the largest ``start`` inside the
+node's subtree (``end == start`` for leaves), and ``level`` is the depth from
+the document node (the document itself is level 0).
+
+The walk order mirrors :meth:`Document.stamp`: the node itself, then its
+attributes, then its children.  That makes ``start`` a document-order key, so
+
+    ``anc`` is a proper ancestor of ``desc``
+        iff  ``anc.start < desc.start <= anc.end``
+
+with the strict lower bound excluding self-pairs.  The containment test is
+the basis of the structural join (`repro.rdb.plan.StructuralJoin`) and of the
+structural path index (`repro.rdb.structindex`).
+"""
+
+from __future__ import annotations
+
+
+class Label:
+    """An interval label. Immutable by convention."""
+
+    __slots__ = ("start", "end", "level")
+
+    def __init__(self, start, end, level):
+        self.start = start
+        self.end = end
+        self.level = level
+
+    def contains(self, other):
+        """True when *other* lies strictly inside this node's subtree."""
+        return self.start < other.start <= self.end
+
+    def as_tuple(self):
+        return (self.start, self.end, self.level)
+
+    def __eq__(self, other):
+        if not isinstance(other, Label):
+            return NotImplemented
+        return self.as_tuple() == other.as_tuple()
+
+    def __hash__(self):
+        return hash(self.as_tuple())
+
+    def __repr__(self):
+        return "Label(start=%d, end=%d, level=%d)" % (
+            self.start, self.end, self.level)
+
+
+def assign_labels(document):
+    """Stamp containment labels over *document*'s whole tree.
+
+    Returns the highest ``start`` assigned.  Safe to call repeatedly; labels
+    are recomputed from scratch.  The counter visits node, attributes, then
+    children — the same order as :meth:`Document.stamp` — so ``start`` sorts
+    nodes in document order.
+    """
+    counter = _label(document, 0, 0)
+    return counter
+
+
+def _label(node, counter, level):
+    counter += 1
+    start = counter
+    for attribute in getattr(node, "attributes", ()):
+        counter += 1
+        attribute.label = Label(counter, counter, level + 1)
+    for child in node.children:
+        counter = _label(child, counter, level + 1)
+    node.label = Label(start, counter, level)
+    return counter

@@ -65,11 +65,12 @@ class Node:
 
     kind = None  # overridden per subclass
 
-    __slots__ = ("parent", "order")
+    __slots__ = ("parent", "order", "label")
 
     def __init__(self):
         self.parent = None
         self.order = -1
+        self.label = None
 
     # -- tree navigation ---------------------------------------------------
 

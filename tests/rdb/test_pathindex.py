@@ -64,6 +64,27 @@ class TestPathValueIndex:
         storage.load(parse_document("<l><v>7</v><v>7</v></l>"))
         assert storage.find_documents("/l/v", "=", 7) == [1]
 
+    def test_mixed_content_direct_text_indexed(self):
+        # Regression: an element with both element children and its own
+        # character data used to lose the character data entirely —
+        # string_value() is only taken on pure leaves.  The direct text
+        # runs (concatenated, child element text excluded) must be a
+        # probe-able value for the mixed element's own path.
+        storage = IndexedClobStorage(Database(), "mx")
+        storage.load(parse_document(
+            "<p>alpha <em>strong</em> omega</p>"))
+        assert storage.find_documents("/p", "=", "alpha  omega") == [1]
+        assert storage.find_documents("/p/em", "=", "strong") == [1]
+        # The child's text must not leak into the parent's indexed value.
+        assert storage.find_documents("/p", "=", "alpha strong omega") == []
+
+    def test_mixed_content_whitespace_only_not_indexed(self):
+        index = PathValueIndex()
+        index.add_document(1, parse_document(
+            "<doc>\n  <id>9</id>\n</doc>"))
+        # Pretty-printing indentation around <id> is not a value.
+        assert index.paths() == ["/doc/id"]
+
 
 class TestSelectiveTransform:
     SHEET = (
